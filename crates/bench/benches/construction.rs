@@ -1,0 +1,48 @@
+//! Construction benchmarks (Fig. 9 family, micro scale): tree decomposition
+//! (Algo. 2) and index construction per strategy on a small CAL analogue.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use td_core::{IndexOptions, SelectionStrategy, TdTreeIndex};
+use td_gen::Dataset;
+use td_treedec::TreeDecomposition;
+
+fn bench_construction(criterion: &mut Criterion) {
+    let g = Dataset::Cal.spec().build_scaled(3, 0.04, 42); // ~200 vertices
+    let budget = Dataset::Cal.spec().budget_at(0.04) as u64;
+    let mut group = criterion.benchmark_group("construction");
+    group.sample_size(10);
+    group.bench_function("tree_decomposition", |b| {
+        b.iter(|| TreeDecomposition::build(&g))
+    });
+    group.bench_function("td_basic", |b| {
+        b.iter(|| TdTreeIndex::build(g.clone(), IndexOptions::default()))
+    });
+    group.bench_function("td_appro", |b| {
+        b.iter(|| {
+            TdTreeIndex::build(
+                g.clone(),
+                IndexOptions {
+                    strategy: SelectionStrategy::Greedy { budget },
+                    threads: 1,
+                    track_supports: false,
+                },
+            )
+        })
+    });
+    group.bench_function("td_h2h_full_label", |b| {
+        b.iter(|| {
+            TdTreeIndex::build(
+                g.clone(),
+                IndexOptions {
+                    strategy: SelectionStrategy::All,
+                    threads: 1,
+                    track_supports: false,
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Micro-benchmarks of the PLF algebra: `eval`, `Compound` (Def. 2) and
+//! `minimum`, across interpolation-point counts — the constant `c` of every
+//! complexity bound in the paper.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use td_gen::random_graph::random_profile;
+use td_plf::NO_VIA;
+
+fn bench_plf(criterion: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut group = criterion.benchmark_group("plf_ops");
+    for points in [4usize, 16, 64, 256] {
+        let f = random_profile(&mut rng, points, 50.0, 500.0);
+        let g = random_profile(&mut rng, points, 50.0, 500.0);
+        group.bench_with_input(BenchmarkId::new("eval", points), &points, |b, _| {
+            b.iter(|| black_box(f.eval(black_box(43_210.0))))
+        });
+        group.bench_with_input(BenchmarkId::new("compound", points), &points, |b, _| {
+            b.iter(|| black_box(f.compound(&g, NO_VIA)))
+        });
+        group.bench_with_input(BenchmarkId::new("minimum", points), &points, |b, _| {
+            b.iter(|| black_box(f.minimum(&g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plf);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Query benchmarks (Fig. 8 family, micro scale): scalar travel-cost and
+//! cost-function queries per index on a small CAL analogue, plus the
+//! TD-Dijkstra non-index baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use td_core::{IndexOptions, SelectionStrategy, TdTreeIndex};
+use td_dijkstra::shortest_path_cost;
+use td_gen::Dataset;
+use td_gtree::{GtreeConfig, TdGtree};
+use td_plf::DAY;
+
+fn bench_queries(criterion: &mut Criterion) {
+    let g = Dataset::Cal.spec().build_scaled(3, 0.06, 42); // ~310 vertices
+    let n = g.num_vertices();
+    let budget = Dataset::Cal.spec().budget_at(0.06) as u64;
+    let basic = TdTreeIndex::build(g.clone(), IndexOptions::default());
+    let appro = TdTreeIndex::build(
+        g.clone(),
+        IndexOptions {
+            strategy: SelectionStrategy::Greedy { budget },
+            threads: 0,
+            track_supports: false,
+        },
+    );
+    let h2h = td_h2h::TdH2h::build(g.clone(), 0);
+    let gtree = TdGtree::build(g.clone(), GtreeConfig::default());
+    let mut rng = StdRng::seed_from_u64(3);
+    let queries: Vec<(u32, u32, f64)> = (0..256)
+        .map(|_| {
+            (
+                rng.gen_range(0..n) as u32,
+                rng.gen_range(0..n) as u32,
+                rng.gen_range(0.0..DAY),
+            )
+        })
+        .collect();
+    let mut i = 0usize;
+    let mut next = move || {
+        i = (i + 1) % 256;
+        i
+    };
+
+    let mut group = criterion.benchmark_group("cost_query");
+    group.bench_function("td_dijkstra", |b| {
+        b.iter(|| {
+            let (s, d, t) = queries[next()];
+            black_box(shortest_path_cost(&g, s, d, t))
+        })
+    });
+    group.bench_function("td_basic", |b| {
+        b.iter(|| {
+            let (s, d, t) = queries[next()];
+            black_box(basic.query_cost_basic(s, d, t))
+        })
+    });
+    group.bench_function("td_appro", |b| {
+        b.iter(|| {
+            let (s, d, t) = queries[next()];
+            black_box(appro.query_cost(s, d, t))
+        })
+    });
+    group.bench_function("td_h2h", |b| {
+        b.iter(|| {
+            let (s, d, t) = queries[next()];
+            black_box(h2h.query_cost(s, d, t))
+        })
+    });
+    group.bench_function("td_gtree", |b| {
+        b.iter(|| {
+            let (s, d, t) = queries[next()];
+            black_box(gtree.query_cost(s, d, t))
+        })
+    });
+    group.finish();
+
+    let mut group = criterion.benchmark_group("profile_query");
+    group.sample_size(20);
+    group.bench_function("td_basic", |b| {
+        b.iter(|| {
+            let (s, d, _) = queries[next()];
+            black_box(basic.query_profile_basic(s, d))
+        })
+    });
+    group.bench_function("td_appro", |b| {
+        b.iter(|| {
+            let (s, d, _) = queries[next()];
+            black_box(appro.query_profile(s, d))
+        })
+    });
+    group.bench_function("td_h2h", |b| {
+        b.iter(|| {
+            let (s, d, _) = queries[next()];
+            black_box(h2h.query_profile(s, d))
+        })
+    });
+    group.bench_function("td_gtree", |b| {
+        b.iter(|| {
+            let (s, d, _) = queries[next()];
+            black_box(gtree.query_profile(s, d))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Shortcut-selection benchmarks (Algo. 4 vs Algo. 5) across instance sizes
+//! — the construction-side trade-off behind Fig. 9 and §5.4.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use td_core::select::{select_dp, select_greedy};
+use td_core::Candidate;
+
+fn instance(n: usize, seed: u64) -> (Vec<Candidate>, u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let items: Vec<Candidate> = (0..n)
+        .map(|_| Candidate {
+            node: 0,
+            ancestor: 0,
+            utility: rng.gen_range(0.1..100.0),
+            weight: rng.gen_range(1..60),
+        })
+        .collect();
+    let total: u64 = items.iter().map(|c| c.weight as u64).sum();
+    (items, total / 3)
+}
+
+fn bench_selection(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("selection");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000, 50_000] {
+        let (items, budget) = instance(n, 9);
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            b.iter(|| black_box(select_greedy(&items, budget)))
+        });
+        group.bench_with_input(BenchmarkId::new("dp_scaled", n), &n, |b, _| {
+            // Bucketed DP with a ~2000-cell row, as used at large budgets.
+            let scale = (budget / 2_000).max(1) as u32;
+            b.iter(|| black_box(select_dp(&items, budget, scale)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Index-update benchmarks (Fig. 10 family, micro scale): batched edge
+//! weight updates against a support-tracked TD-appro index.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use td_core::{IndexOptions, SelectionStrategy, TdTreeIndex};
+use td_gen::random_graph::random_profile;
+use td_gen::Dataset;
+
+fn bench_updates(criterion: &mut Criterion) {
+    let g = Dataset::Sf.spec().build_scaled(3, 0.02, 42); // ~200 vertices
+    let budget = Dataset::Sf.spec().budget_at(0.02) as u64;
+    let mut group = criterion.benchmark_group("update");
+    group.sample_size(10);
+    for batch in [1usize, 8, 64] {
+        group.bench_with_input(BenchmarkId::new("edges", batch), &batch, |b, &batch| {
+            b.iter_batched(
+                || {
+                    let index = TdTreeIndex::build(
+                        g.clone(),
+                        IndexOptions {
+                            strategy: SelectionStrategy::Greedy { budget },
+                            threads: 1,
+                            track_supports: true,
+                        },
+                    );
+                    let mut rng = StdRng::seed_from_u64(batch as u64);
+                    let m = g.num_edges();
+                    let changes: Vec<_> = (0..batch)
+                        .map(|_| {
+                            let e = rng.gen_range(0..m) as u32;
+                            let edge = g.edge(e);
+                            (edge.from, edge.to, random_profile(&mut rng, 3, 5.0, 500.0))
+                        })
+                        .collect();
+                    (index, changes)
+                },
+                |(mut index, changes)| index.update_edges(&changes),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

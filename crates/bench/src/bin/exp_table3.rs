@@ -1,0 +1,91 @@
+//! Table 3 — performance on CAL: average travel-cost query time, index
+//! construction time and memory for TD-G-tree, TD-H2H and TD-basic.
+//!
+//! Paper values (CAL, 21k vertices): TD-G-tree 0.16 ms / 0.006 h / 0.169 GB;
+//! TD-H2H 0.0001 ms / 0.12 h / 3.7 GB; TD-basic 4.4 ms / 0.0002 h / 0.089 GB.
+//! The expected *shape*: H2H is fastest but largest by far; basic is smallest
+//! and fastest to build but slowest to query; G-tree sits in between.
+//!
+//! Usage: `cargo run --release -p td-bench --bin exp_table3 [--scale X] [--pairs N]`
+
+use td_bench::{avg_micros, fmt_bytes, timed, Csv, ExpArgs};
+use td_core::{IndexOptions, SelectionStrategy, TdTreeIndex};
+use td_gen::{Dataset, Workload, WorkloadConfig};
+use td_gtree::{GtreeConfig, TdGtree};
+use td_h2h::TdH2h;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let d = Dataset::Cal;
+    let g = d.spec().build_scaled(3, args.scale, args.seed);
+    let n = g.num_vertices();
+    println!("Table 3: Performance on CAL (|V|={n}, |E|={}, c=3)", g.num_edges());
+    let wl = Workload::generate(
+        n,
+        &WorkloadConfig {
+            pairs: args.pairs,
+            times_per_pair: 10,
+            seed: args.seed,
+        },
+    );
+    let mut csv = Csv::new("table3_cal");
+    let header = "method,query_ms,construction_s,memory_bytes";
+    println!(
+        "{:<10} {:>14} {:>16} {:>10}   (paper: query / construction / memory)",
+        "Method", "Query cost", "Construction", "Memory"
+    );
+    td_bench::rule(95);
+
+    // TD-G-tree.
+    let (gt, build_s) = timed(|| TdGtree::build(g.clone(), GtreeConfig::default()));
+    let q = avg_micros(&wl.queries, |q| {
+        gt.query_cost(q.source, q.destination, q.depart);
+    });
+    println!(
+        "{:<10} {:>11.3}ms {:>15.1}s {:>10}   (0.16ms / 0.006h / 0.169GB)",
+        "TD-G-tree",
+        q / 1000.0,
+        build_s,
+        fmt_bytes(gt.memory_bytes())
+    );
+    csv.row(header, format_args!("TD-G-tree,{},{},{}", q / 1000.0, build_s, gt.memory_bytes()));
+    drop(gt);
+
+    // TD-H2H.
+    let (h2h, build_s) = timed(|| TdH2h::build(g.clone(), args.threads));
+    let q = avg_micros(&wl.queries, |q| {
+        h2h.query_cost(q.source, q.destination, q.depart);
+    });
+    println!(
+        "{:<10} {:>11.4}ms {:>15.1}s {:>10}   (0.0001ms / 0.12h / 3.7GB)",
+        "TD-H2H",
+        q / 1000.0,
+        build_s,
+        fmt_bytes(h2h.memory_bytes())
+    );
+    csv.row(header, format_args!("TD-H2H,{},{},{}", q / 1000.0, build_s, h2h.memory_bytes()));
+    drop(h2h);
+
+    // TD-basic.
+    let (basic, build_s) = timed(|| {
+        TdTreeIndex::build(
+            g.clone(),
+            IndexOptions {
+                strategy: SelectionStrategy::Basic,
+                threads: args.threads,
+                track_supports: false,
+            },
+        )
+    });
+    let q = avg_micros(&wl.queries, |q| {
+        basic.query_cost_basic(q.source, q.destination, q.depart);
+    });
+    println!(
+        "{:<10} {:>11.3}ms {:>15.1}s {:>10}   (4.4ms / 0.0002h / 0.089GB)",
+        "TD-basic",
+        q / 1000.0,
+        build_s,
+        fmt_bytes(basic.memory_bytes())
+    );
+    csv.row(header, format_args!("TD-basic,{},{},{}", q / 1000.0, build_s, basic.memory_bytes()));
+}

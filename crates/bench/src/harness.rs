@@ -1,0 +1,115 @@
+//! Utilities shared by the experiment binaries.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Times a closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+/// Parses `--scale X`, `--c N`, `--quick`, `--full` style flags.
+#[derive(Clone, Debug)]
+pub struct ExpArgs {
+    /// Dataset scale multiplier (vertex count factor).
+    pub scale: f64,
+    /// Seed for generators.
+    pub seed: u64,
+    /// Worker threads (0 = all).
+    pub threads: usize,
+    /// Number of query pairs (paper: 1000).
+    pub pairs: usize,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        ExpArgs { scale: 1.0, seed: 42, threads: 0, pairs: 1000 }
+    }
+}
+
+impl ExpArgs {
+    /// Parses from `std::env::args`.
+    pub fn parse() -> ExpArgs {
+        let mut a = ExpArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--scale" => a.scale = args.next().and_then(|v| v.parse().ok()).expect("--scale X"),
+                "--seed" => a.seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N"),
+                "--threads" => a.threads = args.next().and_then(|v| v.parse().ok()).expect("--threads N"),
+                "--pairs" => a.pairs = args.next().and_then(|v| v.parse().ok()).expect("--pairs N"),
+                "--quick" => { a.scale = 0.25; a.pairs = 200; }
+                "--full" => { a.scale = 4.0; }
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        a
+    }
+}
+
+/// Appends rows to `results/<name>.csv` (header written once).
+pub struct Csv {
+    path: PathBuf,
+    wrote_header: bool,
+}
+
+impl Csv {
+    /// Creates/truncates `results/<name>.csv`.
+    pub fn new(name: &str) -> Csv {
+        let dir = PathBuf::from("results");
+        std::fs::create_dir_all(&dir).expect("create results dir");
+        let path = dir.join(format!("{name}.csv"));
+        let _ = std::fs::remove_file(&path);
+        Csv { path, wrote_header: false }
+    }
+
+    /// Writes the header once, then rows.
+    pub fn row(&mut self, header: &str, values: std::fmt::Arguments<'_>) {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+            .expect("open csv");
+        if !self.wrote_header {
+            writeln!(f, "{header}").expect("write header");
+            self.wrote_header = true;
+        }
+        writeln!(f, "{values}").expect("write row");
+    }
+}
+
+/// Pretty table separator for stdout.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Average wall-clock microseconds per call of `f` over `queries`.
+pub fn avg_micros<Q, F: FnMut(&Q)>(queries: &[Q], mut f: F) -> f64 {
+    if queries.is_empty() {
+        return 0.0;
+    }
+    let t0 = Instant::now();
+    for q in queries {
+        f(q);
+    }
+    t0.elapsed().as_secs_f64() * 1e6 / queries.len() as f64
+}
+
+/// Formats bytes as a human-readable string.
+pub fn fmt_bytes(b: usize) -> String {
+    if b >= 1024 * 1024 * 1024 {
+        format!("{:.2}GB", b as f64 / (1024.0 * 1024.0 * 1024.0))
+    } else if b >= 1024 * 1024 {
+        format!("{:.1}MB", b as f64 / (1024.0 * 1024.0))
+    } else {
+        format!("{:.1}KB", b as f64 / 1024.0)
+    }
+}
+
+/// DP weight bucketing that keeps the knapsack row around `target` cells.
+pub fn dp_scale(budget: u64, target: u64) -> u32 {
+    budget.div_ceil(target).max(1) as u32
+}

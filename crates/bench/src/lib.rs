@@ -1,0 +1,10 @@
+//! # td-bench — experiment harness and benchmarks
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §3) plus Criterion
+//! micro-benchmarks. Binaries print paper-style rows and write CSV files into
+//! `results/`.
+
+pub mod harness;
+pub mod sweep;
+
+pub use harness::*;

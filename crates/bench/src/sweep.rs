@@ -1,0 +1,173 @@
+//! Shared sweep machinery for the Fig. 8 / Fig. 9 experiments: build every
+//! index for a (dataset, c) grid, measure query and construction metrics.
+
+use crate::harness::{avg_micros, dp_scale, timed};
+use td_core::{IndexOptions, SelectionStrategy, TdTreeIndex};
+use td_gen::{Dataset, Workload, WorkloadConfig};
+use td_gtree::{GtreeConfig, TdGtree};
+use td_h2h::TdH2h;
+
+/// One measured configuration.
+#[derive(Clone, Debug)]
+pub struct SweepRow {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Interpolation points per edge.
+    pub c: usize,
+    /// Method name.
+    pub method: &'static str,
+    /// Average travel-cost query time, ms.
+    pub cost_query_ms: f64,
+    /// Average cost-function query time, ms.
+    pub profile_query_ms: f64,
+    /// Construction wall time, seconds.
+    pub construction_s: f64,
+    /// Index memory, bytes.
+    pub memory_bytes: usize,
+}
+
+/// Which methods to run in a sweep cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// TD-G-tree baseline.
+    Gtree,
+    /// TD-H2H baseline.
+    H2h,
+    /// TD-basic (no shortcuts).
+    Basic,
+    /// TD-appro (Algo. 5 selection).
+    Appro,
+    /// TD-dp (Algo. 4 selection).
+    Dp,
+}
+
+impl Method {
+    /// Display name as in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Gtree => "TD-G-tree",
+            Method::H2h => "TD-H2H",
+            Method::Basic => "TD-basic",
+            Method::Appro => "TD-appro",
+            Method::Dp => "TD-dp",
+        }
+    }
+}
+
+/// Builds and measures one (dataset, c, method) cell.
+#[allow(clippy::too_many_arguments)] // experiment-grid parameters, used by binaries only
+pub fn run_cell(
+    dataset: Dataset,
+    c: usize,
+    method: Method,
+    scale: f64,
+    seed: u64,
+    threads: usize,
+    cost_queries: usize,
+    profile_queries: usize,
+    measure_queries: bool,
+) -> SweepRow {
+    let spec = dataset.spec();
+    let g = spec.build_scaled(c, scale, seed);
+    let n = g.num_vertices();
+    let wl = Workload::generate(
+        n,
+        &WorkloadConfig {
+            pairs: cost_queries.max(profile_queries).max(1),
+            times_per_pair: 10,
+            seed,
+        },
+    );
+    let cost_wl = &wl.queries[..(cost_queries * 10).min(wl.queries.len())];
+    let profile_pairs: Vec<_> = wl.pairs().into_iter().take(profile_queries).collect();
+    let budget = spec.budget_at(scale) as u64;
+
+    let (cost_ms, profile_ms, build_s, mem) = match method {
+        Method::Gtree => {
+            let (gt, build_s) = timed(|| TdGtree::build(g, GtreeConfig::default()));
+            let (cq, pq) = if measure_queries {
+                (
+                    avg_micros(cost_wl, |q| {
+                        gt.query_cost(q.source, q.destination, q.depart);
+                    }),
+                    avg_micros(&profile_pairs, |&(s, d)| {
+                        gt.query_profile(s, d);
+                    }),
+                )
+            } else {
+                (0.0, 0.0)
+            };
+            (cq / 1e3, pq / 1e3, build_s, gt.memory_bytes())
+        }
+        Method::H2h => {
+            let (ix, build_s) = timed(|| TdH2h::build(g, threads));
+            let (cq, pq) = if measure_queries {
+                (
+                    avg_micros(cost_wl, |q| {
+                        ix.query_cost(q.source, q.destination, q.depart);
+                    }),
+                    avg_micros(&profile_pairs, |&(s, d)| {
+                        ix.query_profile(s, d);
+                    }),
+                )
+            } else {
+                (0.0, 0.0)
+            };
+            (cq / 1e3, pq / 1e3, build_s, ix.memory_bytes())
+        }
+        Method::Basic | Method::Appro | Method::Dp => {
+            let strategy = match method {
+                Method::Basic => SelectionStrategy::Basic,
+                Method::Appro => SelectionStrategy::Greedy { budget },
+                Method::Dp => SelectionStrategy::Dp {
+                    budget,
+                    weight_scale: dp_scale(budget, 10_000),
+                },
+                _ => unreachable!(),
+            };
+            let (ix, build_s) = timed(|| {
+                TdTreeIndex::build(
+                    g,
+                    IndexOptions {
+                        strategy,
+                        threads,
+                        track_supports: false,
+                    },
+                )
+            });
+            let (cq, pq) = if measure_queries {
+                match method {
+                    Method::Basic => (
+                        avg_micros(cost_wl, |q| {
+                            ix.query_cost_basic(q.source, q.destination, q.depart);
+                        }),
+                        avg_micros(&profile_pairs, |&(s, d)| {
+                            ix.query_profile_basic(s, d);
+                        }),
+                    ),
+                    _ => (
+                        avg_micros(cost_wl, |q| {
+                            ix.query_cost(q.source, q.destination, q.depart);
+                        }),
+                        avg_micros(&profile_pairs, |&(s, d)| {
+                            ix.query_profile(s, d);
+                        }),
+                    ),
+                }
+            } else {
+                (0.0, 0.0)
+            };
+            (cq / 1e3, pq / 1e3, build_s, ix.memory_bytes())
+        }
+    };
+
+    SweepRow {
+        dataset: dataset.name(),
+        c,
+        method: method.name(),
+        cost_query_ms: cost_ms,
+        profile_query_ms: profile_ms,
+        construction_s: build_s,
+        memory_bytes: mem,
+    }
+}

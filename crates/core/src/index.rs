@@ -1,0 +1,398 @@
+//! The [`TdTreeIndex`]: construction, configuration and accounting.
+
+use crate::query::QueryEngine;
+use crate::select::{select_dp, select_greedy, Candidate, Selection};
+use crate::shortcut::{build_all, build_selected, weigh_candidates, ShortcutStore};
+use std::time::Instant;
+use td_graph::{Path, TdGraph, VertexId};
+use td_plf::Plf;
+use td_treedec::{TreeDecomposition, TreeStats};
+
+/// How shortcuts are chosen (Def. 8).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SelectionStrategy {
+    /// No shortcuts: TD-basic (Algo. 3 queries only).
+    Basic,
+    /// Algo. 5 dual greedy (TD-appro) under a weight budget `N`
+    /// (interpolation points).
+    Greedy {
+        /// The budget `N` of Def. 8.
+        budget: u64,
+    },
+    /// Algo. 4 dynamic programming (TD-dp). `weight_scale` buckets weights
+    /// for large budgets (`1` = exact); see `select::select_dp`.
+    Dp {
+        /// The budget `N` of Def. 8.
+        budget: u64,
+        /// Weight bucketing factor (1 = exact DP).
+        weight_scale: u32,
+    },
+    /// Every pair: the TD-H2H baseline's label.
+    All,
+}
+
+/// Index construction options.
+#[derive(Clone, Copy, Debug)]
+pub struct IndexOptions {
+    /// Shortcut selection strategy.
+    pub strategy: SelectionStrategy,
+    /// Worker threads for the shortcut passes (0 = all cores).
+    pub threads: usize,
+    /// Track support lists to enable [`TdTreeIndex::update_edges`].
+    pub track_supports: bool,
+}
+
+impl Default for IndexOptions {
+    fn default() -> Self {
+        IndexOptions {
+            strategy: SelectionStrategy::Basic,
+            threads: 0,
+            track_supports: false,
+        }
+    }
+}
+
+/// Timings and sizes recorded during construction.
+#[derive(Clone, Debug, Default)]
+pub struct BuildStats {
+    /// Tree decomposition wall time (Algo. 2), seconds.
+    pub decompose_secs: f64,
+    /// Candidate weigh pass wall time, seconds.
+    pub weigh_secs: f64,
+    /// Selection wall time (Algo. 4/5), seconds.
+    pub select_secs: f64,
+    /// Shortcut build pass wall time (Fact 1), seconds.
+    pub build_secs: f64,
+    /// Number of candidate pairs weighed.
+    pub candidates: usize,
+    /// Number of selected pair instances.
+    pub selected_pairs: usize,
+    /// Total weight (interpolation points) of the selection.
+    pub selected_weight: u64,
+    /// Total utility of the selection.
+    pub selected_utility: f64,
+}
+
+impl BuildStats {
+    /// Total construction wall time, seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.decompose_secs + self.weigh_secs + self.select_secs + self.build_secs
+    }
+}
+
+/// The paper's index: TFP tree decomposition + selected shortcuts.
+pub struct TdTreeIndex {
+    graph: TdGraph,
+    td: TreeDecomposition,
+    store: ShortcutStore,
+    selected_per_node: Vec<Vec<VertexId>>,
+    /// Options the index was built with.
+    pub options: IndexOptions,
+    /// Construction statistics.
+    pub build_stats: BuildStats,
+}
+
+impl TdTreeIndex {
+    /// Builds the index over `graph` (which is kept inside for updates and
+    /// examples; queries run purely on the index structures).
+    pub fn build(graph: TdGraph, options: IndexOptions) -> TdTreeIndex {
+        let mut stats = BuildStats::default();
+        let t0 = Instant::now();
+        let td = TreeDecomposition::build_opts(&graph, options.track_supports);
+        stats.decompose_secs = t0.elapsed().as_secs_f64();
+        let n = td.len();
+        let width = td.stats().width;
+
+        let (store, selected_per_node) = match options.strategy {
+            SelectionStrategy::Basic => (ShortcutStore::empty(n), vec![Vec::new(); n]),
+            SelectionStrategy::All => {
+                let t = Instant::now();
+                let store = build_all(&td, options.threads);
+                stats.build_secs = t.elapsed().as_secs_f64();
+                stats.selected_pairs = store.num_pairs();
+                stats.selected_weight = store.total_points() as u64;
+                (store, vec![Vec::new(); n])
+            }
+            SelectionStrategy::Greedy { budget } | SelectionStrategy::Dp { budget, .. } => {
+                let t = Instant::now();
+                let candidates = weigh_candidates(&td, width, options.threads);
+                stats.weigh_secs = t.elapsed().as_secs_f64();
+                stats.candidates = candidates.len();
+
+                let t = Instant::now();
+                let selection = match options.strategy {
+                    SelectionStrategy::Greedy { .. } => select_greedy(&candidates, budget),
+                    SelectionStrategy::Dp { weight_scale, .. } => {
+                        select_dp(&candidates, budget, weight_scale)
+                    }
+                    _ => unreachable!(),
+                };
+                stats.select_secs = t.elapsed().as_secs_f64();
+                stats.selected_pairs = selection.chosen.len();
+                stats.selected_weight = selection.weight;
+                stats.selected_utility = selection.utility;
+
+                let per_node = selection_per_node(n, &candidates, &selection);
+                let t = Instant::now();
+                let store = build_selected(&td, &per_node, options.threads, None);
+                stats.build_secs = t.elapsed().as_secs_f64();
+                (store, per_node)
+            }
+        };
+
+        TdTreeIndex {
+            graph,
+            td,
+            store,
+            selected_per_node,
+            options,
+            build_stats: stats,
+        }
+    }
+
+    /// The underlying graph (kept current across updates).
+    pub fn graph(&self) -> &TdGraph {
+        &self.graph
+    }
+
+    /// Mutable graph access for the update module.
+    pub(crate) fn graph_mut(&mut self) -> &mut TdGraph {
+        &mut self.graph
+    }
+
+    /// The tree decomposition.
+    pub fn tree(&self) -> &TreeDecomposition {
+        &self.td
+    }
+
+    /// Mutable tree access for the update module.
+    pub(crate) fn tree_mut(&mut self) -> &mut TreeDecomposition {
+        &mut self.td
+    }
+
+    /// The selected shortcuts.
+    pub fn shortcuts(&self) -> &ShortcutStore {
+        &self.store
+    }
+
+    /// Mutable shortcut access for the update module.
+    pub(crate) fn shortcuts_mut(&mut self) -> &mut ShortcutStore {
+        &mut self.store
+    }
+
+    /// Selected ancestors per node (used by incremental rebuilds).
+    pub(crate) fn selected_per_node(&self) -> &[Vec<VertexId>] {
+        &self.selected_per_node
+    }
+
+    /// A query engine borrowing this index.
+    pub fn engine(&self) -> QueryEngine<'_> {
+        QueryEngine::new(&self.td, &self.store)
+    }
+
+    /// Travel cost query `Q(s, d, t)` (Algo. 6; Algo. 3 sweeps when no
+    /// shortcut covers the cut).
+    pub fn query_cost(&self, s: VertexId, d: VertexId, t: f64) -> Option<f64> {
+        self.engine().cost(s, d, t)
+    }
+
+    /// Travel cost query ignoring shortcuts (TD-basic behaviour).
+    pub fn query_cost_basic(&self, s: VertexId, d: VertexId, t: f64) -> Option<f64> {
+        self.engine().cost_basic(s, d, t)
+    }
+
+    /// Shortest travel cost *function* query `f_{s,d}(t)`.
+    pub fn query_profile(&self, s: VertexId, d: VertexId) -> Option<Plf> {
+        self.engine().profile(s, d)
+    }
+
+    /// Cost function query ignoring shortcuts.
+    pub fn query_profile_basic(&self, s: VertexId, d: VertexId) -> Option<Plf> {
+        self.engine().profile_basic(s, d)
+    }
+
+    /// Travel cost and the shortest path itself.
+    pub fn query_path(&self, s: VertexId, d: VertexId, t: f64) -> Option<(f64, Path)> {
+        self.engine().cost_with_path(s, d, t)
+    }
+
+    /// Tree statistics (`h(T_G)`, `w(T_G)`, stored points, …).
+    pub fn tree_stats(&self) -> TreeStats {
+        self.td.stats()
+    }
+
+    /// Index memory: tree weight lists + selected shortcuts, bytes. (The
+    /// input graph is not counted — every compared method shares it.)
+    pub fn memory_bytes(&self) -> usize {
+        self.td.stats().bytes + self.store.bytes()
+    }
+}
+
+/// Groups a selection into per-node ancestor lists.
+pub(crate) fn selection_per_node(
+    n: usize,
+    candidates: &[Candidate],
+    selection: &Selection,
+) -> Vec<Vec<VertexId>> {
+    let mut per_node: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    for &i in &selection.chosen {
+        let c = &candidates[i];
+        per_node[c.node as usize].push(c.ancestor);
+    }
+    per_node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+    use td_dijkstra::shortest_path_cost;
+    use td_gen::random_graph::seeded_graph;
+    use td_plf::DAY;
+
+    fn check_index(index: &TdTreeIndex, seed: u64) {
+        let g = index.graph().clone();
+        let n = g.num_vertices();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc0ffee);
+        for _ in 0..30 {
+            let s = rng.gen_range(0..n) as u32;
+            let d = rng.gen_range(0..n) as u32;
+            let t = rng.gen_range(0.0..DAY);
+            let want = shortest_path_cost(&g, s, d, t);
+            let got = index.query_cost(s, d, t);
+            match (want, got) {
+                (Some(a), Some(b)) => assert!(
+                    (a - b).abs() < 1e-5,
+                    "seed={seed} s={s} d={d} t={t}: {a} vs {b}"
+                ),
+                (None, None) => {}
+                other => panic!("seed={seed} s={s} d={d}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn all_strategies_answer_correctly() {
+        for seed in 0..3u64 {
+            let g = seeded_graph(seed, 30, 20, 3);
+            for strategy in [
+                SelectionStrategy::Basic,
+                SelectionStrategy::Greedy { budget: 500 },
+                SelectionStrategy::Dp { budget: 500, weight_scale: 1 },
+                SelectionStrategy::All,
+            ] {
+                let index = TdTreeIndex::build(
+                    g.clone(),
+                    IndexOptions {
+                        strategy,
+                        threads: 2,
+                        track_supports: false,
+                    },
+                );
+                check_index(&index, seed);
+            }
+        }
+    }
+
+    #[test]
+    fn selection_respects_budget() {
+        let g = seeded_graph(5, 40, 25, 3);
+        for budget in [100u64, 1000, 10_000] {
+            let index = TdTreeIndex::build(
+                g.clone(),
+                IndexOptions {
+                    strategy: SelectionStrategy::Greedy { budget },
+                    threads: 2,
+                    track_supports: false,
+                },
+            );
+            assert!(
+                index.build_stats.selected_weight <= budget,
+                "budget {budget} exceeded: {}",
+                index.build_stats.selected_weight
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_budget_stores_more() {
+        let g = seeded_graph(6, 40, 25, 3);
+        let small = TdTreeIndex::build(
+            g.clone(),
+            IndexOptions {
+                strategy: SelectionStrategy::Greedy { budget: 200 },
+                ..Default::default()
+            },
+        );
+        let large = TdTreeIndex::build(
+            g.clone(),
+            IndexOptions {
+                strategy: SelectionStrategy::Greedy { budget: 5_000 },
+                ..Default::default()
+            },
+        );
+        assert!(large.build_stats.selected_pairs >= small.build_stats.selected_pairs);
+        assert!(large.memory_bytes() >= small.memory_bytes());
+    }
+
+    #[test]
+    fn dp_selects_at_least_greedy_utility() {
+        let g = seeded_graph(7, 35, 20, 3);
+        let budget = 800u64;
+        let greedy = TdTreeIndex::build(
+            g.clone(),
+            IndexOptions {
+                strategy: SelectionStrategy::Greedy { budget },
+                ..Default::default()
+            },
+        );
+        let dp = TdTreeIndex::build(
+            g.clone(),
+            IndexOptions {
+                strategy: SelectionStrategy::Dp { budget, weight_scale: 1 },
+                ..Default::default()
+            },
+        );
+        assert!(
+            dp.build_stats.selected_utility >= greedy.build_stats.selected_utility - 1e-9,
+            "dp {} < greedy {}",
+            dp.build_stats.selected_utility,
+            greedy.build_stats.selected_utility
+        );
+        // And the 0.5 guarantee the other way.
+        assert!(greedy.build_stats.selected_utility >= 0.5 * dp.build_stats.selected_utility - 1e-9);
+    }
+
+    #[test]
+    fn memory_accounting_is_monotone_in_strategy() {
+        let g = seeded_graph(8, 30, 20, 3);
+        let basic = TdTreeIndex::build(g.clone(), IndexOptions::default());
+        let all = TdTreeIndex::build(
+            g.clone(),
+            IndexOptions {
+                strategy: SelectionStrategy::All,
+                ..Default::default()
+            },
+        );
+        assert!(all.memory_bytes() > basic.memory_bytes());
+        assert_eq!(basic.build_stats.selected_pairs, 0);
+        assert!(all.build_stats.selected_pairs > 0);
+    }
+
+    #[test]
+    fn build_stats_report_phases() {
+        let g = seeded_graph(9, 30, 20, 3);
+        let idx = TdTreeIndex::build(
+            g,
+            IndexOptions {
+                strategy: SelectionStrategy::Greedy { budget: 1000 },
+                ..Default::default()
+            },
+        );
+        let st = &idx.build_stats;
+        assert!(st.decompose_secs >= 0.0);
+        assert!(st.candidates > 0);
+        assert!(st.total_secs() >= st.decompose_secs);
+    }
+}

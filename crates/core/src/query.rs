@@ -1,0 +1,634 @@
+//! Query processing over the TD-tree (Algo. 3 and Algo. 6).
+//!
+//! Two query kinds, matching the paper's experiments:
+//!
+//! * **travel cost query** (scalar): the cost of `Q(s, d, t)` for one
+//!   departure time — Fig. 8 (a/c/e/g). Implemented as an upward
+//!   earliest-arrival sweep along `X(s)`'s root path (exact by the
+//!   order-monotone-path property of the chordal fill-in structure) followed
+//!   by a top-down arrival sweep along `X(d)`'s root path seeded at the
+//!   common ancestors;
+//! * **cost function query** (profile): the full `f_{s,d}(t)` — Fig. 8
+//!   (b/d/f/h). Implemented exactly as Algo. 3: two upward function sweeps
+//!   (`cost_s` via `Ws`, `cost_d` via `Wd`) combined over the LCA vertex cut
+//!   (Property 1).
+//!
+//! With shortcuts (Algo. 6) there are three situations: (1) all cut
+//! shortcuts selected → `O(w(T_G))` combination; (2) a subset selected →
+//! upper bound `f⁺` prunes the sweeps (NIL-marking); (3) none → basic sweep.
+
+use crate::shortcut::ShortcutStore;
+use td_graph::VertexId;
+use td_plf::{ops::min_into, Plf};
+use td_treedec::TreeDecomposition;
+
+/// Query engine borrowing the tree and the selected shortcuts.
+pub struct QueryEngine<'a> {
+    /// The TFP tree decomposition.
+    pub td: &'a TreeDecomposition,
+    /// Selected shortcuts (empty for TD-basic).
+    pub store: &'a ShortcutStore,
+}
+
+/// Result of an upward scalar sweep: root path and arrival times.
+pub(crate) struct ScalarSweep {
+    /// Root-first path: `path[k]` = vertex at depth `k`; last entry = source.
+    pub path: Vec<VertexId>,
+    /// `arr[k]` = earliest arrival at `path[k]` (absolute time).
+    pub arr: Vec<Option<f64>>,
+    /// Predecessor of `path[k]`: `(deeper depth, bag index)` of the relaxing
+    /// node, for path recovery.
+    pub pred: Vec<Option<(usize, usize)>>,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Creates an engine.
+    pub fn new(td: &'a TreeDecomposition, store: &'a ShortcutStore) -> Self {
+        QueryEngine { td, store }
+    }
+
+    fn root_path(&self, v: VertexId) -> Vec<VertexId> {
+        let mut p = self.td.ancestors_root_first(v);
+        p.push(v);
+        p
+    }
+
+    // ------------------------------------------------------------------
+    // Scalar (travel cost) queries
+    // ------------------------------------------------------------------
+
+    /// Upward earliest-arrival sweep from `s` departing at `t`, optionally
+    /// seeded with selected shortcuts towards cut vertices and pruned by a
+    /// cost upper bound.
+    pub(crate) fn sweep_up_scalar(
+        &self,
+        s: VertexId,
+        t: f64,
+        seeds: &[(usize, f64)],
+        bound: Option<f64>,
+    ) -> ScalarSweep {
+        let path = self.root_path(s);
+        let ds = path.len() - 1;
+        let mut arr: Vec<Option<f64>> = vec![None; ds + 1];
+        let mut pred: Vec<Option<(usize, usize)>> = vec![None; ds + 1];
+        let mut fixed = vec![false; ds + 1];
+        arr[ds] = Some(t);
+        for &(k, a) in seeds {
+            arr[k] = Some(a);
+            fixed[k] = true; // Algo. 6 line 15: shortcut values are exact
+        }
+        for k in (0..=ds).rev() {
+            let Some(a) = arr[k] else { continue };
+            if let Some(b) = bound {
+                if a - t > b {
+                    arr[k] = None; // NIL (Algo. 6 line 20)
+                    continue;
+                }
+            }
+            let node = self.td.node(path[k]);
+            for (bi, &u) in node.bag.iter().enumerate() {
+                let Some(ws) = &node.ws[bi] else { continue };
+                let ku = self.td.node(u).depth as usize;
+                if fixed[ku] {
+                    continue;
+                }
+                let cand = a + ws.eval(a);
+                if arr[ku].is_none_or(|x| cand < x) {
+                    arr[ku] = Some(cand);
+                    pred[ku] = Some((k, bi));
+                }
+            }
+        }
+        ScalarSweep { path, arr, pred }
+    }
+
+    /// Top-down arrival sweep along `d`'s root path.
+    ///
+    /// `init[k]` carries the up-sweep arrivals at the common ancestors
+    /// (`k ≤ upto`, shared by both root paths). Every depth — including the
+    /// common prefix — is then relaxed from above: the apex of the true
+    /// shortest path is some common ancestor, and the down-monotone leg from
+    /// the apex may pass through other common ancestors before descending to
+    /// `d`, so the prefix vertices must be relaxable too.
+    pub(crate) fn sweep_down_scalar(
+        &self,
+        d: VertexId,
+        init: &[Option<f64>],
+        upto: usize,
+        t: f64,
+        bound: Option<f64>,
+    ) -> ScalarSweep {
+        let path = self.root_path(d);
+        let dd = path.len() - 1;
+        let mut arr: Vec<Option<f64>> = vec![None; dd + 1];
+        let mut pred: Vec<Option<(usize, usize)>> = vec![None; dd + 1];
+        for (k, slot) in arr.iter_mut().enumerate().take(upto.min(dd) + 1) {
+            *slot = init.get(k).copied().flatten();
+        }
+        for k in 0..=dd {
+            let node = self.td.node(path[k]);
+            let mut best: Option<f64> = arr[k]; // seeded up-sweep arrival
+            let mut best_pred = None;
+            for (bi, &u) in node.bag.iter().enumerate() {
+                let Some(wd) = &node.wd[bi] else { continue };
+                let ku = self.td.node(u).depth as usize;
+                let Some(a) = arr[ku] else { continue };
+                let cand = a + wd.eval(a);
+                if best.is_none_or(|x| cand < x) {
+                    best = Some(cand);
+                    best_pred = Some((ku, bi));
+                }
+            }
+            if let (Some(b), Some(a)) = (bound, best) {
+                if a - t > b && path[k] != d {
+                    best = None; // NIL
+                    best_pred = None;
+                }
+            }
+            arr[k] = best;
+            pred[k] = best_pred;
+        }
+        ScalarSweep { path, arr, pred }
+    }
+
+    /// Travel cost query `Q(s, d, t)` — Algo. 6 when shortcuts exist,
+    /// falling back to the basic sweeps (Algo. 3's scalar counterpart).
+    pub fn cost(&self, s: VertexId, d: VertexId, t: f64) -> Option<f64> {
+        if s == d {
+            return Some(0.0);
+        }
+        let x = self.td.lca(s, d);
+        let cut = self.td.vertex_cut(s, d);
+        let upto = self.td.node(x).depth as usize;
+
+        // Shortcut values over the cut: (depth of w, cost s→w, cost w→d).
+        let mut full_cover = true;
+        let mut bound: Option<f64> = None;
+        let mut seeds: Vec<(usize, f64)> = Vec::new();
+        let mut jump_total: Option<f64> = None;
+        for &w in &cut {
+            let kw = self.td.node(w).depth as usize;
+            // s → w.
+            let up_cost: Option<Option<f64>> = if w == s {
+                Some(Some(0.0))
+            } else {
+                self.store
+                    .get(s, w)
+                    .map(|(up, _)| up.as_ref().map(|f| f.eval(t)))
+            };
+            // w → d, departing at the arrival through the shortcut.
+            let down_known: Option<bool> = if w == d {
+                Some(true)
+            } else {
+                self.store.get(d, w).map(|(_, down)| down.is_some())
+            };
+            match (&up_cost, &down_known) {
+                (Some(_), Some(_)) => {}
+                _ => full_cover = false,
+            }
+            if let Some(Some(cs)) = up_cost {
+                seeds.push((kw, t + cs));
+                if let Some(known) = down_known {
+                    if known {
+                        let total = if w == d {
+                            Some(cs)
+                        } else {
+                            self.store.get(d, w).and_then(|(_, down)| {
+                                down.as_ref().map(|f| cs + f.eval(t + cs))
+                            })
+                        };
+                        if let Some(total) = total {
+                            if bound.is_none_or(|b| total < b) {
+                                bound = Some(total);
+                            }
+                            if jump_total.is_none_or(|b| total < b) {
+                                jump_total = Some(total);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if full_cover {
+            // Situation (1): O(w) combination from shortcuts alone.
+            return jump_total;
+        }
+
+        // Situations (2)/(3): sweeps, pruned by the bound when present.
+        let up = self.sweep_up_scalar(s, t, &seeds, bound);
+        let down = self.sweep_down_scalar(d, &up.arr, upto, t, bound);
+        let swept = down.arr[down.path.len() - 1].map(|a| a - t);
+        match (swept, jump_total) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Basic travel cost query ignoring shortcuts (TD-basic's scalar mode).
+    pub fn cost_basic(&self, s: VertexId, d: VertexId, t: f64) -> Option<f64> {
+        if s == d {
+            return Some(0.0);
+        }
+        let x = self.td.lca(s, d);
+        let upto = self.td.node(x).depth as usize;
+        let up = self.sweep_up_scalar(s, t, &[], None);
+        let down = self.sweep_down_scalar(d, &up.arr, upto, t, None);
+        down.arr[down.path.len() - 1].map(|a| a - t)
+    }
+
+    // ------------------------------------------------------------------
+    // Profile (cost function) queries
+    // ------------------------------------------------------------------
+
+    /// Upward function sweep from `s` (Algo. 3 lines 1-10): `cost[k]` =
+    /// `f_{s, path[k]}(t)` for every root-path vertex. `seeds` carries
+    /// shortcut functions (exact, skipped by relaxation per Algo. 6 line 15);
+    /// `bound` enables NIL pruning (Algo. 6 line 20).
+    pub(crate) fn sweep_up_profile(
+        &self,
+        s: VertexId,
+        seeds: &[(usize, Plf)],
+        bound: Option<&Plf>,
+    ) -> (Vec<VertexId>, Vec<Option<Plf>>) {
+        let path = self.root_path(s);
+        let ds = path.len() - 1;
+        let mut cost: Vec<Option<Plf>> = vec![None; ds + 1];
+        let mut fixed = vec![false; ds + 1];
+        for (k, f) in seeds {
+            cost[*k] = Some(f.clone());
+            fixed[*k] = true;
+        }
+        let bound_max = bound.map(|b| b.max_value());
+        for k in (0..=ds).rev() {
+            // At processing time cost[k] is final: NIL-prune it (Algo. 6
+            // line 20) when it can never beat the shortcut bound anywhere.
+            if k != ds {
+                let Some(f) = &cost[k] else { continue };
+                if let Some(bm) = bound_max {
+                    if f.min_value() > bm {
+                        cost[k] = None; // NIL
+                        continue;
+                    }
+                }
+            }
+            let node = self.td.node(path[k]);
+            for (bi, &u) in node.bag.iter().enumerate() {
+                let Some(ws) = &node.ws[bi] else { continue };
+                let ku = self.td.node(u).depth as usize;
+                if fixed[ku] {
+                    continue;
+                }
+                let cand = if k == ds {
+                    ws.clone() // line 2: cost_s[u] ← X(s).Ws_u
+                } else {
+                    cost[k].as_ref().expect("checked above").compound(ws, path[k])
+                };
+                min_into(&mut cost[ku], cand);
+            }
+        }
+        (path, cost)
+    }
+
+    /// Upward *reverse* function sweep towards `d`: `cost[k]` =
+    /// `f_{path[k], d}(t)` (Algo. 3 line 11 "repeat for cost_d").
+    pub(crate) fn sweep_up_profile_rev(
+        &self,
+        d: VertexId,
+        seeds: &[(usize, Plf)],
+        bound: Option<&Plf>,
+    ) -> (Vec<VertexId>, Vec<Option<Plf>>) {
+        let path = self.root_path(d);
+        let dd = path.len() - 1;
+        let mut cost: Vec<Option<Plf>> = vec![None; dd + 1];
+        let mut fixed = vec![false; dd + 1];
+        for (k, f) in seeds {
+            cost[*k] = Some(f.clone());
+            fixed[*k] = true;
+        }
+        let bound_max = bound.map(|b| b.max_value());
+        for k in (0..=dd).rev() {
+            if k != dd {
+                let Some(f) = &cost[k] else { continue };
+                if let Some(bm) = bound_max {
+                    if f.min_value() > bm {
+                        cost[k] = None; // NIL
+                        continue;
+                    }
+                }
+            }
+            let node = self.td.node(path[k]);
+            for (bi, &u) in node.bag.iter().enumerate() {
+                let Some(wd) = &node.wd[bi] else { continue };
+                let ku = self.td.node(u).depth as usize;
+                if fixed[ku] {
+                    continue;
+                }
+                let cand = if k == dd {
+                    wd.clone()
+                } else {
+                    wd.compound(cost[k].as_ref().expect("checked above"), path[k])
+                };
+                min_into(&mut cost[ku], cand);
+            }
+        }
+        (path, cost)
+    }
+
+    /// Cost function query `f_{s,d}(t)` — Algo. 6 (falls back to Algo. 3
+    /// when no shortcut covers the cut).
+    pub fn profile(&self, s: VertexId, d: VertexId) -> Option<Plf> {
+        if s == d {
+            return Some(Plf::zero());
+        }
+        let cut = self.td.vertex_cut(s, d);
+
+        // Collect shortcut functions over the cut.
+        let mut full_cover = true;
+        let mut seeds_s: Vec<(usize, Plf)> = Vec::new();
+        let mut seeds_d: Vec<(usize, Plf)> = Vec::new();
+        let mut bound: Option<Plf> = None;
+        for &w in &cut {
+            let kw = self.td.node(w).depth as usize;
+            let up_f: Option<Option<Plf>> = if w == s {
+                Some(Some(Plf::zero()))
+            } else {
+                self.store.get(s, w).map(|(up, _)| up.clone())
+            };
+            let down_f: Option<Option<Plf>> = if w == d {
+                Some(Some(Plf::zero()))
+            } else {
+                self.store.get(d, w).map(|(_, down)| down.clone())
+            };
+            if up_f.is_none() || down_f.is_none() {
+                full_cover = false;
+            }
+            if let Some(Some(f)) = &up_f {
+                if w != s {
+                    seeds_s.push((kw, f.clone()));
+                }
+            }
+            if let Some(Some(f)) = &down_f {
+                if w != d {
+                    seeds_d.push((kw, f.clone()));
+                }
+            }
+            if let (Some(Some(fu)), Some(Some(fd))) = (&up_f, &down_f) {
+                let total = if w == s {
+                    fd.clone()
+                } else if w == d {
+                    fu.clone()
+                } else {
+                    fu.compound(fd, w)
+                };
+                min_into(&mut bound, total);
+            }
+        }
+
+        if full_cover {
+            // Situation (1): combine shortcuts directly (lines 1-2).
+            return bound;
+        }
+
+        // Situations (2)/(3): pruned sweeps + combination over the common
+        // ancestor chain.
+        let x = self.td.lca(s, d);
+        let upto = self.td.node(x).depth as usize;
+        let (path_s, cost_s) = self.sweep_up_profile(s, &seeds_s, bound.as_ref());
+        let (_, cost_d) = self.sweep_up_profile_rev(d, &seeds_d, bound.as_ref());
+        let mut result: Option<Plf> = bound;
+        combine_over_chain(&path_s, &cost_s, &cost_d, upto, s, d, &mut result);
+        result
+    }
+
+    /// Basic cost function query (Algo. 3, no shortcuts).
+    pub fn profile_basic(&self, s: VertexId, d: VertexId) -> Option<Plf> {
+        if s == d {
+            return Some(Plf::zero());
+        }
+        let x = self.td.lca(s, d);
+        let upto = self.td.node(x).depth as usize;
+        let (path_s, cost_s) = self.sweep_up_profile(s, &[], None);
+        let (_, cost_d) = self.sweep_up_profile_rev(d, &[], None);
+        let mut result: Option<Plf> = None;
+        combine_over_chain(&path_s, &cost_s, &cost_d, upto, s, d, &mut result);
+        result
+    }
+}
+
+/// Combines the two sweep tables over the common-ancestor chain (every
+/// vertex at depth `0..=upto`, shared by both root paths).
+///
+/// The chain — rather than just the LCA cut — is required for exactness with
+/// *sweep* values: the sweeps compute order-monotone ("up-edge only") costs,
+/// and the apex of the shortest path (where up switches to down) is some
+/// common ancestor, possibly above the cut. The cut `{x} ∪ bag(x)` is a
+/// subset of the chain, so Property 1's combination is subsumed. (With
+/// *exact* shortcut functions, the cut alone suffices — that is situation (1)
+/// of Algo. 6.)
+#[allow(clippy::too_many_arguments)]
+fn combine_over_chain(
+    path_s: &[VertexId],
+    cost_s: &[Option<Plf>],
+    cost_d: &[Option<Plf>],
+    upto: usize,
+    s: VertexId,
+    d: VertexId,
+    result: &mut Option<Plf>,
+) {
+    for (k, &w) in path_s.iter().enumerate().take(upto + 1) {
+        let term = if w == s {
+            cost_d.get(k).cloned().flatten()
+        } else if w == d {
+            cost_s.get(k).cloned().flatten()
+        } else {
+            match (
+                cost_s.get(k).and_then(|o| o.as_ref()),
+                cost_d.get(k).and_then(|o| o.as_ref()),
+            ) {
+                (Some(a), Some(b)) => Some(a.compound(b, w)),
+                _ => None,
+            }
+        };
+        if let Some(f) = term {
+            min_into(result, f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shortcut::{build_all, ShortcutStore};
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+    use td_dijkstra::{profile_search, shortest_path_cost};
+    use td_gen::random_graph::seeded_graph;
+    use td_plf::DAY;
+
+    fn probe_times() -> Vec<f64> {
+        (0..10).map(|k| k as f64 * DAY / 10.0 + 13.0).collect()
+    }
+
+    #[test]
+    fn basic_scalar_query_matches_dijkstra() {
+        for seed in 0..6u64 {
+            let n = 35;
+            let g = seeded_graph(seed, n, 25, 3);
+            let td = TreeDecomposition::build(&g);
+            let store = ShortcutStore::empty(n);
+            let engine = QueryEngine::new(&td, &store);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x1234);
+            for _ in 0..40 {
+                let s = rng.gen_range(0..n) as u32;
+                let d = rng.gen_range(0..n) as u32;
+                let t = rng.gen_range(0.0..DAY);
+                let want = shortest_path_cost(&g, s, d, t);
+                let got = engine.cost_basic(s, d, t);
+                match (want, got) {
+                    (Some(a), Some(b)) => assert!(
+                        (a - b).abs() < 1e-5,
+                        "seed={seed} s={s} d={d} t={t}: dijkstra {a} vs index {b}"
+                    ),
+                    (None, None) => {}
+                    other => panic!("seed={seed} s={s} d={d} t={t}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn basic_profile_query_matches_profile_search() {
+        for seed in 0..4u64 {
+            let n = 28;
+            let g = seeded_graph(seed, n, 18, 3);
+            let td = TreeDecomposition::build(&g);
+            let store = ShortcutStore::empty(n);
+            let engine = QueryEngine::new(&td, &store);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x77);
+            for _ in 0..8 {
+                let s = rng.gen_range(0..n) as u32;
+                let prof = profile_search(&g, s);
+                for _ in 0..4 {
+                    let d = rng.gen_range(0..n) as u32;
+                    let got = engine.profile_basic(s, d);
+                    match (&prof.dist[d as usize], &got) {
+                        (Some(want), Some(got)) => {
+                            for t in probe_times() {
+                                assert!(
+                                    (want.eval(t) - got.eval(t)).abs() < 1e-5,
+                                    "seed={seed} s={s} d={d} t={t}: {} vs {}",
+                                    want.eval(t),
+                                    got.eval(t)
+                                );
+                            }
+                        }
+                        (None, None) => {}
+                        other => {
+                            panic!("seed={seed} s={s} d={d}: {:?}", other.1.as_ref().map(|_| ()))
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_shortcut_queries_match_basic() {
+        // With ALL shortcuts (TD-H2H mode) every query is situation (1); the
+        // answers must agree with the basic sweeps.
+        for seed in 0..4u64 {
+            let n = 30;
+            let g = seeded_graph(seed, n, 20, 3);
+            let td = TreeDecomposition::build(&g);
+            let full = build_all(&td, 2);
+            let none = ShortcutStore::empty(n);
+            let fast = QueryEngine::new(&td, &full);
+            let slow = QueryEngine::new(&td, &none);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..30 {
+                let s = rng.gen_range(0..n) as u32;
+                let d = rng.gen_range(0..n) as u32;
+                let t = rng.gen_range(0.0..DAY);
+                let a = fast.cost(s, d, t);
+                let b = slow.cost_basic(s, d, t);
+                match (a, b) {
+                    (Some(a), Some(b)) => {
+                        assert!((a - b).abs() < 1e-5, "seed={seed} s={s} d={d} t={t}: {a} vs {b}")
+                    }
+                    (None, None) => {}
+                    other => panic!("seed={seed} s={s} d={d}: {other:?}"),
+                }
+                let fa = fast.profile(s, d);
+                let fb = slow.profile_basic(s, d);
+                match (fa, fb) {
+                    (Some(fa), Some(fb)) => {
+                        for t in probe_times() {
+                            assert!(
+                                (fa.eval(t) - fb.eval(t)).abs() < 1e-5,
+                                "seed={seed} s={s} d={d} t={t}"
+                            );
+                        }
+                    }
+                    (None, None) => {}
+                    other => panic!("seed={seed} s={s} d={d}: {:?}", other.0.map(|_| ())),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_query_is_zero() {
+        let g = seeded_graph(1, 10, 6, 3);
+        let td = TreeDecomposition::build(&g);
+        let store = ShortcutStore::empty(10);
+        let engine = QueryEngine::new(&td, &store);
+        assert_eq!(engine.cost_basic(3, 3, 100.0), Some(0.0));
+        assert_eq!(engine.cost(3, 3, 100.0), Some(0.0));
+        assert_eq!(engine.profile_basic(3, 3).unwrap().eval(5.0), 0.0);
+    }
+
+    #[test]
+    fn ancestor_descendant_queries_work() {
+        // Queries where X(s) is an ancestor of X(d) exercise the degenerate
+        // cut = {s} ∪ bag(s) case.
+        let g = seeded_graph(4, 25, 15, 3);
+        let td = TreeDecomposition::build(&g);
+        let store = ShortcutStore::empty(25);
+        let engine = QueryEngine::new(&td, &store);
+        let mut checked = 0;
+        for v in 0..25u32 {
+            for a in td.ancestors_root_first(v) {
+                for t in [0.0, DAY / 3.0, DAY / 2.0] {
+                    let want = shortest_path_cost(&g, a, v, t);
+                    let got = engine.cost_basic(a, v, t);
+                    match (want, got) {
+                        (Some(x), Some(y)) => {
+                            assert!((x - y).abs() < 1e-5, "a={a} v={v} t={t}: {x} vs {y}")
+                        }
+                        (None, None) => {}
+                        other => panic!("a={a} v={v}: {other:?}"),
+                    }
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        use td_graph::TdGraph;
+        let mut g = TdGraph::with_vertices(4);
+        g.add_edge(0, 1, Plf::constant(1.0)).unwrap();
+        g.add_edge(1, 0, Plf::constant(1.0)).unwrap();
+        g.add_edge(2, 3, Plf::constant(1.0)).unwrap();
+        g.add_edge(3, 2, Plf::constant(1.0)).unwrap();
+        let td = TreeDecomposition::build(&g);
+        let store = ShortcutStore::empty(4);
+        let engine = QueryEngine::new(&td, &store);
+        assert_eq!(engine.cost_basic(0, 3, 0.0), None);
+        assert!(engine.profile_basic(0, 3).is_none());
+        assert_eq!(engine.cost(0, 3, 0.0), None);
+    }
+}

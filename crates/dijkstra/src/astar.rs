@@ -1,0 +1,204 @@
+//! Time-dependent A\* with static lower-bound potentials.
+//!
+//! The potential `h(v)` is the static shortest distance from `v` to the
+//! destination where every edge is weighted by the *minimum* of its cost
+//! function over the day. Since `w_{u,v}(t) ≥ min_t w_{u,v}(t)` for all `t`,
+//! the potential is admissible and consistent, so A\* with it is correct on
+//! FIFO graphs — this is the "speed patterns" lower-bounding idea of \[15\].
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use td_graph::{TdGraph, VertexId};
+
+/// Reusable backward lower bounds to a fixed destination.
+#[derive(Clone, Debug)]
+pub struct LowerBounds {
+    /// `h[v]` = static min-cost distance from `v` to the destination.
+    pub h: Vec<f64>,
+    /// The destination these bounds point at.
+    pub destination: VertexId,
+}
+
+impl LowerBounds {
+    /// Backward Dijkstra from `d` over `min_value()` edge weights.
+    pub fn new(g: &TdGraph, d: VertexId) -> Self {
+        let n = g.num_vertices();
+        let mut h = vec![f64::INFINITY; n];
+        let mut done = vec![false; n];
+        let mut heap = BinaryHeap::new();
+        h[d as usize] = 0.0;
+        heap.push(Entry { key: 0.0, vertex: d });
+        while let Some(Entry { key, vertex: u }) = heap.pop() {
+            if done[u as usize] {
+                continue;
+            }
+            done[u as usize] = true;
+            for &(p, e) in g.in_edges(u) {
+                if done[p as usize] {
+                    continue;
+                }
+                let cand = key + g.weight(e).min_value();
+                if cand < h[p as usize] {
+                    h[p as usize] = cand;
+                    heap.push(Entry { key: cand, vertex: p });
+                }
+            }
+        }
+        LowerBounds { h, destination: d }
+    }
+}
+
+#[derive(Copy, Clone)]
+struct Entry {
+    key: f64,
+    vertex: VertexId,
+}
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.vertex == other.vertex
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .key
+            .partial_cmp(&self.key)
+            .expect("keys are finite")
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+/// A\* travel cost `s → d` departing at `t` with precomputed bounds
+/// (`bounds.destination` must equal `d`).
+pub fn astar_cost_with(
+    g: &TdGraph,
+    s: VertexId,
+    d: VertexId,
+    t: f64,
+    bounds: &LowerBounds,
+) -> Option<f64> {
+    assert_eq!(bounds.destination, d, "bounds computed for a different target");
+    let n = g.num_vertices();
+    let mut settled = vec![false; n];
+    let mut best = vec![f64::INFINITY; n];
+    let mut heap = BinaryHeap::new();
+    if bounds.h[s as usize].is_infinite() {
+        return None;
+    }
+    best[s as usize] = t;
+    heap.push(Entry {
+        key: t + bounds.h[s as usize],
+        vertex: s,
+    });
+    while let Some(Entry { key: _, vertex: u }) = heap.pop() {
+        if settled[u as usize] {
+            continue;
+        }
+        settled[u as usize] = true;
+        let arr = best[u as usize];
+        if u == d {
+            return Some(arr - t);
+        }
+        for &(v, e) in g.out_edges(u) {
+            if settled[v as usize] || bounds.h[v as usize].is_infinite() {
+                continue;
+            }
+            let cand = arr + g.weight(e).eval(arr);
+            if cand < best[v as usize] {
+                best[v as usize] = cand;
+                heap.push(Entry {
+                    key: cand + bounds.h[v as usize],
+                    vertex: v,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// One-shot A\*: computes bounds then searches.
+pub fn astar_cost(g: &TdGraph, s: VertexId, d: VertexId, t: f64) -> Option<f64> {
+    let bounds = LowerBounds::new(g, d);
+    astar_cost_with(g, s, d, t, &bounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::shortest_path_cost;
+    use td_plf::Plf;
+
+    fn diamond() -> TdGraph {
+        let mut g = TdGraph::with_vertices(4);
+        g.add_edge(0, 1, Plf::from_pairs(&[(0.0, 10.0), (50.0, 30.0)]).unwrap())
+            .unwrap();
+        g.add_edge(0, 2, Plf::constant(12.0)).unwrap();
+        g.add_edge(1, 3, Plf::constant(5.0)).unwrap();
+        g.add_edge(2, 3, Plf::from_pairs(&[(0.0, 20.0), (50.0, 2.0)]).unwrap())
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn astar_matches_dijkstra() {
+        let g = diamond();
+        for t in [0.0, 10.0, 25.0, 50.0, 80.0] {
+            let want = shortest_path_cost(&g, 0, 3, t);
+            let got = astar_cost(&g, 0, 3, t);
+            match (want, got) {
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9, "t={t}: {a} vs {b}"),
+                (a, b) => panic!("mismatch at t={t}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bounds_are_admissible() {
+        let g = diamond();
+        let lb = LowerBounds::new(&g, 3);
+        for v in 0..4u32 {
+            for t in [0.0, 25.0, 50.0] {
+                if let Some(c) = shortest_path_cost(&g, v, 3, t) {
+                    assert!(
+                        lb.h[v as usize] <= c + 1e-9,
+                        "h[{v}]={} exceeds true cost {c} at t={t}",
+                        lb.h[v as usize]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut g = TdGraph::with_vertices(3);
+        g.add_edge(0, 1, Plf::constant(1.0)).unwrap();
+        assert_eq!(astar_cost(&g, 0, 2, 0.0), None);
+        assert_eq!(astar_cost(&g, 2, 0, 0.0), None);
+    }
+
+    #[test]
+    fn reusable_bounds_serve_many_sources() {
+        let g = diamond();
+        let lb = LowerBounds::new(&g, 3);
+        for s in 0..3u32 {
+            let want = shortest_path_cost(&g, s, 3, 20.0).unwrap();
+            let got = astar_cost_with(&g, s, 3, 20.0, &lb).unwrap();
+            assert!((want - got).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different target")]
+    fn wrong_bounds_panic() {
+        let g = diamond();
+        let lb = LowerBounds::new(&g, 2);
+        let _ = astar_cost_with(&g, 0, 3, 0.0, &lb);
+    }
+}

@@ -1,0 +1,23 @@
+//! # td-dijkstra — non-index shortest-path algorithms
+//!
+//! The Dijkstra-based family the paper's §1/§6 survey as the non-index
+//! baselines, plus the *profile* (full cost-function) search used as the
+//! correctness oracle and as a building block of TD-G-tree:
+//!
+//! * [`scalar`] — time-dependent Dijkstra for a single departure time
+//!   `Q(s, d, t)` (Cooke–Halsey / Dreyfus style, correct under FIFO);
+//! * [`profile`] — label-correcting search computing the *shortest travel
+//!   cost function* `f_{s,v}(t)` for the whole day (Def. 2);
+//! * [`astar`] — time-dependent A\* with admissible lower bounds derived from
+//!   a backward Dijkstra over each edge's minimum cost (the classic
+//!   static-lower-bound potential of \[15\]).
+
+pub mod astar;
+pub mod bidirectional;
+pub mod profile;
+pub mod scalar;
+
+pub use astar::{astar_cost, LowerBounds};
+pub use bidirectional::bidirectional_cost;
+pub use profile::{profile_search, profile_search_to, ProfileResult};
+pub use scalar::{one_to_all, shortest_path, shortest_path_cost};

@@ -1,0 +1,224 @@
+//! Profile search: the *shortest travel cost function* query.
+//!
+//! Computes `f_{s,v}(t)` (Def. 2) for all `v` — the function the paper's
+//! "cost function query" experiments (Fig. 8 b/d/f/h) return — by
+//! label-correcting relaxation over whole PLFs:
+//!
+//! ```text
+//! dist[s] = 0;   relax (u,v):  dist[v] ← min(dist[v], Compound(dist[u], w_{u,v}))
+//! ```
+//!
+//! Terminates on FIFO graphs with strictly positive edge costs (every
+//! improvement lowers the function value somewhere by a bounded amount). Used
+//! as the correctness oracle for every index in the workspace, and as the
+//! matrix builder inside TD-G-tree.
+
+use std::collections::VecDeque;
+use td_graph::{Path, TdGraph, VertexId};
+use td_plf::Plf;
+
+/// Result of a profile search from a source vertex.
+#[derive(Clone, Debug)]
+pub struct ProfileResult {
+    /// Source vertex.
+    pub source: VertexId,
+    /// `dist[v]` = shortest travel cost function `f_{s,v}(t)`; `None` when
+    /// unreachable. `dist[s]` is the zero function.
+    pub dist: Vec<Option<Plf>>,
+}
+
+impl ProfileResult {
+    /// Cost to `d` departing at `t`.
+    pub fn cost(&self, d: VertexId, t: f64) -> Option<f64> {
+        self.dist[d as usize].as_ref().map(|f| f.eval(t))
+    }
+
+    /// Recovers the shortest path to `d` departing at `t` by walking witness
+    /// (predecessor) annotations backwards.
+    pub fn path(&self, d: VertexId, t: f64) -> Option<Path> {
+        self.dist[d as usize].as_ref()?;
+        let mut vertices = vec![d];
+        let mut cur = d;
+        let mut guard = 0usize;
+        while cur != self.source {
+            let f = self.dist[cur as usize].as_ref()?;
+            let (_, via) = f.eval_with_via(t);
+            debug_assert_ne!(via, td_plf::NO_VIA, "non-source vertex lacks predecessor");
+            vertices.push(via);
+            cur = via;
+            guard += 1;
+            if guard > self.dist.len() {
+                return None; // corrupt witnesses; fail loudly in tests
+            }
+        }
+        vertices.reverse();
+        Some(Path::new(vertices))
+    }
+}
+
+/// Profile search from `s` over the whole graph.
+pub fn profile_search(g: &TdGraph, s: VertexId) -> ProfileResult {
+    profile_search_impl(g, s, None)
+}
+
+/// Profile search from `s`, restricted to vertices for which `keep` returns
+/// true (the search still *traverses* everything reachable; `keep` only
+/// controls which functions are retained — memory matters on big graphs).
+pub fn profile_search_to(g: &TdGraph, s: VertexId, keep: impl Fn(VertexId) -> bool) -> ProfileResult {
+    let mut r = profile_search_impl(g, s, None);
+    for v in 0..g.num_vertices() as u32 {
+        if !keep(v) && v != s {
+            r.dist[v as usize] = None;
+        }
+    }
+    r
+}
+
+fn profile_search_impl(g: &TdGraph, s: VertexId, _reserved: Option<()>) -> ProfileResult {
+    let n = g.num_vertices();
+    let mut dist: Vec<Option<Plf>> = vec![None; n];
+    let mut in_queue = vec![false; n];
+    let mut queue: VecDeque<VertexId> = VecDeque::new();
+    dist[s as usize] = Some(Plf::zero());
+    queue.push_back(s);
+    in_queue[s as usize] = true;
+
+    // Termination guard: label-correcting converges on FIFO graphs with
+    // strictly positive costs; a (near-)zero-cost cycle could otherwise churn
+    // forever on ε-improvements. The bound is far above any converging run.
+    let mut pops = 0usize;
+    let pop_limit = 64 * n * n + 1024;
+    while let Some(u) = queue.pop_front() {
+        pops += 1;
+        assert!(
+            pops <= pop_limit,
+            "profile search failed to converge after {pops} relaxation rounds — \
+             the graph likely contains a (near-)zero-cost cycle"
+        );
+        in_queue[u as usize] = false;
+        let du = dist[u as usize].clone().expect("queued vertices have labels");
+        for &(v, e) in g.out_edges(u) {
+            let cand = du.compound(g.weight(e), u);
+            let improved = match &dist[v as usize] {
+                None => true,
+                Some(old) => {
+                    // Improved iff cand is strictly below old somewhere.
+                    let merged = old.minimum(&cand);
+                    if merged.approx_eq(old, 1e-7) {
+                        false
+                    } else {
+                        dist[v as usize] = Some(merged);
+                        if !in_queue[v as usize] {
+                            in_queue[v as usize] = true;
+                            queue.push_back(v);
+                        }
+                        continue;
+                    }
+                }
+            };
+            if improved {
+                dist[v as usize] = Some(cand);
+                if !in_queue[v as usize] {
+                    in_queue[v as usize] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    ProfileResult { source: s, dist }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_plf::Plf;
+
+    fn fig1_subnetwork() -> TdGraph {
+        let mut g = TdGraph::with_vertices(4);
+        let w12 = Plf::from_pairs(&[(0.0, 10.0), (20.0, 10.0), (60.0, 15.0)]).unwrap();
+        let w29 = Plf::from_pairs(&[(0.0, 5.0), (30.0, 10.0), (60.0, 15.0)]).unwrap();
+        let w14 = Plf::from_pairs(&[(0.0, 5.0), (30.0, 15.0), (60.0, 25.0)]).unwrap();
+        let w49 = Plf::from_pairs(&[(0.0, 5.0), (60.0, 15.0)]).unwrap();
+        g.add_edge(0, 1, w12).unwrap();
+        g.add_edge(1, 3, w29).unwrap();
+        g.add_edge(0, 2, w14).unwrap();
+        g.add_edge(2, 3, w49).unwrap();
+        g
+    }
+
+    #[test]
+    fn profile_agrees_with_scalar_dijkstra() {
+        let g = fig1_subnetwork();
+        let prof = profile_search(&g, 0);
+        for t in [0.0, 5.0, 17.0, 29.0, 42.0, 60.0, 75.0] {
+            for d in 1..4u32 {
+                let want = crate::scalar::shortest_path_cost(&g, 0, d, t).unwrap();
+                let got = prof.cost(d, t).unwrap();
+                assert!(
+                    (want - got).abs() < 1e-6,
+                    "d={d} t={t}: scalar {want} vs profile {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn example_2_2_min_of_two_compounds() {
+        // f_{1,9} = min(Compound(w14, w49), Compound(w12, w29)) per Example 2.2.
+        let g = fig1_subnetwork();
+        let w12 = g.weight(g.find_edge(0, 1).unwrap()).clone();
+        let w29 = g.weight(g.find_edge(1, 3).unwrap()).clone();
+        let w14 = g.weight(g.find_edge(0, 2).unwrap()).clone();
+        let w49 = g.weight(g.find_edge(2, 3).unwrap()).clone();
+        let want = w14.compound(&w49, 2).minimum(&w12.compound(&w29, 1));
+        let got = profile_search(&g, 0).dist[3].clone().unwrap();
+        assert!(got.approx_eq(&want, 1e-6), "got={got:?}\nwant={want:?}");
+    }
+
+    #[test]
+    fn witnesses_recover_the_switching_path() {
+        let g = fig1_subnetwork();
+        let prof = profile_search(&g, 0);
+        // Early: via v4 (id 2). Late: via v2 (id 1) — Example 2.3.
+        assert_eq!(prof.path(3, 0.0).unwrap().vertices, vec![0, 2, 3]);
+        assert_eq!(prof.path(3, 60.0).unwrap().vertices, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn recovered_paths_replay_to_reported_cost() {
+        let g = fig1_subnetwork();
+        let prof = profile_search(&g, 0);
+        for t in [0.0, 10.0, 30.0, 50.0, 70.0] {
+            let p = prof.path(3, t).unwrap();
+            let c = prof.cost(3, t).unwrap();
+            assert!((p.cost(&g, t).unwrap() - c).abs() < 1e-6, "t={t}");
+        }
+    }
+
+    #[test]
+    fn unreachable_vertices_have_no_label() {
+        let mut g = TdGraph::with_vertices(3);
+        g.add_edge(0, 1, Plf::constant(1.0)).unwrap();
+        let prof = profile_search(&g, 0);
+        assert!(prof.dist[2].is_none());
+        assert!(prof.cost(2, 0.0).is_none());
+        assert!(prof.path(2, 0.0).is_none());
+    }
+
+    #[test]
+    fn keep_filter_drops_labels() {
+        let g = fig1_subnetwork();
+        let prof = profile_search_to(&g, 0, |v| v == 3);
+        assert!(prof.dist[1].is_none());
+        assert!(prof.dist[2].is_none());
+        assert!(prof.dist[3].is_some());
+        assert!(prof.dist[0].is_some()); // source always kept
+    }
+
+    #[test]
+    fn source_label_is_zero() {
+        let g = fig1_subnetwork();
+        let prof = profile_search(&g, 0);
+        assert_eq!(prof.cost(0, 33.0), Some(0.0));
+    }
+}

@@ -1,0 +1,207 @@
+//! Time-dependent Dijkstra for a fixed departure time.
+//!
+//! Under FIFO, growing the settled set by earliest *arrival time* is correct
+//! exactly as in the static case (Cooke & Halsey \[6\]): when a vertex is
+//! popped, its arrival label is final. Complexity `O((n log n + m) · c)` as
+//! quoted in §6 of the paper.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use td_graph::{Path, TdGraph, VertexId};
+
+/// Max-heap entry ordered by *smallest* arrival time.
+#[derive(Copy, Clone, Debug)]
+struct HeapEntry {
+    arrival: f64,
+    vertex: VertexId,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.arrival == other.arrival && self.vertex == other.vertex
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: smaller arrival = greater priority. Arrival times are
+        // always finite (no NaN by Plf invariant).
+        other
+            .arrival
+            .partial_cmp(&self.arrival)
+            .expect("arrival times are finite")
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+/// The travel cost of the shortest path `s → d` departing at `t`, or `None`
+/// if `d` is unreachable.
+pub fn shortest_path_cost(g: &TdGraph, s: VertexId, d: VertexId, t: f64) -> Option<f64> {
+    run(g, s, Some(d), t).arrival[d as usize].map(|a| a - t)
+}
+
+/// The shortest path and its cost, or `None` if unreachable.
+pub fn shortest_path(g: &TdGraph, s: VertexId, d: VertexId, t: f64) -> Option<(f64, Path)> {
+    let state = run(g, s, Some(d), t);
+    let arr = state.arrival[d as usize]?;
+    let mut vertices = vec![d];
+    let mut cur = d;
+    while cur != s {
+        let p = state.parent[cur as usize];
+        debug_assert_ne!(p, u32::MAX, "settled vertex must have a parent");
+        vertices.push(p);
+        cur = p;
+    }
+    vertices.reverse();
+    Some((arr - t, Path::new(vertices)))
+}
+
+/// Costs from `s` to every vertex departing at `t` (`f64::INFINITY` when
+/// unreachable).
+pub fn one_to_all(g: &TdGraph, s: VertexId, t: f64) -> Vec<f64> {
+    run(g, s, None, t)
+        .arrival
+        .into_iter()
+        .map(|a| a.map(|x| x - t).unwrap_or(f64::INFINITY))
+        .collect()
+}
+
+struct SearchState {
+    arrival: Vec<Option<f64>>,
+    parent: Vec<VertexId>,
+}
+
+fn run(g: &TdGraph, s: VertexId, target: Option<VertexId>, t: f64) -> SearchState {
+    let n = g.num_vertices();
+    let mut arrival: Vec<Option<f64>> = vec![None; n];
+    let mut best: Vec<f64> = vec![f64::INFINITY; n];
+    let mut parent: Vec<VertexId> = vec![u32::MAX; n];
+    let mut heap = BinaryHeap::new();
+    best[s as usize] = t;
+    heap.push(HeapEntry {
+        arrival: t,
+        vertex: s,
+    });
+    while let Some(HeapEntry { arrival: a, vertex: u }) = heap.pop() {
+        if arrival[u as usize].is_some() {
+            continue; // stale entry
+        }
+        arrival[u as usize] = Some(a);
+        if target == Some(u) {
+            break;
+        }
+        for &(v, e) in g.out_edges(u) {
+            if arrival[v as usize].is_some() {
+                continue;
+            }
+            let cand = a + g.weight(e).eval(a);
+            if cand < best[v as usize] {
+                best[v as usize] = cand;
+                parent[v as usize] = u;
+                heap.push(HeapEntry {
+                    arrival: cand,
+                    vertex: v,
+                });
+            }
+        }
+    }
+    SearchState { arrival, parent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_plf::Plf;
+
+    /// The four-edge sub-network of the paper's Fig. 1b:
+    /// v1→v2→v9 and v1→v4→v9 (ids 0-based: 1→0, 2→1, 4→2, 9→3).
+    fn fig1_subnetwork() -> TdGraph {
+        let mut g = TdGraph::with_vertices(4);
+        let w12 = Plf::from_pairs(&[(0.0, 10.0), (20.0, 10.0), (60.0, 15.0)]).unwrap();
+        let w29 = Plf::from_pairs(&[(0.0, 5.0), (30.0, 10.0), (60.0, 15.0)]).unwrap();
+        let w14 = Plf::from_pairs(&[(0.0, 5.0), (30.0, 15.0), (60.0, 25.0)]).unwrap();
+        let w49 = Plf::from_pairs(&[(0.0, 5.0), (60.0, 15.0)]).unwrap();
+        g.add_edge(0, 1, w12).unwrap(); // v1 -> v2
+        g.add_edge(1, 3, w29).unwrap(); // v2 -> v9
+        g.add_edge(0, 2, w14).unwrap(); // v1 -> v4
+        g.add_edge(2, 3, w49).unwrap(); // v4 -> v9
+        g
+    }
+
+    #[test]
+    fn example_2_3_early_departure_goes_via_v4() {
+        // At t=0 the paper says the shortest path is (e_{1,4}, e_{4,9}).
+        let g = fig1_subnetwork();
+        let (cost, path) = shortest_path(&g, 0, 3, 0.0).unwrap();
+        assert_eq!(path.vertices, vec![0, 2, 3]);
+        // cost = w14(0) + w49(5) = 5 + (5 + 5·10/60) = 10.833…
+        let want = 5.0 + (5.0 + 5.0 * 10.0 / 60.0);
+        assert!((cost - want).abs() < 1e-9, "cost={cost}");
+    }
+
+    #[test]
+    fn example_2_3_late_departure_goes_via_v2() {
+        // "as time goes the travel cost of path (e1,2 , e2,9) is much lower".
+        let g = fig1_subnetwork();
+        let (_, path) = shortest_path(&g, 0, 3, 60.0).unwrap();
+        assert_eq!(path.vertices, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn cost_matches_path_replay() {
+        let g = fig1_subnetwork();
+        for t in [0.0, 10.0, 25.0, 40.0, 55.0, 70.0] {
+            let (cost, path) = shortest_path(&g, 0, 3, t).unwrap();
+            let replay = path.cost(&g, t).unwrap();
+            assert!((cost - replay).abs() < 1e-9, "t={t}");
+        }
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut g = TdGraph::with_vertices(3);
+        g.add_edge(0, 1, Plf::constant(1.0)).unwrap();
+        assert_eq!(shortest_path_cost(&g, 0, 2, 0.0), None);
+        assert!(shortest_path(&g, 0, 2, 0.0).is_none());
+    }
+
+    #[test]
+    fn source_to_itself_is_zero() {
+        let g = fig1_subnetwork();
+        assert_eq!(shortest_path_cost(&g, 0, 0, 5.0), Some(0.0));
+    }
+
+    #[test]
+    fn one_to_all_matches_single_queries() {
+        let g = fig1_subnetwork();
+        let all = one_to_all(&g, 0, 12.0);
+        for d in 0..4u32 {
+            let single = shortest_path_cost(&g, 0, d, 12.0).unwrap_or(f64::INFINITY);
+            assert!((all[d as usize] - single).abs() < 1e-9 || all[d as usize] == single);
+        }
+    }
+
+    #[test]
+    fn departure_time_changes_the_cost() {
+        let g = fig1_subnetwork();
+        let early = shortest_path_cost(&g, 0, 3, 0.0).unwrap();
+        let late = shortest_path_cost(&g, 0, 3, 60.0).unwrap();
+        assert!(late > early);
+    }
+
+    #[test]
+    fn respects_waiting_is_not_allowed() {
+        // Costs rise steeply with time: leaving later must not be "fixed" by
+        // the algorithm pretending to wait.
+        let mut g = TdGraph::with_vertices(2);
+        g.add_edge(0, 1, Plf::from_pairs(&[(0.0, 10.0), (100.0, 100.0)]).unwrap())
+            .unwrap();
+        let c = shortest_path_cost(&g, 0, 1, 100.0).unwrap();
+        assert!((c - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,86 @@
+//! Randomized agreement tests between the three non-index algorithms — the
+//! foundation of every later correctness claim: if these agree, the profile
+//! search can serve as the oracle for the index crates.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use td_dijkstra::{astar_cost, profile_search, shortest_path, shortest_path_cost};
+use td_gen::random_graph::seeded_graph;
+use td_plf::DAY;
+
+#[test]
+fn scalar_profile_and_astar_agree_on_random_graphs() {
+    for seed in 0..8u64 {
+        let g = seeded_graph(seed, 40, 30, 4);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        for _ in 0..6 {
+            let s = rng.gen_range(0..40) as u32;
+            let prof = profile_search(&g, s);
+            for _ in 0..4 {
+                let d = rng.gen_range(0..40) as u32;
+                let t = rng.gen_range(0.0..DAY);
+                let scalar = shortest_path_cost(&g, s, d, t);
+                let profile = prof.cost(d, t);
+                let astar = astar_cost(&g, s, d, t);
+                match (scalar, profile, astar) {
+                    (Some(a), Some(b), Some(c)) => {
+                        assert!(
+                            (a - b).abs() < 1e-5,
+                            "seed={seed} s={s} d={d} t={t}: scalar {a} vs profile {b}"
+                        );
+                        assert!(
+                            (a - c).abs() < 1e-5,
+                            "seed={seed} s={s} d={d} t={t}: scalar {a} vs astar {c}"
+                        );
+                    }
+                    (None, None, None) => {}
+                    other => panic!("reachability disagreement seed={seed} s={s} d={d}: {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn recovered_paths_are_valid_and_tight() {
+    for seed in 20..26u64 {
+        let g = seeded_graph(seed, 30, 25, 3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..10 {
+            let s = rng.gen_range(0..30) as u32;
+            let d = rng.gen_range(0..30) as u32;
+            let t = rng.gen_range(0.0..DAY);
+            if let Some((cost, path)) = shortest_path(&g, s, d, t) {
+                assert!(path.is_valid(&g));
+                assert_eq!(path.source(), s);
+                assert_eq!(path.destination(), d);
+                let replay = path.cost(&g, t).unwrap();
+                assert!(
+                    (cost - replay).abs() < 1e-6,
+                    "seed={seed} s={s} d={d} t={t}: {cost} vs replay {replay}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn profile_path_recovery_is_consistent_across_the_day() {
+    for seed in 40..44u64 {
+        let g = seeded_graph(seed, 25, 20, 4);
+        let prof = profile_search(&g, 0);
+        for d in 1..25u32 {
+            for k in 0..8 {
+                let t = k as f64 * DAY / 8.0;
+                if let Some(c) = prof.cost(d, t) {
+                    let p = prof.path(d, t).expect("reachable vertex has a path");
+                    let replay = p.cost(&g, t).unwrap();
+                    assert!(
+                        (c - replay).abs() < 1e-5,
+                        "seed={seed} d={d} t={t}: {c} vs {replay} via {p}"
+                    );
+                }
+            }
+        }
+    }
+}

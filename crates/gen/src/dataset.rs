@@ -1,0 +1,191 @@
+//! Named datasets mirroring the paper's Table 2.
+//!
+//! The paper's five DIMACS networks are substituted by synthetic road-like
+//! analogues (see crate docs and DESIGN.md §4). Sizes are scaled down so the
+//! whole evaluation runs on one developer machine; relative order, sparsity
+//! band and the per-dataset shortcut budgets `N` (scaled by vertex ratio) are
+//! preserved. `scale` multiplies the vertex counts for larger runs.
+
+use crate::network::{RoadNetwork, RoadNetworkConfig};
+use crate::profiles::{apply_profiles, ProfileConfig};
+use td_graph::TdGraph;
+
+/// The paper's datasets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// California (paper: 21,048 V / 43,386 E, h=224, w=18, N=10M).
+    Cal,
+    /// San Francisco (paper: 321,270 V / 800,172 E, h=529, w=105, N=20M).
+    Sf,
+    /// Colorado (paper: 435,666 V / 1,057,066 E, h=511, w=122, N=50M).
+    Col,
+    /// Florida (paper: 1,070,376 V / 2,712,798 E, h=706, w=89, N=100M).
+    Fla,
+    /// Western USA (paper: 6,262,104 V / 15,248,146 E, h=1041, w=386, N=200M).
+    WUsa,
+}
+
+impl Dataset {
+    /// All datasets in the paper's order.
+    pub const ALL: [Dataset; 5] = [
+        Dataset::Cal,
+        Dataset::Sf,
+        Dataset::Col,
+        Dataset::Fla,
+        Dataset::WUsa,
+    ];
+
+    /// Dataset name as printed in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Cal => "CAL",
+            Dataset::Sf => "SF",
+            Dataset::Col => "COL",
+            Dataset::Fla => "FLA",
+            Dataset::WUsa => "W-USA",
+        }
+    }
+
+    /// The paper's published statistics `(vertices, edges, h, w, N)`.
+    pub fn paper_stats(&self) -> (usize, usize, usize, usize, usize) {
+        match self {
+            Dataset::Cal => (21_048, 43_386, 224, 18, 10_000_000),
+            Dataset::Sf => (321_270, 800_172, 529, 105, 20_000_000),
+            Dataset::Col => (435_666, 1_057_066, 511, 122, 50_000_000),
+            Dataset::Fla => (1_070_376, 2_712_798, 706, 89, 100_000_000),
+            Dataset::WUsa => (6_262_104, 15_248_146, 1041, 386, 200_000_000),
+        }
+    }
+
+    /// Default synthetic analogue at `scale = 1.0`.
+    pub fn spec(&self) -> DatasetSpec {
+        // rows × cols chosen so relative sizes mirror the paper; the extra
+        // edge fraction reproduces each dataset's directed m/n ratio.
+        let (rows, cols, extra) = match self {
+            Dataset::Cal => (72, 72, 0.035),  // ~5.2k, m/n≈2.07
+            Dataset::Sf => (100, 100, 0.25),  // 10k, m/n≈2.5
+            Dataset::Col => (115, 115, 0.22), // ~13.2k
+            Dataset::Fla => (140, 140, 0.26), // ~19.6k
+            Dataset::WUsa => (180, 180, 0.23), // ~32.4k
+        };
+        let (_, _, _, _, paper_n_budget) = self.paper_stats();
+        let paper_vertices = self.paper_stats().0;
+        let ours = rows * cols;
+        // Scale the shortcut budget N by the vertex ratio, with a floor.
+        let budget = ((paper_n_budget as f64) * (ours as f64) / (paper_vertices as f64))
+            .round()
+            .max(50_000.0) as usize;
+        DatasetSpec {
+            dataset: *self,
+            rows,
+            cols,
+            extra_edge_fraction: extra,
+            budget,
+        }
+    }
+
+    /// Builds the dataset's graph with `c` interpolation points per edge at
+    /// the given `scale` (vertex count multiplier).
+    pub fn build(&self, c: usize, scale: f64, seed: u64) -> TdGraph {
+        self.spec().build_scaled(c, scale, seed)
+    }
+}
+
+/// A concrete synthetic dataset specification.
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Which paper dataset this mirrors.
+    pub dataset: Dataset,
+    /// Grid rows at scale 1.
+    pub rows: usize,
+    /// Grid columns at scale 1.
+    pub cols: usize,
+    /// Extra-edge fraction reproducing the paper's m/n.
+    pub extra_edge_fraction: f64,
+    /// Scaled shortcut budget `N` (interpolation points).
+    pub budget: usize,
+}
+
+impl DatasetSpec {
+    /// Number of vertices at `scale`.
+    pub fn vertices_at(&self, scale: f64) -> usize {
+        let r = ((self.rows as f64) * scale.sqrt()).round() as usize;
+        let c = ((self.cols as f64) * scale.sqrt()).round() as usize;
+        r.max(2) * c.max(2)
+    }
+
+    /// Builds the network topology at `scale`.
+    pub fn network(&self, scale: f64, seed: u64) -> RoadNetwork {
+        let r = (((self.rows as f64) * scale.sqrt()).round() as usize).max(2);
+        let c = (((self.cols as f64) * scale.sqrt()).round() as usize).max(2);
+        RoadNetwork::generate(&RoadNetworkConfig {
+            rows: r,
+            cols: c,
+            extra_edge_fraction: self.extra_edge_fraction,
+            arterial_fraction: 0.02,
+            cell_metres: 250.0,
+            seed,
+        })
+    }
+
+    /// Builds the TD graph at `scale` with `c` interpolation points per edge.
+    pub fn build_scaled(&self, c: usize, scale: f64, seed: u64) -> TdGraph {
+        let net = self.network(scale, seed);
+        apply_profiles(
+            &net,
+            &ProfileConfig {
+                points_per_edge: c,
+                seed: seed ^ 0x5eed_0001,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Budget `N` scaled with the dataset.
+    pub fn budget_at(&self, scale: f64) -> usize {
+        ((self.budget as f64) * scale).round().max(10_000.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_datasets_have_specs() {
+        for d in Dataset::ALL {
+            let s = d.spec();
+            assert!(s.vertices_at(1.0) >= 5_000, "{} too small", d.name());
+            assert!(s.budget > 0);
+        }
+    }
+
+    #[test]
+    fn cal_density_matches_paper_band() {
+        let g = Dataset::Cal.spec().build_scaled(3, 0.05, 1);
+        let ratio = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!((1.9..2.3).contains(&ratio), "CAL m/n = {ratio}");
+    }
+
+    #[test]
+    fn scale_changes_vertex_count_quadratically() {
+        let s = Dataset::Sf.spec();
+        let full = s.vertices_at(1.0);
+        let quarter = s.vertices_at(0.25);
+        let ratio = full as f64 / quarter as f64;
+        assert!((3.5..4.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn build_produces_connected_fifo_graph() {
+        let g = Dataset::Cal.build(3, 0.02, 7);
+        assert!(g.is_connected());
+        assert!(g.edges().iter().all(|e| e.weight.is_fifo()));
+    }
+
+    #[test]
+    fn names_and_paper_stats_align() {
+        assert_eq!(Dataset::Cal.name(), "CAL");
+        assert_eq!(Dataset::WUsa.paper_stats().0, 6_262_104);
+    }
+}

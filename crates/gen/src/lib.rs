@@ -1,0 +1,30 @@
+//! # td-gen — synthetic road networks, travel-time profiles and workloads
+//!
+//! The paper evaluates on five real DIMACS road networks (CAL, SF, COL, FLA,
+//! W-USA). Those files are not available in this environment, so this crate
+//! generates **road-like** synthetic networks that preserve the two structural
+//! properties every algorithm in the paper depends on:
+//!
+//! 1. *sparsity* — directed `m/n ≈ 2.0–2.5`, exactly the band of the paper's
+//!    datasets (Table 2), achieved as a random spanning tree of a jittered
+//!    grid plus a small fraction of extra local edges;
+//! 2. *small treewidth/treeheight* under min-degree elimination — a
+//!    consequence of (1) plus edge locality; `exp_table2` reports the achieved
+//!    `h(T_G)`/`w(T_G)` next to the paper's.
+//!
+//! Travel-time profiles follow the published setting (`c` interpolation points
+//! per edge per day, FIFO, morning/evening rush hours), and workloads follow
+//! §5: 1,000 random vertex pairs × 10 uniformly spaced departure times.
+//!
+//! Everything is seeded and deterministic.
+
+pub mod dataset;
+pub mod network;
+pub mod profiles;
+pub mod random_graph;
+pub mod workload;
+
+pub use dataset::{Dataset, DatasetSpec};
+pub use network::{RoadNetwork, RoadNetworkConfig};
+pub use profiles::ProfileConfig;
+pub use workload::{Query, Workload, WorkloadConfig};

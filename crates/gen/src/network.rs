@@ -1,0 +1,308 @@
+//! Road-like network topology generation.
+//!
+//! Topology = random spanning tree of a jittered `rows × cols` grid, plus a
+//! controlled fraction of the remaining grid edges and a few longer "arterial"
+//! edges. Every undirected road becomes a symmetric pair of directed edges, as
+//! in the paper's datasets (Fig. 1 caption: `w_{u,v}(t) = w_{v,u}(t)`).
+//!
+//! The resulting graphs sit in the paper's structural band: directed
+//! `m/n ≈ 2.0–2.5` and small treewidth under min-degree elimination (roads are
+//! locally connected and globally tree-like).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use td_graph::{GraphBuilder, TdGraph, VertexId};
+use td_plf::Plf;
+
+/// Configuration of the topology generator.
+#[derive(Clone, Debug)]
+pub struct RoadNetworkConfig {
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+    /// Fraction of non-tree grid edges to keep, relative to `n`
+    /// (`0.03` reproduces CAL's `m/n≈2.06`, `0.25` the denser datasets).
+    pub extra_edge_fraction: f64,
+    /// Number of longer arterial edges (connecting vertices 2–4 grid steps
+    /// apart), relative to `n`.
+    pub arterial_fraction: f64,
+    /// Grid cell size in metres.
+    pub cell_metres: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RoadNetworkConfig {
+    fn default() -> Self {
+        RoadNetworkConfig {
+            rows: 64,
+            cols: 64,
+            extra_edge_fraction: 0.2,
+            arterial_fraction: 0.02,
+            cell_metres: 250.0,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated road network: topology (with free-flow costs as constant PLFs
+/// until [`crate::profiles`] replaces them) plus planar coordinates, which the
+/// TD-G-tree partitioner uses.
+#[derive(Clone, Debug)]
+pub struct RoadNetwork {
+    /// The graph. Weights are free-flow constants until profiles are applied.
+    pub graph: TdGraph,
+    /// Vertex coordinates in metres.
+    pub coords: Vec<(f64, f64)>,
+    /// Free-flow travel cost (seconds) per undirected road, indexed like
+    /// `roads`.
+    pub base_costs: Vec<f64>,
+    /// Undirected road list.
+    pub roads: Vec<(VertexId, VertexId)>,
+}
+
+impl RoadNetwork {
+    /// Generates a network from `cfg`. Deterministic in `cfg.seed`.
+    pub fn generate(cfg: &RoadNetworkConfig) -> RoadNetwork {
+        assert!(cfg.rows >= 2 && cfg.cols >= 2, "need at least a 2x2 grid");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let (rows, cols) = (cfg.rows, cfg.cols);
+        let n = rows * cols;
+        let at = |r: usize, c: usize| (r * cols + c) as VertexId;
+
+        // Jittered coordinates.
+        let coords: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                let r = (i / cols) as f64;
+                let c = (i % cols) as f64;
+                let jx: f64 = rng.gen_range(-0.3..0.3);
+                let jy: f64 = rng.gen_range(-0.3..0.3);
+                ((c + jx) * cfg.cell_metres, (r + jy) * cfg.cell_metres)
+            })
+            .collect();
+
+        // All 4-adjacency grid edges.
+        let mut grid_edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(2 * n);
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    grid_edges.push((at(r, c), at(r, c + 1)));
+                }
+                if r + 1 < rows {
+                    grid_edges.push((at(r, c), at(r + 1, c)));
+                }
+            }
+        }
+
+        // Random spanning tree: Kruskal over randomly weighted grid edges.
+        grid_edges.shuffle(&mut rng);
+        let mut dsu = Dsu::new(n);
+        let mut roads: Vec<(VertexId, VertexId)> = Vec::with_capacity(n + n / 4);
+        let mut leftovers: Vec<(VertexId, VertexId)> = Vec::new();
+        for &(u, v) in &grid_edges {
+            if dsu.union(u as usize, v as usize) {
+                roads.push((u, v));
+            } else {
+                leftovers.push((u, v));
+            }
+        }
+        debug_assert_eq!(roads.len(), n - 1);
+
+        // Extra local edges from the leftovers.
+        let extra = ((n as f64) * cfg.extra_edge_fraction).round() as usize;
+        let extra = extra.min(leftovers.len());
+        roads.extend(leftovers.into_iter().take(extra));
+
+        // Arterial edges: connect vertices 2–4 grid steps apart (fast roads).
+        let n_arterial = ((n as f64) * cfg.arterial_fraction).round() as usize;
+        let mut arterials: Vec<(VertexId, VertexId)> = Vec::with_capacity(n_arterial);
+        let mut attempts = 0;
+        while arterials.len() < n_arterial && attempts < n_arterial * 20 {
+            attempts += 1;
+            let r = rng.gen_range(0..rows);
+            let c = rng.gen_range(0..cols);
+            let dr = rng.gen_range(-4i64..=4);
+            let dc = rng.gen_range(-4i64..=4);
+            if dr.abs() + dc.abs() < 2 {
+                continue;
+            }
+            let (r2, c2) = (r as i64 + dr, c as i64 + dc);
+            if r2 < 0 || c2 < 0 || r2 >= rows as i64 || c2 >= cols as i64 {
+                continue;
+            }
+            let (u, v) = (at(r, c), at(r2 as usize, c2 as usize));
+            if u != v {
+                arterials.push((u.min(v), u.max(v)));
+            }
+        }
+        arterials.sort_unstable();
+        arterials.dedup();
+        roads.extend(arterials.iter().copied());
+
+        // Deduplicate roads (arterials may coincide with grid edges).
+        for r in &mut roads {
+            if r.0 > r.1 {
+                *r = (r.1, r.0);
+            }
+        }
+        roads.sort_unstable();
+        roads.dedup();
+
+        // Free-flow costs from Euclidean length; arterials are faster.
+        let mut base_costs = Vec::with_capacity(roads.len());
+        let mut builder = GraphBuilder::new(n);
+        for &(u, v) in &roads {
+            let (x0, y0) = coords[u as usize];
+            let (x1, y1) = coords[v as usize];
+            let dist = ((x1 - x0).powi(2) + (y1 - y0).powi(2)).sqrt().max(10.0);
+            let speed = if dist > 1.5 * cfg.cell_metres {
+                // long edge: arterial, ~60 km/h
+                16.7
+            } else {
+                // local street, ~36 km/h with some variety
+                rng.gen_range(8.0..12.0)
+            };
+            let cost = dist / speed;
+            base_costs.push(cost);
+            builder
+                .bidirectional(u, v, Plf::constant(cost))
+                .expect("generated edges are valid");
+        }
+
+        RoadNetwork {
+            graph: builder.build(),
+            coords,
+            base_costs,
+            roads,
+        }
+    }
+}
+
+/// Disjoint-set union for the spanning tree.
+struct Dsu {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        let mut cur = x;
+        while cur != root {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Returns true when the two sets were merged (i.e. the edge is a tree edge).
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb as u32,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra as u32,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra as u32;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_network_is_connected() {
+        let net = RoadNetwork::generate(&RoadNetworkConfig {
+            rows: 20,
+            cols: 25,
+            ..Default::default()
+        });
+        assert_eq!(net.graph.num_vertices(), 500);
+        assert!(net.graph.is_connected());
+    }
+
+    #[test]
+    fn edge_density_tracks_extra_fraction() {
+        let sparse = RoadNetwork::generate(&RoadNetworkConfig {
+            rows: 30,
+            cols: 30,
+            extra_edge_fraction: 0.03,
+            arterial_fraction: 0.0,
+            ..Default::default()
+        });
+        let n = sparse.graph.num_vertices() as f64;
+        let ratio = sparse.graph.num_edges() as f64 / n;
+        assert!(
+            (1.9..2.2).contains(&ratio),
+            "sparse directed m/n = {ratio}"
+        );
+
+        let dense = RoadNetwork::generate(&RoadNetworkConfig {
+            rows: 30,
+            cols: 30,
+            extra_edge_fraction: 0.25,
+            arterial_fraction: 0.0,
+            ..Default::default()
+        });
+        let ratio = dense.graph.num_edges() as f64 / n;
+        assert!((2.3..2.6).contains(&ratio), "dense directed m/n = {ratio}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = RoadNetworkConfig {
+            rows: 12,
+            cols: 12,
+            seed: 7,
+            ..Default::default()
+        };
+        let a = RoadNetwork::generate(&cfg);
+        let b = RoadNetwork::generate(&cfg);
+        assert_eq!(a.roads, b.roads);
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        let c = RoadNetwork::generate(&RoadNetworkConfig { seed: 8, ..cfg });
+        assert_ne!(a.roads, c.roads);
+    }
+
+    #[test]
+    fn roads_are_deduplicated_and_symmetric() {
+        let net = RoadNetwork::generate(&RoadNetworkConfig {
+            rows: 10,
+            cols: 10,
+            ..Default::default()
+        });
+        assert_eq!(net.graph.num_edges(), 2 * net.roads.len());
+        for &(u, v) in &net.roads {
+            assert!(u < v);
+            assert!(net.graph.find_edge(u, v).is_some());
+            assert!(net.graph.find_edge(v, u).is_some());
+        }
+    }
+
+    #[test]
+    fn base_costs_are_positive_and_plausible() {
+        let net = RoadNetwork::generate(&RoadNetworkConfig::default());
+        for &c in &net.base_costs {
+            assert!(c > 0.0 && c < 600.0, "cost {c} out of plausible range");
+        }
+    }
+}

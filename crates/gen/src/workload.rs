@@ -1,0 +1,139 @@
+//! Query workload generation (§5 of the paper).
+//!
+//! "We first randomly choose 1,000 pairs of vertices and uniformly generate
+//! the query time in 10 different time intervals, thus we have 10,000 queries
+//! for each dataset."
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use td_graph::VertexId;
+use td_plf::DAY;
+
+/// One shortest-path query `Q(s, d, t)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Query {
+    /// Source vertex.
+    pub source: VertexId,
+    /// Destination vertex.
+    pub destination: VertexId,
+    /// Departure time (seconds from midnight).
+    pub depart: f64,
+}
+
+/// Workload configuration.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Number of random vertex pairs (paper: 1,000).
+    pub pairs: usize,
+    /// Number of departure-time intervals per pair (paper: 10).
+    pub times_per_pair: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            pairs: 1000,
+            times_per_pair: 10,
+            seed: 77,
+        }
+    }
+}
+
+/// A generated workload.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// All queries, pair-major (`pairs × times_per_pair` entries).
+    pub queries: Vec<Query>,
+}
+
+impl Workload {
+    /// Generates the paper's workload over `n` vertices.
+    pub fn generate(n: usize, cfg: &WorkloadConfig) -> Workload {
+        assert!(n >= 2, "need at least two vertices to query");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut queries = Vec::with_capacity(cfg.pairs * cfg.times_per_pair);
+        let interval = DAY / cfg.times_per_pair.max(1) as f64;
+        for _ in 0..cfg.pairs {
+            let s = rng.gen_range(0..n) as VertexId;
+            let mut d = rng.gen_range(0..n) as VertexId;
+            while d == s {
+                d = rng.gen_range(0..n) as VertexId;
+            }
+            for k in 0..cfg.times_per_pair {
+                // Uniform within the k-th of 10 intervals.
+                let t = k as f64 * interval + rng.gen_range(0.0..interval);
+                queries.push(Query {
+                    source: s,
+                    destination: d,
+                    depart: t,
+                });
+            }
+        }
+        Workload { queries }
+    }
+
+    /// The distinct `(s, d)` pairs, in generation order.
+    pub fn pairs(&self) -> Vec<(VertexId, VertexId)> {
+        let mut out = Vec::new();
+        for q in &self.queries {
+            if out.last() != Some(&(q.source, q.destination)) {
+                out.push((q.source, q.destination));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_pairs_times_intervals_queries() {
+        let w = Workload::generate(
+            100,
+            &WorkloadConfig {
+                pairs: 50,
+                times_per_pair: 10,
+                seed: 1,
+            },
+        );
+        assert_eq!(w.queries.len(), 500);
+        assert_eq!(w.pairs().len(), 50);
+    }
+
+    #[test]
+    fn departure_times_are_stratified() {
+        let w = Workload::generate(
+            10,
+            &WorkloadConfig {
+                pairs: 1,
+                times_per_pair: 10,
+                seed: 3,
+            },
+        );
+        let interval = DAY / 10.0;
+        for (k, q) in w.queries.iter().enumerate() {
+            assert!(q.depart >= k as f64 * interval);
+            assert!(q.depart < (k + 1) as f64 * interval);
+        }
+    }
+
+    #[test]
+    fn no_self_queries() {
+        let w = Workload::generate(2, &WorkloadConfig::default());
+        for q in &w.queries {
+            assert_ne!(q.source, q.destination);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = WorkloadConfig::default();
+        let a = Workload::generate(50, &cfg);
+        let b = Workload::generate(50, &cfg);
+        assert_eq!(a.queries, b.queries);
+    }
+}

@@ -1,0 +1,83 @@
+//! Incremental graph construction.
+
+use crate::graph::{GraphError, TdGraph, VertexId};
+use td_plf::Plf;
+
+/// Builds a [`TdGraph`] edge by edge, merging parallel edges by pointwise
+/// minimum instead of rejecting them (real datasets contain a few).
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    graph: TdGraph,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            graph: TdGraph::with_vertices(n),
+        }
+    }
+
+    /// Adds a directed edge; a parallel edge is merged via `minimum`.
+    pub fn edge(&mut self, from: VertexId, to: VertexId, weight: Plf) -> Result<&mut Self, GraphError> {
+        match self.graph.find_edge(from, to) {
+            Some(e) => {
+                let merged = self.graph.weight(e).minimum(&weight);
+                self.graph.set_weight(e, merged)?;
+            }
+            None => {
+                self.graph.add_edge(from, to, weight)?;
+            }
+        }
+        Ok(self)
+    }
+
+    /// Adds a symmetric pair `u ↔ v` with the same weight function, the
+    /// common case for road segments (cf. Fig. 1: `w_{u,v}(t) = w_{v,u}(t)`).
+    pub fn bidirectional(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        weight: Plf,
+    ) -> Result<&mut Self, GraphError> {
+        self.edge(u, v, weight.clone())?;
+        self.edge(v, u, weight)?;
+        Ok(self)
+    }
+
+    /// Finishes construction.
+    pub fn build(self) -> TdGraph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_parallel_edges_by_minimum() {
+        let mut b = GraphBuilder::new(2);
+        b.edge(0, 1, Plf::constant(5.0)).unwrap();
+        b.edge(0, 1, Plf::constant(3.0)).unwrap();
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.weight(0).eval(0.0), 3.0);
+    }
+
+    #[test]
+    fn bidirectional_adds_two_edges() {
+        let mut b = GraphBuilder::new(2);
+        b.bidirectional(0, 1, Plf::constant(4.0)).unwrap();
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.find_edge(0, 1).is_some());
+        assert!(g.find_edge(1, 0).is_some());
+    }
+
+    #[test]
+    fn propagates_errors() {
+        let mut b = GraphBuilder::new(2);
+        assert!(b.edge(0, 9, Plf::constant(1.0)).is_err());
+    }
+}

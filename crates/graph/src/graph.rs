@@ -1,0 +1,321 @@
+//! The [`TdGraph`] type.
+
+use td_plf::Plf;
+
+/// Vertex identifier. Compatible with [`td_plf::Via`] so witnesses can name
+/// vertices directly.
+pub type VertexId = u32;
+
+/// Edge identifier (index into the edge array).
+pub type EdgeId = u32;
+
+/// A directed edge with its time-dependent weight function `w_{u,v}(t)`.
+#[derive(Clone, Debug)]
+pub struct Edge {
+    /// Tail vertex `u`.
+    pub from: VertexId,
+    /// Head vertex `v`.
+    pub to: VertexId,
+    /// Travel-cost function (Eq. 1).
+    pub weight: Plf,
+}
+
+/// Errors raised by graph construction and mutation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphError {
+    /// An endpoint is out of range.
+    VertexOutOfRange(VertexId),
+    /// Self loops are not meaningful on road networks.
+    SelfLoop(VertexId),
+    /// Duplicate directed edge `u → v` (parallel edges must be pre-merged by
+    /// taking their pointwise minimum).
+    DuplicateEdge(VertexId, VertexId),
+    /// The weight function violates FIFO (overtaking), which the query
+    /// algorithms assume.
+    NotFifo(VertexId, VertexId),
+    /// Unknown edge id.
+    NoSuchEdge(EdgeId),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange(v) => write!(f, "vertex {v} out of range"),
+            GraphError::SelfLoop(v) => write!(f, "self loop at vertex {v}"),
+            GraphError::DuplicateEdge(u, v) => write!(f, "duplicate edge {u} -> {v}"),
+            GraphError::NotFifo(u, v) => write!(f, "edge {u} -> {v} violates FIFO"),
+            GraphError::NoSuchEdge(e) => write!(f, "no such edge id {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A time-dependent directed graph (Def. 1).
+///
+/// Stores adjacency in both directions: `out(v)` lists `(head, edge)` pairs,
+/// `in(v)` lists `(tail, edge)` pairs. Edge ids are stable across weight
+/// updates, which the live-traffic update experiments rely on.
+#[derive(Clone, Debug, Default)]
+pub struct TdGraph {
+    out: Vec<Vec<(VertexId, EdgeId)>>,
+    inn: Vec<Vec<(VertexId, EdgeId)>>,
+    edges: Vec<Edge>,
+}
+
+impl TdGraph {
+    /// An empty graph with `n` vertices and no edges.
+    pub fn with_vertices(n: usize) -> Self {
+        TdGraph {
+            out: vec![Vec::new(); n],
+            inn: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of vertices `n = |V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of directed edges `m = |E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Inserts a directed edge, validating endpoints, simplicity and FIFO.
+    pub fn add_edge(&mut self, from: VertexId, to: VertexId, weight: Plf) -> Result<EdgeId, GraphError> {
+        let n = self.num_vertices() as u32;
+        if from >= n {
+            return Err(GraphError::VertexOutOfRange(from));
+        }
+        if to >= n {
+            return Err(GraphError::VertexOutOfRange(to));
+        }
+        if from == to {
+            return Err(GraphError::SelfLoop(from));
+        }
+        if self.find_edge(from, to).is_some() {
+            return Err(GraphError::DuplicateEdge(from, to));
+        }
+        if !weight.is_fifo() {
+            return Err(GraphError::NotFifo(from, to));
+        }
+        let id = self.edges.len() as EdgeId;
+        self.edges.push(Edge { from, to, weight });
+        self.out[from as usize].push((to, id));
+        self.inn[to as usize].push((from, id));
+        Ok(id)
+    }
+
+    /// Out-neighbours of `v` as `(head, edge)` pairs.
+    #[inline]
+    pub fn out_edges(&self, v: VertexId) -> &[(VertexId, EdgeId)] {
+        &self.out[v as usize]
+    }
+
+    /// In-neighbours of `v` as `(tail, edge)` pairs.
+    #[inline]
+    pub fn in_edges(&self, v: VertexId) -> &[(VertexId, EdgeId)] {
+        &self.inn[v as usize]
+    }
+
+    /// The edge record for `e`.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e as usize]
+    }
+
+    /// The weight function of edge `e`.
+    #[inline]
+    pub fn weight(&self, e: EdgeId) -> &Plf {
+        &self.edges[e as usize].weight
+    }
+
+    /// All edges, in insertion order.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The id of the directed edge `u → v`, if present.
+    pub fn find_edge(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        self.out
+            .get(u as usize)?
+            .iter()
+            .find(|&&(head, _)| head == v)
+            .map(|&(_, e)| e)
+    }
+
+    /// Replaces the weight function of edge `e` (live-traffic update).
+    pub fn set_weight(&mut self, e: EdgeId, weight: Plf) -> Result<(), GraphError> {
+        let slot = self
+            .edges
+            .get_mut(e as usize)
+            .ok_or(GraphError::NoSuchEdge(e))?;
+        if !weight.is_fifo() {
+            return Err(GraphError::NotFifo(slot.from, slot.to));
+        }
+        slot.weight = weight;
+        Ok(())
+    }
+
+    /// Combined degree (in + out neighbour count, counting a bidirectional
+    /// neighbour once) of `v` — the quantity the min-degree elimination
+    /// heuristic orders by.
+    pub fn undirected_degree(&self, v: VertexId) -> usize {
+        let mut nbrs: Vec<VertexId> = self.out[v as usize]
+            .iter()
+            .map(|&(u, _)| u)
+            .chain(self.inn[v as usize].iter().map(|&(u, _)| u))
+            .collect();
+        nbrs.sort_unstable();
+        nbrs.dedup();
+        nbrs.len()
+    }
+
+    /// Undirected neighbour set of `v` (sorted, deduplicated).
+    pub fn undirected_neighbors(&self, v: VertexId) -> Vec<VertexId> {
+        let mut nbrs: Vec<VertexId> = self.out[v as usize]
+            .iter()
+            .map(|&(u, _)| u)
+            .chain(self.inn[v as usize].iter().map(|&(u, _)| u))
+            .collect();
+        nbrs.sort_unstable();
+        nbrs.dedup();
+        nbrs
+    }
+
+    /// True iff the underlying undirected graph is connected (empty and
+    /// single-vertex graphs count as connected).
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_vertices();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        let mut count = 1usize;
+        while let Some(v) = stack.pop() {
+            for &(u, _) in self.out[v as usize].iter().chain(self.inn[v as usize].iter()) {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    count += 1;
+                    stack.push(u);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Total heap bytes of all weight functions — the graph's share of index
+    /// memory accounting.
+    pub fn weight_bytes(&self) -> usize {
+        self.edges.iter().map(|e| e.weight.heap_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plf(pairs: &[(f64, f64)]) -> Plf {
+        Plf::from_pairs(pairs).unwrap()
+    }
+
+    fn triangle() -> TdGraph {
+        let mut g = TdGraph::with_vertices(3);
+        g.add_edge(0, 1, Plf::constant(1.0)).unwrap();
+        g.add_edge(1, 2, Plf::constant(2.0)).unwrap();
+        g.add_edge(2, 0, Plf::constant(3.0)).unwrap();
+        g
+    }
+
+    #[test]
+    fn counts() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut g = TdGraph::with_vertices(2);
+        assert_eq!(
+            g.add_edge(0, 5, Plf::constant(1.0)),
+            Err(GraphError::VertexOutOfRange(5))
+        );
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut g = TdGraph::with_vertices(2);
+        assert_eq!(g.add_edge(1, 1, Plf::constant(1.0)), Err(GraphError::SelfLoop(1)));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let mut g = TdGraph::with_vertices(2);
+        g.add_edge(0, 1, Plf::constant(1.0)).unwrap();
+        assert_eq!(
+            g.add_edge(0, 1, Plf::constant(2.0)),
+            Err(GraphError::DuplicateEdge(0, 1))
+        );
+        // Reverse direction is a different edge and is fine.
+        assert!(g.add_edge(1, 0, Plf::constant(2.0)).is_ok());
+    }
+
+    #[test]
+    fn rejects_non_fifo_weight() {
+        let mut g = TdGraph::with_vertices(2);
+        let bad = plf(&[(0.0, 100.0), (10.0, 1.0)]); // slope < -1
+        assert_eq!(g.add_edge(0, 1, bad), Err(GraphError::NotFifo(0, 1)));
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_between_directions() {
+        let g = triangle();
+        assert_eq!(g.out_edges(0), &[(1, 0)]);
+        assert_eq!(g.in_edges(1), &[(0, 0)]);
+        assert_eq!(g.find_edge(0, 1), Some(0));
+        assert_eq!(g.find_edge(1, 0), None);
+    }
+
+    #[test]
+    fn set_weight_updates_in_place() {
+        let mut g = triangle();
+        let e = g.find_edge(0, 1).unwrap();
+        g.set_weight(e, Plf::constant(9.0)).unwrap();
+        assert_eq!(g.weight(e).eval(0.0), 9.0);
+        assert_eq!(
+            g.set_weight(99, Plf::constant(1.0)),
+            Err(GraphError::NoSuchEdge(99))
+        );
+        let bad = plf(&[(0.0, 100.0), (10.0, 1.0)]);
+        assert_eq!(g.set_weight(e, bad), Err(GraphError::NotFifo(0, 1)));
+    }
+
+    #[test]
+    fn undirected_degree_counts_each_neighbor_once() {
+        let mut g = TdGraph::with_vertices(3);
+        g.add_edge(0, 1, Plf::constant(1.0)).unwrap();
+        g.add_edge(1, 0, Plf::constant(1.0)).unwrap();
+        g.add_edge(1, 2, Plf::constant(1.0)).unwrap();
+        assert_eq!(g.undirected_degree(1), 2);
+        assert_eq!(g.undirected_neighbors(1), vec![0, 2]);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(triangle().is_connected());
+        let mut g = TdGraph::with_vertices(4);
+        g.add_edge(0, 1, Plf::constant(1.0)).unwrap();
+        g.add_edge(2, 3, Plf::constant(1.0)).unwrap();
+        assert!(!g.is_connected());
+        assert!(TdGraph::with_vertices(0).is_connected());
+        assert!(TdGraph::with_vertices(1).is_connected());
+    }
+}

@@ -1,0 +1,236 @@
+//! Text serialization of time-dependent graphs.
+//!
+//! Two formats:
+//!
+//! * **TD format** (ours, round-trips PLFs exactly):
+//!   ```text
+//!   c free-form comments
+//!   p td <num_vertices> <num_edges>
+//!   a <from> <to> <k> <t_1> <c_1> … <t_k> <c_k>
+//!   ```
+//!   with 0-based vertex ids.
+//!
+//! * **DIMACS shortest-path format** (`p sp n m` + `a u v w`, 1-based), read
+//!   by [`read_dimacs_static`] with each constant weight lifted to a constant
+//!   PLF — this is how the real CAL/SF/COL/FLA/W-USA networks the paper uses
+//!   can be plugged in (their TD profiles are then synthesised by `td-gen`).
+
+use crate::graph::{GraphError, TdGraph};
+use crate::GraphBuilder;
+use std::io::{BufRead, Write};
+use td_plf::{Plf, Pt};
+
+/// Errors from parsing graph files.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed line (1-based line number, message).
+    Parse(usize, String),
+    /// Structurally invalid graph content.
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse(line, msg) => write!(f, "parse error at line {line}: {msg}"),
+            IoError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<GraphError> for IoError {
+    fn from(e: GraphError) -> Self {
+        IoError::Graph(e)
+    }
+}
+
+/// Writes `g` in TD format.
+pub fn write_td(g: &TdGraph, mut w: impl Write) -> std::io::Result<()> {
+    writeln!(w, "c time-dependent road network (td-road)")?;
+    writeln!(w, "p td {} {}", g.num_vertices(), g.num_edges())?;
+    for e in g.edges() {
+        write!(w, "a {} {} {}", e.from, e.to, e.weight.len())?;
+        for p in e.weight.points() {
+            write!(w, " {} {}", p.t, p.v)?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Reads a TD-format graph.
+pub fn read_td(r: impl BufRead) -> Result<TdGraph, IoError> {
+    let mut builder: Option<GraphBuilder> = None;
+    let mut declared_edges = 0usize;
+    let mut seen_edges = 0usize;
+    for (idx, line) in r.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        match tok.next() {
+            Some("p") => {
+                let kind = tok.next().unwrap_or("");
+                if kind != "td" {
+                    return Err(IoError::Parse(lineno, format!("expected 'p td', got 'p {kind}'")));
+                }
+                let n: usize = parse_tok(&mut tok, lineno, "num_vertices")?;
+                declared_edges = parse_tok(&mut tok, lineno, "num_edges")?;
+                builder = Some(GraphBuilder::new(n));
+            }
+            Some("a") => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| IoError::Parse(lineno, "edge before problem line".into()))?;
+                let from: u32 = parse_tok(&mut tok, lineno, "from")?;
+                let to: u32 = parse_tok(&mut tok, lineno, "to")?;
+                let k: usize = parse_tok(&mut tok, lineno, "k")?;
+                let mut pts = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let t: f64 = parse_tok(&mut tok, lineno, "t")?;
+                    let v: f64 = parse_tok(&mut tok, lineno, "c")?;
+                    pts.push(Pt::new(t, v));
+                }
+                let plf = Plf::new(pts)
+                    .map_err(|e| IoError::Parse(lineno, format!("bad weight function: {e}")))?;
+                b.edge(from, to, plf)?;
+                seen_edges += 1;
+            }
+            Some(other) => {
+                return Err(IoError::Parse(lineno, format!("unknown record '{other}'")));
+            }
+            None => unreachable!("empty lines filtered"),
+        }
+    }
+    let g = builder
+        .ok_or_else(|| IoError::Parse(0, "missing problem line".into()))?
+        .build();
+    if seen_edges != declared_edges {
+        return Err(IoError::Parse(
+            0,
+            format!("problem line declared {declared_edges} edges, found {seen_edges}"),
+        ));
+    }
+    Ok(g)
+}
+
+/// Reads a static DIMACS `.gr` file (`p sp n m`, 1-based `a u v w` arcs),
+/// lifting every constant weight to a constant PLF. Parallel arcs are merged
+/// by minimum.
+pub fn read_dimacs_static(r: impl BufRead) -> Result<TdGraph, IoError> {
+    let mut builder: Option<GraphBuilder> = None;
+    for (idx, line) in r.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        match tok.next() {
+            Some("p") => {
+                let _sp = tok.next();
+                let n: usize = parse_tok(&mut tok, lineno, "n")?;
+                builder = Some(GraphBuilder::new(n));
+            }
+            Some("a") => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| IoError::Parse(lineno, "arc before problem line".into()))?;
+                let u: u32 = parse_tok(&mut tok, lineno, "u")?;
+                let v: u32 = parse_tok(&mut tok, lineno, "v")?;
+                let w: f64 = parse_tok(&mut tok, lineno, "w")?;
+                if u == 0 || v == 0 {
+                    return Err(IoError::Parse(lineno, "DIMACS ids are 1-based".into()));
+                }
+                if u != v {
+                    b.edge(u - 1, v - 1, Plf::constant(w))?;
+                }
+            }
+            _ => {} // other record types ignored
+        }
+    }
+    Ok(builder
+        .ok_or_else(|| IoError::Parse(0, "missing problem line".into()))?
+        .build())
+}
+
+fn parse_tok<'a, T: std::str::FromStr>(
+    tok: &mut impl Iterator<Item = &'a str>,
+    lineno: usize,
+    what: &str,
+) -> Result<T, IoError> {
+    tok.next()
+        .ok_or_else(|| IoError::Parse(lineno, format!("missing {what}")))?
+        .parse::<T>()
+        .map_err(|_| IoError::Parse(lineno, format!("invalid {what}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn sample() -> TdGraph {
+        let mut g = TdGraph::with_vertices(3);
+        g.add_edge(0, 1, Plf::from_pairs(&[(0.0, 10.0), (60.0, 15.0)]).unwrap())
+            .unwrap();
+        g.add_edge(1, 2, Plf::constant(5.0)).unwrap();
+        g
+    }
+
+    #[test]
+    fn td_round_trip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_td(&g, &mut buf).unwrap();
+        let g2 = read_td(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(g2.num_vertices(), 3);
+        assert_eq!(g2.num_edges(), 2);
+        let e = g2.find_edge(0, 1).unwrap();
+        assert!(g2.weight(e).approx_eq(g.weight(0), 1e-12));
+    }
+
+    #[test]
+    fn td_rejects_wrong_edge_count() {
+        let text = "p td 2 5\na 0 1 1 0 3\n";
+        assert!(read_td(BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn td_rejects_garbage() {
+        assert!(read_td(BufReader::new("x 1 2\n".as_bytes())).is_err());
+        assert!(read_td(BufReader::new("a 0 1 1 0 3\n".as_bytes())).is_err());
+        assert!(read_td(BufReader::new("p td 2 1\na 0 1 2 5 3 5 4\n".as_bytes())).is_err());
+    }
+
+    #[test]
+    fn dimacs_static_parses_and_merges() {
+        let text = "c comment\np sp 3 4\na 1 2 10\na 2 3 5\na 1 2 7\na 2 2 1\n";
+        let g = read_dimacs_static(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2); // parallel merged, self loop dropped
+        let e = g.find_edge(0, 1).unwrap();
+        assert_eq!(g.weight(e).eval(0.0), 7.0);
+    }
+
+    #[test]
+    fn dimacs_rejects_zero_based_ids() {
+        let text = "p sp 2 1\na 0 1 3\n";
+        assert!(read_dimacs_static(BufReader::new(text.as_bytes())).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! # td-graph — time-dependent directed road networks
+//!
+//! Implements Def. 1 of the paper: a directed graph `G(V, E, W)` whose every
+//! edge `e_{u,v}` carries a piecewise-linear travel-cost function
+//! `w_{u,v}(t)` ([`td_plf::Plf`]).
+//!
+//! The crate provides:
+//! * [`TdGraph`] — adjacency-list storage with both out- and in-edges (the
+//!   reduction operator and reverse searches need predecessors);
+//! * [`GraphBuilder`] — incremental construction with validation;
+//! * [`Path`] — a vertex sequence with cost evaluation against the graph,
+//!   used to verify recovered shortest paths;
+//! * [`io`] — a DIMACS-flavoured text format (plus a loader for static DIMACS
+//!   `.gr` files, lifting constant costs to PLFs) so real road networks drop
+//!   in where the synthetic ones are used.
+
+pub mod builder;
+pub mod graph;
+pub mod io;
+pub mod path;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use graph::{Edge, EdgeId, GraphError, TdGraph, VertexId};
+pub use path::Path;
+pub use stats::GraphStats;

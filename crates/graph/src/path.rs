@@ -1,0 +1,121 @@
+//! Paths through a time-dependent graph.
+
+use crate::graph::{TdGraph, VertexId};
+
+/// A path as a vertex sequence `v_0 → v_1 → … → v_k` (Def. 2's edge sequence,
+/// stored by vertices).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Path {
+    /// The vertices in travel order; length ≥ 1.
+    pub vertices: Vec<VertexId>,
+}
+
+impl Path {
+    /// A path from an ordered vertex list.
+    pub fn new(vertices: Vec<VertexId>) -> Self {
+        assert!(!vertices.is_empty(), "a path has at least one vertex");
+        Path { vertices }
+    }
+
+    /// Source vertex.
+    pub fn source(&self) -> VertexId {
+        self.vertices[0]
+    }
+
+    /// Destination vertex.
+    pub fn destination(&self) -> VertexId {
+        *self.vertices.last().expect("non-empty")
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.vertices.len() - 1
+    }
+
+    /// Evaluates the path's travel cost when departing at `t`, by the
+    /// recursive `Compound` of Def. 2 applied edge by edge. Returns `None` if
+    /// some consecutive pair is not an edge of `g`.
+    ///
+    /// This is the ground truth used to check recovered paths: a claimed
+    /// shortest path must (a) exist and (b) cost exactly the reported value.
+    pub fn cost(&self, g: &TdGraph, t: f64) -> Option<f64> {
+        let mut now = t;
+        let mut total = 0.0;
+        for w in self.vertices.windows(2) {
+            let e = g.find_edge(w[0], w[1])?;
+            let c = g.weight(e).eval(now);
+            total += c;
+            now += c;
+        }
+        Some(total)
+    }
+
+    /// True iff every consecutive pair is an edge of `g`.
+    pub fn is_valid(&self, g: &TdGraph) -> bool {
+        self.vertices
+            .windows(2)
+            .all(|w| g.find_edge(w[0], w[1]).is_some())
+    }
+}
+
+impl std::fmt::Display for Path {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, v) in self.vertices.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_plf::Plf;
+
+    fn line_graph() -> TdGraph {
+        let mut g = TdGraph::with_vertices(3);
+        g.add_edge(0, 1, Plf::from_pairs(&[(0.0, 10.0), (100.0, 20.0)]).unwrap())
+            .unwrap();
+        g.add_edge(1, 2, Plf::constant(5.0)).unwrap();
+        g
+    }
+
+    #[test]
+    fn cost_compounds_edge_by_edge() {
+        let g = line_graph();
+        let p = Path::new(vec![0, 1, 2]);
+        // depart 0: edge (0,1) costs 10, arrive 10; edge (1,2) costs 5.
+        assert_eq!(p.cost(&g, 0.0), Some(15.0));
+        // depart 100: edge (0,1) costs 20.
+        assert_eq!(p.cost(&g, 100.0), Some(25.0));
+    }
+
+    #[test]
+    fn invalid_path_detected() {
+        let g = line_graph();
+        let p = Path::new(vec![0, 2]);
+        assert_eq!(p.cost(&g, 0.0), None);
+        assert!(!p.is_valid(&g));
+        assert!(Path::new(vec![0, 1]).is_valid(&g));
+    }
+
+    #[test]
+    fn single_vertex_path_costs_zero() {
+        let g = line_graph();
+        let p = Path::new(vec![1]);
+        assert_eq!(p.cost(&g, 42.0), Some(0.0));
+        assert!(p.is_valid(&g));
+        assert_eq!(p.source(), 1);
+        assert_eq!(p.destination(), 1);
+        assert_eq!(p.num_edges(), 0);
+    }
+
+    #[test]
+    fn display_formats_arrows() {
+        let p = Path::new(vec![3, 1, 4]);
+        assert_eq!(p.to_string(), "3 -> 1 -> 4");
+    }
+}

@@ -1,0 +1,86 @@
+//! Graph statistics for the dataset tables (Table 2).
+
+use crate::graph::TdGraph;
+
+/// Summary statistics of a time-dependent graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices `n`.
+    pub vertices: usize,
+    /// Number of directed edges `m`.
+    pub edges: usize,
+    /// Average interpolation points per edge — the paper's parameter `c`.
+    pub avg_points: f64,
+    /// Maximum interpolation points on any edge.
+    pub max_points: usize,
+    /// Mean undirected degree.
+    pub avg_degree: f64,
+    /// Heap bytes of all weight functions.
+    pub weight_bytes: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics of `g`.
+    pub fn of(g: &TdGraph) -> Self {
+        let m = g.num_edges();
+        let total_points: usize = g.edges().iter().map(|e| e.weight.len()).sum();
+        let max_points = g.edges().iter().map(|e| e.weight.len()).max().unwrap_or(0);
+        let deg_sum: usize = (0..g.num_vertices() as u32)
+            .map(|v| g.undirected_degree(v))
+            .sum();
+        GraphStats {
+            vertices: g.num_vertices(),
+            edges: m,
+            avg_points: if m == 0 { 0.0 } else { total_points as f64 / m as f64 },
+            max_points,
+            avg_degree: if g.num_vertices() == 0 {
+                0.0
+            } else {
+                deg_sum as f64 / g.num_vertices() as f64
+            },
+            weight_bytes: g.weight_bytes(),
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} c̄={:.2} deḡ={:.2} weights={:.1}MB",
+            self.vertices,
+            self.edges,
+            self.avg_points,
+            self.avg_degree,
+            self.weight_bytes as f64 / (1024.0 * 1024.0)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_plf::Plf;
+
+    #[test]
+    fn stats_of_small_graph() {
+        let mut g = TdGraph::with_vertices(3);
+        g.add_edge(0, 1, Plf::from_pairs(&[(0.0, 1.0), (10.0, 2.0), (20.0, 1.0)]).unwrap())
+            .unwrap();
+        g.add_edge(1, 2, Plf::constant(5.0)).unwrap();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.vertices, 3);
+        assert_eq!(s.edges, 2);
+        assert_eq!(s.max_points, 3);
+        assert!((s.avg_points - 2.0).abs() < 1e-12);
+        assert!((s.avg_degree - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let s = GraphStats::of(&TdGraph::with_vertices(0));
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.edges, 0);
+        assert_eq!(s.avg_points, 0.0);
+    }
+}

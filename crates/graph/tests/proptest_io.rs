@@ -1,0 +1,72 @@
+//! Property tests: TD-format serialization round-trips arbitrary generated
+//! graphs exactly, and malformed inputs are rejected rather than mis-parsed.
+
+use proptest::prelude::*;
+use std::io::BufReader;
+use td_graph::io::{read_td, write_td};
+use td_graph::{GraphBuilder, TdGraph};
+use td_plf::{Plf, Pt};
+
+/// Strategy: a small random TD graph with random FIFO profiles.
+fn arb_graph() -> impl Strategy<Value = TdGraph> {
+    (
+        2usize..12,
+        proptest::collection::vec((0u32..12, 0u32..12, 1u32..5, 1.0f64..500.0), 1..30),
+    )
+        .prop_map(|(n, edges)| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v, k, base) in edges {
+                let (u, v) = (u % n as u32, v % n as u32);
+                if u == v {
+                    continue;
+                }
+                let pts: Vec<Pt> = (0..k)
+                    .map(|i| Pt::new(i as f64 * 10_000.0, base + i as f64))
+                    .collect();
+                let w = Plf::new(pts).expect("valid");
+                b.edge(u, v, w).expect("valid edge");
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn td_format_round_trips_exactly(g in arb_graph()) {
+        let mut buf = Vec::new();
+        write_td(&g, &mut buf).expect("serialize");
+        let g2 = read_td(BufReader::new(&buf[..])).expect("parse back");
+        prop_assert_eq!(g.num_vertices(), g2.num_vertices());
+        prop_assert_eq!(g.num_edges(), g2.num_edges());
+        for e in g.edges() {
+            let e2 = g2.find_edge(e.from, e.to).expect("edge survives");
+            prop_assert!(g2.weight(e2).approx_eq(&e.weight, 1e-9));
+        }
+    }
+
+    #[test]
+    fn truncated_files_never_panic(g in arb_graph(), cut in 0usize..2000) {
+        let mut buf = Vec::new();
+        write_td(&g, &mut buf).expect("serialize");
+        let cut = cut.min(buf.len());
+        // Must either parse (if the cut landed on a record boundary and the
+        // count happens to match) or error — never panic.
+        let _ = read_td(BufReader::new(&buf[..cut]));
+    }
+}
+
+#[test]
+fn rejects_nan_and_negative_weights() {
+    for bad in [
+        "p td 2 1\na 0 1 1 0 NaN\n",
+        "p td 2 1\na 0 1 1 0 -5\n",
+        "p td 2 1\na 0 1 2 10 3 5 4\n", // unsorted times
+    ] {
+        assert!(
+            read_td(BufReader::new(bad.as_bytes())).is_err(),
+            "accepted malformed input: {bad:?}"
+        );
+    }
+}

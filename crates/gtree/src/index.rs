@@ -1,0 +1,506 @@
+//! TD-G-tree: border travel-cost-function matrices and assembly queries.
+
+use crate::partition::PartitionTree;
+use std::collections::HashMap;
+use std::time::Instant;
+use td_dijkstra::profile_search;
+use td_graph::{GraphBuilder, TdGraph, VertexId};
+use td_plf::{ops::min_into, Plf};
+
+/// Configuration of the TD-G-tree.
+#[derive(Clone, Copy, Debug)]
+pub struct GtreeConfig {
+    /// Maximum vertices per leaf partition (the original's τ).
+    pub max_leaf: usize,
+}
+
+impl Default for GtreeConfig {
+    fn default() -> Self {
+        GtreeConfig { max_leaf: 32 }
+    }
+}
+
+/// All-pairs travel-cost-function matrix over one node's anchor set.
+#[derive(Clone, Debug, Default)]
+struct NodeMatrix {
+    /// Anchor vertices: all vertices for leaves, union of children borders
+    /// for internal nodes.
+    anchors: Vec<VertexId>,
+    /// Anchor id lookup.
+    pos: HashMap<VertexId, usize>,
+    /// Row-major `anchors² → Option<Plf>` (direction `i → j`).
+    mat: Vec<Option<Plf>>,
+}
+
+impl NodeMatrix {
+    fn entry(&self, from: VertexId, to: VertexId) -> Option<&Plf> {
+        let i = *self.pos.get(&from)?;
+        let j = *self.pos.get(&to)?;
+        self.mat[i * self.anchors.len() + j].as_ref()
+    }
+
+    fn points(&self) -> usize {
+        self.mat.iter().flatten().map(|f| f.len()).sum()
+    }
+
+    fn bytes(&self) -> usize {
+        self.mat.iter().flatten().map(|f| f.heap_bytes()).sum::<usize>()
+            + self.mat.capacity() * std::mem::size_of::<Option<Plf>>()
+    }
+}
+
+/// The TD-G-tree index.
+pub struct TdGtree {
+    graph: TdGraph,
+    pt: PartitionTree,
+    mats: Vec<NodeMatrix>,
+    /// Construction wall time, seconds.
+    pub build_secs: f64,
+}
+
+impl TdGtree {
+    /// Builds the index: partition tree, bottom-up matrix assembly, then the
+    /// top-down global refinement pass.
+    pub fn build(graph: TdGraph, cfg: GtreeConfig) -> TdGtree {
+        let t0 = Instant::now();
+        let pt = PartitionTree::build(&graph, cfg.max_leaf);
+        let nn = pt.nodes.len();
+        let mut mats: Vec<NodeMatrix> = vec![NodeMatrix::default(); nn];
+
+        // Bottom-up assembly: deepest nodes first.
+        let mut order: Vec<usize> = (0..nn).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(pt.nodes[i].depth));
+        for &idx in &order {
+            let anchors = anchor_set(&pt, idx);
+            let local = supergraph(&graph, &pt, &mats, idx, &anchors, None);
+            mats[idx] = all_pairs(&local, anchors);
+        }
+
+        // Top-down refinement: rebuild each non-root matrix with the parent's
+        // (already global) entries among this node's borders as extra edges.
+        let mut down: Vec<usize> = (0..nn).collect();
+        down.sort_by_key(|&i| pt.nodes[i].depth);
+        for &idx in &down {
+            let Some(parent) = pt.nodes[idx].parent else { continue };
+            let anchors = anchor_set(&pt, idx);
+            let outside: Vec<(VertexId, VertexId, Plf)> = border_pairs(&pt, &mats, idx, parent);
+            let local = supergraph(&graph, &pt, &mats, idx, &anchors, Some(&outside));
+            mats[idx] = all_pairs(&local, anchors);
+        }
+
+        TdGtree {
+            graph,
+            pt,
+            mats,
+            build_secs: t0.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Travel cost query `Q(s, d, t)`.
+    pub fn query_cost(&self, s: VertexId, d: VertexId, t: f64) -> Option<f64> {
+        if s == d {
+            return Some(0.0);
+        }
+        let ls = self.pt.leaf_of[s as usize];
+        let ld = self.pt.leaf_of[d as usize];
+        if ls == ld {
+            // Same-leaf: the refined leaf matrix is globally exact.
+            return self.mats[ls].entry(s, d).map(|f| f.eval(t));
+        }
+        let lca = self.pt.lca(ls, ld);
+        let path_s = self.pt.path_up(ls, lca);
+        let path_d = self.pt.path_up(ld, lca);
+
+        // Upward: arrivals at successive border sets.
+        let mut arr: HashMap<VertexId, f64> = HashMap::new();
+        for &b in &self.pt.nodes[ls].borders {
+            if let Some(f) = self.mats[ls].entry(s, b) {
+                let a = t + f.eval(t);
+                arr.entry(b).and_modify(|x| *x = x.min(a)).or_insert(a);
+            }
+        }
+        // Relax through the nodes strictly between the leaf and the LCA.
+        for &n in &path_s[1..path_s.len().saturating_sub(1)] {
+            arr = relax_scalar(&self.mats[n], &arr, &self.pt.nodes[n].borders);
+        }
+        // Across the LCA: from s-side child borders to d-side child borders.
+        let child_d = path_d[path_d.len() - 2];
+        arr = relax_scalar(&self.mats[lca], &arr, &self.pt.nodes[child_d].borders);
+        // Downward on d's side.
+        for &n in path_d[1..path_d.len() - 1].iter().rev() {
+            let next_down: &[VertexId] = if n == path_d[1] {
+                &self.pt.nodes[ld].borders
+            } else {
+                let below = path_d[path_d.iter().position(|&x| x == n).unwrap() - 1];
+                &self.pt.nodes[below].borders
+            };
+            arr = relax_scalar(&self.mats[n], &arr, next_down);
+        }
+        // Into d.
+        let mut best: Option<f64> = None;
+        for (&b, &a) in &arr {
+            if let Some(f) = self.mats[ld].entry(b, d) {
+                let total = a + f.eval(a);
+                if best.is_none_or(|x| total < x) {
+                    best = Some(total);
+                }
+            }
+        }
+        best.map(|a| a - t)
+    }
+
+    /// Shortest travel cost function query `f_{s,d}(t)`.
+    pub fn query_profile(&self, s: VertexId, d: VertexId) -> Option<Plf> {
+        if s == d {
+            return Some(Plf::zero());
+        }
+        let ls = self.pt.leaf_of[s as usize];
+        let ld = self.pt.leaf_of[d as usize];
+        if ls == ld {
+            return self.mats[ls].entry(s, d).cloned();
+        }
+        let lca = self.pt.lca(ls, ld);
+        let path_s = self.pt.path_up(ls, lca);
+        let path_d = self.pt.path_up(ld, lca);
+
+        let mut cost: HashMap<VertexId, Plf> = HashMap::new();
+        for &b in &self.pt.nodes[ls].borders {
+            if let Some(f) = self.mats[ls].entry(s, b) {
+                match cost.entry(b) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        *e.get_mut() = e.get().minimum(f);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(f.clone());
+                    }
+                }
+            }
+        }
+        for &n in &path_s[1..path_s.len().saturating_sub(1)] {
+            cost = relax_profile(&self.mats[n], &cost, &self.pt.nodes[n].borders);
+        }
+        let child_d = path_d[path_d.len() - 2];
+        cost = relax_profile(&self.mats[lca], &cost, &self.pt.nodes[child_d].borders);
+        for &n in path_d[1..path_d.len() - 1].iter().rev() {
+            let next_down: Vec<VertexId> = if n == path_d[1] {
+                self.pt.nodes[ld].borders.clone()
+            } else {
+                let below = path_d[path_d.iter().position(|&x| x == n).unwrap() - 1];
+                self.pt.nodes[below].borders.clone()
+            };
+            cost = relax_profile(&self.mats[n], &cost, &next_down);
+        }
+        let mut best: Option<Plf> = None;
+        for (&b, f1) in &cost {
+            if let Some(f2) = self.mats[ld].entry(b, d) {
+                min_into(&mut best, f1.compound(f2, b));
+            }
+        }
+        best
+    }
+
+    /// Index memory in bytes (all cached matrices).
+    pub fn memory_bytes(&self) -> usize {
+        self.mats.iter().map(|m| m.bytes()).sum()
+    }
+
+    /// Total cached interpolation points.
+    pub fn total_points(&self) -> usize {
+        self.mats.iter().map(|m| m.points()).sum()
+    }
+
+    /// Number of partition-tree nodes.
+    pub fn num_partitions(&self) -> usize {
+        self.pt.nodes.len()
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &TdGraph {
+        &self.graph
+    }
+}
+
+/// Anchor set of a node: all vertices (leaf) or union of children borders.
+fn anchor_set(pt: &PartitionTree, idx: usize) -> Vec<VertexId> {
+    let node = &pt.nodes[idx];
+    let mut anchors: Vec<VertexId> = if node.children.is_empty() {
+        node.vertices.clone()
+    } else {
+        let mut a: Vec<VertexId> = node
+            .children
+            .iter()
+            .flat_map(|&c| pt.nodes[c].borders.iter().copied())
+            .collect();
+        // The node's own borders must be present (they are borders of some
+        // child too, but be defensive).
+        a.extend_from_slice(&node.borders);
+        a
+    };
+    anchors.sort_unstable();
+    anchors.dedup();
+    anchors
+}
+
+/// Builds the local supergraph over `anchors`:
+/// * leaf: induced original edges;
+/// * internal: children's border-to-border matrix entries + crossing edges;
+/// * plus optional `outside` edges (parent's refined entries).
+fn supergraph(
+    g: &TdGraph,
+    pt: &PartitionTree,
+    mats: &[NodeMatrix],
+    idx: usize,
+    anchors: &[VertexId],
+    outside: Option<&[(VertexId, VertexId, Plf)]>,
+) -> (TdGraph, HashMap<VertexId, u32>, Vec<VertexId>) {
+    let mut local_of: HashMap<VertexId, u32> = HashMap::new();
+    for (i, &v) in anchors.iter().enumerate() {
+        local_of.insert(v, i as u32);
+    }
+    let mut b = GraphBuilder::new(anchors.len());
+    let node = &pt.nodes[idx];
+    if node.children.is_empty() {
+        // Induced subgraph.
+        for &v in anchors {
+            for &(u, e) in g.out_edges(v) {
+                if let Some(&lu) = local_of.get(&u) {
+                    b.edge(local_of[&v], lu, g.weight(e).clone()).expect("valid local edge");
+                }
+            }
+        }
+    } else {
+        // Children matrices among their borders.
+        for &c in &node.children {
+            let borders = &pt.nodes[c].borders;
+            for &x in borders {
+                for &y in borders {
+                    if x == y {
+                        continue;
+                    }
+                    if let Some(f) = mats[c].entry(x, y) {
+                        b.edge(local_of[&x], local_of[&y], f.clone()).expect("valid");
+                    }
+                }
+            }
+        }
+        // Crossing edges between children (both endpoints are borders).
+        for &v in anchors {
+            for &(u, e) in g.out_edges(v) {
+                if let Some(&lu) = local_of.get(&u) {
+                    // Only add original edges that cross children (edges
+                    // inside one child are subsumed by its matrix, but adding
+                    // them again is harmless thanks to min-merging).
+                    b.edge(local_of[&v], lu, g.weight(e).clone()).expect("valid");
+                }
+            }
+        }
+    }
+    if let Some(extra) = outside {
+        for (x, y, f) in extra {
+            if let (Some(&lx), Some(&ly)) = (local_of.get(x), local_of.get(y)) {
+                if lx != ly {
+                    b.edge(lx, ly, f.clone()).expect("valid");
+                }
+            }
+        }
+    }
+    (b.build(), local_of, anchors.to_vec())
+}
+
+/// Parent's refined matrix entries among `idx`'s borders.
+fn border_pairs(
+    pt: &PartitionTree,
+    mats: &[NodeMatrix],
+    idx: usize,
+    parent: usize,
+) -> Vec<(VertexId, VertexId, Plf)> {
+    let borders = &pt.nodes[idx].borders;
+    let mut out = Vec::new();
+    for &x in borders {
+        for &y in borders {
+            if x == y {
+                continue;
+            }
+            if let Some(f) = mats[parent].entry(x, y) {
+                out.push((x, y, f.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// All-pairs profile search over the local supergraph (one search per
+/// anchor, parallelised across rows).
+fn all_pairs(local: &(TdGraph, HashMap<VertexId, u32>, Vec<VertexId>), anchors: Vec<VertexId>) -> NodeMatrix {
+    let (g, _, order) = local;
+    let k = anchors.len();
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |p| p.get())
+        .min(k.max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let rows: Vec<std::sync::Mutex<Vec<Option<Plf>>>> =
+        (0..k).map(|_| std::sync::Mutex::new(Vec::new())).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= k {
+                    break;
+                }
+                let prof = profile_search(g, i as u32);
+                *rows[i].lock().expect("no poisoning") = prof.dist;
+            });
+        }
+    });
+    let mut mat: Vec<Option<Plf>> = Vec::with_capacity(k * k);
+    for row in rows {
+        mat.extend(row.into_inner().expect("no poisoning"));
+    }
+    let mut pos = HashMap::with_capacity(k);
+    for (i, &v) in anchors.iter().enumerate() {
+        pos.insert(v, i);
+    }
+    debug_assert_eq!(&anchors, order);
+    NodeMatrix { anchors, pos, mat }
+}
+
+/// Scalar relaxation through a node matrix: earliest arrivals at `targets`.
+fn relax_scalar(
+    m: &NodeMatrix,
+    arr: &HashMap<VertexId, f64>,
+    targets: &[VertexId],
+) -> HashMap<VertexId, f64> {
+    let mut out: HashMap<VertexId, f64> = HashMap::with_capacity(targets.len());
+    for &b2 in targets {
+        let mut best: Option<f64> = arr.get(&b2).copied();
+        for (&b1, &a) in arr {
+            if b1 == b2 {
+                continue;
+            }
+            if let Some(f) = m.entry(b1, b2) {
+                let cand = a + f.eval(a);
+                if best.is_none_or(|x| cand < x) {
+                    best = Some(cand);
+                }
+            }
+        }
+        if let Some(a) = best {
+            out.insert(b2, a);
+        }
+    }
+    out
+}
+
+/// Profile relaxation through a node matrix.
+fn relax_profile(
+    m: &NodeMatrix,
+    cost: &HashMap<VertexId, Plf>,
+    targets: &[VertexId],
+) -> HashMap<VertexId, Plf> {
+    let mut out: HashMap<VertexId, Plf> = HashMap::with_capacity(targets.len());
+    for &b2 in targets {
+        let mut best: Option<Plf> = cost.get(&b2).cloned();
+        for (&b1, f1) in cost {
+            if b1 == b2 {
+                continue;
+            }
+            if let Some(f2) = m.entry(b1, b2) {
+                min_into(&mut best, f1.compound(f2, b1));
+            }
+        }
+        if let Some(f) = best {
+            out.insert(b2, f);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+    use td_dijkstra::shortest_path_cost;
+    use td_gen::random_graph::seeded_graph;
+    use td_plf::DAY;
+
+    #[test]
+    fn gtree_cost_matches_the_oracle() {
+        for seed in 0..4u64 {
+            let n = 60;
+            let g = seeded_graph(seed, n, 40, 3);
+            let gt = TdGtree::build(g.clone(), GtreeConfig { max_leaf: 10 });
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xaaaa);
+            for _ in 0..50 {
+                let s = rng.gen_range(0..n) as u32;
+                let d = rng.gen_range(0..n) as u32;
+                let t = rng.gen_range(0.0..DAY);
+                let want = shortest_path_cost(&g, s, d, t);
+                let got = gt.query_cost(s, d, t);
+                match (want, got) {
+                    (Some(a), Some(b)) => assert!(
+                        (a - b).abs() < 1e-4,
+                        "seed={seed} s={s} d={d} t={t}: oracle {a} vs gtree {b}"
+                    ),
+                    (None, None) => {}
+                    other => panic!("seed={seed} s={s} d={d}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gtree_profile_matches_scalar_queries() {
+        let n = 40;
+        let g = seeded_graph(7, n, 25, 3);
+        let gt = TdGtree::build(g.clone(), GtreeConfig { max_leaf: 8 });
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..20 {
+            let s = rng.gen_range(0..n) as u32;
+            let d = rng.gen_range(0..n) as u32;
+            match gt.query_profile(s, d) {
+                Some(f) => {
+                    for k in 0..8 {
+                        let t = k as f64 * DAY / 8.0 + 11.0;
+                        let scalar = gt.query_cost(s, d, t).expect("profile exists");
+                        assert!(
+                            (f.eval(t) - scalar).abs() < 1e-4,
+                            "s={s} d={d} t={t}: profile {} vs scalar {scalar}",
+                            f.eval(t)
+                        );
+                    }
+                }
+                None => assert!(gt.query_cost(s, d, 0.0).is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn same_leaf_queries_are_exact() {
+        let n = 30;
+        let g = seeded_graph(3, n, 20, 3);
+        let gt = TdGtree::build(g.clone(), GtreeConfig { max_leaf: 64 }); // single leaf
+        for s in 0..n as u32 {
+            for d in 0..n as u32 {
+                let t = 5_000.0;
+                let want = shortest_path_cost(&g, s, d, t);
+                let got = gt.query_cost(s, d, t);
+                match (want, got) {
+                    (Some(a), Some(b)) => assert!((a - b).abs() < 1e-5, "s={s} d={d}"),
+                    (None, None) => {}
+                    other => panic!("s={s} d={d}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let g = seeded_graph(5, 50, 30, 3);
+        let gt = TdGtree::build(g, GtreeConfig { max_leaf: 10 });
+        assert!(gt.memory_bytes() > 0);
+        assert!(gt.total_points() > 0);
+        assert!(gt.num_partitions() > 1);
+        assert!(gt.build_secs >= 0.0);
+    }
+}

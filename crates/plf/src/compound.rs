@@ -1,0 +1,260 @@
+//! The paper's `Compound()` operator (Def. 2).
+//!
+//! `Compound(f, g)(t) = f(t) + g(t + f(t))`: travel the first leg departing at
+//! `t`, then the second leg departing at the arrival time `t + f(t)`.
+//!
+//! The result is again piecewise linear. Its breakpoints are
+//! * every breakpoint of `f`, plus
+//! * every departure time `t` at which the arrival function `A(t) = t + f(t)`
+//!   crosses a breakpoint of `g` (including on the clamped rays of `f`, where
+//!   `A` has slope exactly 1).
+//!
+//! Between two consecutive such times, `f` is linear and `A(t)` stays inside a
+//! single segment of `g`, so the composition is linear — making the operator
+//! exact on the representation. Under FIFO (`A` non-decreasing) each breakpoint
+//! of `g` contributes at most one pre-image and the result has at most
+//! `|f| + |g|` points before simplification; non-FIFO inputs are still handled
+//! exactly (segments with decreasing `A` are scanned in reverse).
+
+use crate::approx::EPS_TIME;
+use crate::plf::{Plf, Pt, Via};
+
+impl Plf {
+    /// `Compound(self, g)` with the bridge vertex `via` stamped on every
+    /// segment of the result (Def. 2 records the intermediate vertex).
+    ///
+    /// Exactness: for every `t ∈ ℝ`,
+    /// `result.eval(t) == self.eval(t) + g.eval(t + self.eval(t))`
+    /// up to floating-point rounding.
+    pub fn compound(&self, g: &Plf, via: Via) -> Plf {
+        let mut times = candidate_times(self, g);
+        debug_assert!(!times.is_empty());
+        // Non-FIFO inputs can emit out-of-order candidates; sort defensively
+        // only when needed (the FIFO fast path is already sorted).
+        if !times.windows(2).all(|w| w[0] <= w[1]) {
+            times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        }
+        let mut pts: Vec<Pt> = Vec::with_capacity(times.len());
+        for t in times {
+            if let Some(last) = pts.last() {
+                if t - last.t <= EPS_TIME {
+                    continue;
+                }
+            }
+            let fv = self.eval(t);
+            let v = fv + g.eval(t + fv);
+            pts.push(Pt::with_via(t, v, via));
+        }
+        let mut out = Plf::from_raw(pts);
+        out.simplify();
+        out
+    }
+
+    /// Scalar compound: the cost of continuing over `g` after having already
+    /// spent `cost_so_far` when departing at `depart`. Returns the total cost
+    /// `cost_so_far + g(depart + cost_so_far)`.
+    ///
+    /// This is the relaxation step of the *travel cost query* (Fig. 8 a/c/e/g):
+    /// the same `Compound` but evaluated at a single departure time.
+    #[inline]
+    pub fn compound_scalar(cost_so_far: f64, depart: f64, g: &Plf) -> f64 {
+        cost_so_far + g.eval(depart + cost_so_far)
+    }
+}
+
+/// Candidate breakpoint times of `Compound(f, g)`: `f`'s breakpoints merged
+/// with pre-images of `g`'s breakpoints under `A(t) = t + f(t)`.
+fn candidate_times(f: &Plf, g: &Plf) -> Vec<f64> {
+    let fp = f.points();
+    let gp = g.points();
+    let mut times = Vec::with_capacity(fp.len() + gp.len());
+
+    // Left ray of f: A(t) = t + v_first, slope 1, covering (-∞, A(t_first)).
+    let a_first = fp[0].t + fp[0].v;
+    for s in gp.iter().map(|p| p.t).take_while(|&s| s < a_first) {
+        times.push(s - fp[0].v);
+    }
+
+    // Interior segments of f.
+    for w in fp.windows(2) {
+        let (p0, p1) = (w[0], w[1]);
+        times.push(p0.t);
+        let a0 = p0.t + p0.v;
+        let a1 = p1.t + p1.v;
+        if a1 > a0 + EPS_TIME {
+            // A strictly increasing on this segment: pre-image of each g
+            // breakpoint strictly inside (a0, a1).
+            let lo = gp.partition_point(|p| p.t <= a0 + EPS_TIME);
+            let hi = gp.partition_point(|p| p.t < a1 - EPS_TIME);
+            for s in gp[lo..hi].iter().map(|p| p.t) {
+                let t = p0.t + (s - a0) * (p1.t - p0.t) / (a1 - a0);
+                times.push(t.clamp(p0.t, p1.t));
+            }
+        } else if a1 < a0 - EPS_TIME {
+            // Non-FIFO segment: A decreasing; enumerate in reverse so emitted
+            // times still ascend within the segment.
+            let lo = gp.partition_point(|p| p.t <= a1 + EPS_TIME);
+            let hi = gp.partition_point(|p| p.t < a0 - EPS_TIME);
+            for s in gp[lo..hi].iter().rev().map(|p| p.t) {
+                let t = p0.t + (s - a0) * (p1.t - p0.t) / (a1 - a0);
+                times.push(t.clamp(p0.t, p1.t));
+            }
+        }
+        // Flat arrival (a0 ≈ a1): g∘A constant on the segment, no crossings.
+    }
+    let last = fp[fp.len() - 1];
+    times.push(last.t);
+
+    // Right ray of f: A(t) = t + v_last, slope 1, covering (A(t_last), ∞).
+    let a_last = last.t + last.v;
+    let lo = gp.partition_point(|p| p.t <= a_last + EPS_TIME);
+    for s in gp[lo..].iter().map(|p| p.t) {
+        times.push(s - last.v);
+    }
+    times
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plf::NO_VIA;
+
+    fn plf(pairs: &[(f64, f64)]) -> Plf {
+        Plf::from_pairs(pairs).unwrap()
+    }
+
+    /// Brute-force reference: evaluate the mathematical definition.
+    fn reference(f: &Plf, g: &Plf, t: f64) -> f64 {
+        let fv = f.eval(t);
+        fv + g.eval(t + fv)
+    }
+
+    fn assert_compound_exact(f: &Plf, g: &Plf) {
+        let h = f.compound(g, NO_VIA);
+        assert!(h.is_fifo() || !f.is_fifo() || !g.is_fifo());
+        // Dense probe over an interval generously covering all breakpoints.
+        let lo = f.first().t.min(g.first().t) - 50.0;
+        let hi = f.last().t.max(g.last().t) + 50.0;
+        let n = 400;
+        for i in 0..=n {
+            let t = lo + (hi - lo) * i as f64 / n as f64;
+            let want = reference(f, g, t);
+            let got = h.eval(t);
+            assert!(
+                (want - got).abs() < 1e-6,
+                "compound mismatch at t={t}: want {want}, got {got}\nf={f:?}\ng={g:?}\nh={h:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_example_2_2_path_1_4_9() {
+        // Fig. 1b: w_{1,4} = {(0,5),(30,15),(60,25)}, w_{4,9} = {(0,5),(60,15)}.
+        let w14 = plf(&[(0.0, 5.0), (30.0, 15.0), (60.0, 25.0)]);
+        let w49 = plf(&[(0.0, 5.0), (60.0, 15.0)]);
+        let h = w14.compound(&w49, 4);
+        // Departing v1 at time 0: reach v4 at 5, edge (4,9) costs 5 + 5/6 ≈ 5.833…
+        let want0 = 5.0 + w49.eval(5.0);
+        assert!((h.eval(0.0) - want0).abs() < 1e-9);
+        assert_compound_exact(&w14, &w49);
+        // Bridge witness recorded (Def. 2).
+        assert!(h.points().iter().all(|p| p.via == 4));
+    }
+
+    #[test]
+    fn paper_example_2_2_path_1_2_9() {
+        let w12 = plf(&[(0.0, 10.0), (20.0, 10.0), (60.0, 15.0)]);
+        let w29 = plf(&[(0.0, 5.0), (30.0, 10.0), (60.0, 15.0)]);
+        assert_compound_exact(&w12, &w29);
+    }
+
+    #[test]
+    fn constant_then_varying() {
+        let f = Plf::constant(10.0);
+        let g = plf(&[(0.0, 5.0), (30.0, 20.0), (60.0, 5.0)]);
+        // h(t) = 10 + g(t + 10): g's shape shifted left by 10.
+        let h = f.compound(&g, NO_VIA);
+        assert!((h.eval(-10.0) - 15.0).abs() < 1e-9);
+        assert!((h.eval(20.0) - 30.0).abs() < 1e-9);
+        assert!((h.eval(50.0) - 15.0).abs() < 1e-9);
+        assert_compound_exact(&f, &g);
+    }
+
+    #[test]
+    fn varying_then_constant() {
+        let f = plf(&[(0.0, 5.0), (30.0, 15.0)]);
+        let g = Plf::constant(7.0);
+        let h = f.compound(&g, NO_VIA);
+        for t in [-10.0, 0.0, 15.0, 30.0, 100.0] {
+            assert!((h.eval(t) - (f.eval(t) + 7.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn both_constant() {
+        let h = Plf::constant(3.0).compound(&Plf::constant(4.0), NO_VIA);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.eval(123.0), 7.0);
+    }
+
+    #[test]
+    fn zero_is_left_and_right_unit() {
+        let f = plf(&[(0.0, 5.0), (30.0, 15.0), (60.0, 8.0)]);
+        let z = Plf::zero();
+        assert!(z.compound(&f, NO_VIA).approx_eq(&f, 1e-9));
+        assert!(f.compound(&z, NO_VIA).approx_eq(&f, 1e-9));
+    }
+
+    #[test]
+    fn fifo_slope_minus_one_flat_arrival() {
+        // f has slope exactly -1: arrival is flat, every departure in the
+        // segment arrives simultaneously.
+        let f = plf(&[(0.0, 20.0), (10.0, 10.0), (20.0, 10.0)]);
+        assert!(f.is_fifo());
+        let g = plf(&[(0.0, 1.0), (15.0, 4.0), (40.0, 2.0)]);
+        assert_compound_exact(&f, &g);
+    }
+
+    #[test]
+    fn non_fifo_input_still_exact() {
+        let f = plf(&[(0.0, 50.0), (10.0, 10.0)]); // slope -4 — overtaking
+        assert!(!f.is_fifo());
+        let g = plf(&[(0.0, 1.0), (20.0, 9.0), (45.0, 3.0)]);
+        assert_compound_exact(&f, &g);
+    }
+
+    #[test]
+    fn associativity_on_fifo_functions() {
+        let f = plf(&[(0.0, 10.0), (20.0, 10.0), (60.0, 15.0)]);
+        let g = plf(&[(0.0, 5.0), (30.0, 10.0), (60.0, 15.0)]);
+        let h = plf(&[(0.0, 8.0), (40.0, 2.0), (80.0, 12.0)]);
+        let left = f.compound(&g, NO_VIA).compound(&h, NO_VIA);
+        let right = f.compound(&g.compound(&h, NO_VIA), NO_VIA);
+        assert!(
+            left.approx_eq(&right, 1e-6),
+            "left={left:?}\nright={right:?}"
+        );
+    }
+
+    #[test]
+    fn compound_scalar_matches_function_compound() {
+        let f = plf(&[(0.0, 10.0), (20.0, 10.0), (60.0, 15.0)]);
+        let g = plf(&[(0.0, 5.0), (30.0, 10.0), (60.0, 15.0)]);
+        let h = f.compound(&g, NO_VIA);
+        for t in [0.0, 7.5, 20.0, 33.3, 59.0, 61.0] {
+            let scalar = Plf::compound_scalar(f.eval(t), t, &g);
+            assert!((h.eval(t) - scalar).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn result_size_is_linear_in_inputs() {
+        let f: Vec<(f64, f64)> = (0..50).map(|i| (i as f64 * 10.0, 5.0 + (i % 7) as f64)).collect();
+        let g: Vec<(f64, f64)> = (0..50).map(|i| (i as f64 * 9.0, 3.0 + (i % 5) as f64)).collect();
+        let f = plf(&f);
+        let g = plf(&g);
+        let h = f.compound(&g, NO_VIA);
+        assert!(h.len() <= f.len() + g.len() + 2, "got {}", h.len());
+        assert_compound_exact(&f, &g);
+    }
+}

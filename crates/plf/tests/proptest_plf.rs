@@ -1,0 +1,164 @@
+//! Property-based tests for the PLF algebra — the invariants every index in
+//! the workspace silently relies on.
+
+use proptest::prelude::*;
+use td_plf::{Plf, NO_VIA};
+
+/// Strategy: a random FIFO travel-cost function with 1..=12 points over
+/// roughly a day, values in [0, 3600].
+fn fifo_plf() -> impl Strategy<Value = Plf> {
+    (
+        proptest::collection::vec(0.1f64..3000.0, 0..11),
+        0.0f64..3600.0,
+        proptest::collection::vec(0.0f64..1.0, 12),
+    )
+        .prop_map(|(gaps, v0, vs)| {
+            let mut t = 0.0;
+            let mut pts = vec![(0.0, v0)];
+            for (i, gap) in gaps.iter().enumerate() {
+                t += gap + 1.0;
+                let prev = pts.last().unwrap().1;
+                // Next value within FIFO bounds: slope ≥ -1 ⇒ v ≥ prev - dt.
+                let dt = gap + 1.0;
+                let lo = (prev - dt).max(0.0);
+                let hi = prev + dt; // keep slopes ≤ +1 for variety
+                let v = lo + vs[i] * (hi - lo);
+                pts.push((t, v));
+            }
+            Plf::from_pairs(&pts).expect("generated points are valid")
+        })
+}
+
+fn probe_times(fs: &[&Plf]) -> Vec<f64> {
+    let mut ts: Vec<f64> = vec![-10.0, 0.0];
+    for f in fs {
+        for p in f.points() {
+            ts.push(p.t);
+            ts.push(p.t + 0.37);
+            ts.push(p.t - 0.41);
+        }
+        ts.push(f.last().t + 100.0);
+    }
+    ts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn generated_functions_are_fifo(f in fifo_plf()) {
+        prop_assert!(f.is_fifo());
+    }
+
+    #[test]
+    fn compound_matches_pointwise_definition(f in fifo_plf(), g in fifo_plf()) {
+        let h = f.compound(&g, NO_VIA);
+        for t in probe_times(&[&f, &g, &h]) {
+            let fv = f.eval(t);
+            let want = fv + g.eval(t + fv);
+            prop_assert!((h.eval(t) - want).abs() < 1e-6,
+                "t={t} want={want} got={}", h.eval(t));
+        }
+    }
+
+    #[test]
+    fn compound_preserves_fifo(f in fifo_plf(), g in fifo_plf()) {
+        prop_assert!(f.compound(&g, NO_VIA).is_fifo());
+    }
+
+    #[test]
+    fn compound_is_associative(f in fifo_plf(), g in fifo_plf(), h in fifo_plf()) {
+        let left = f.compound(&g, NO_VIA).compound(&h, NO_VIA);
+        let right = f.compound(&g.compound(&h, NO_VIA), NO_VIA);
+        prop_assert!(left.approx_eq(&right, 1e-5),
+            "left={left:?}\nright={right:?}");
+    }
+
+    #[test]
+    fn zero_is_identity_for_compound(f in fifo_plf()) {
+        let z = Plf::zero();
+        prop_assert!(z.compound(&f, NO_VIA).approx_eq(&f, 1e-7));
+        prop_assert!(f.compound(&z, NO_VIA).approx_eq(&f, 1e-7));
+    }
+
+    #[test]
+    fn minimum_matches_pointwise_definition(f in fifo_plf(), g in fifo_plf()) {
+        let h = f.minimum(&g);
+        for t in probe_times(&[&f, &g, &h]) {
+            let want = f.eval(t).min(g.eval(t));
+            prop_assert!((h.eval(t) - want).abs() < 1e-6,
+                "t={t} want={want} got={}", h.eval(t));
+        }
+    }
+
+    #[test]
+    fn minimum_is_commutative(f in fifo_plf(), g in fifo_plf()) {
+        prop_assert!(f.minimum(&g).approx_eq(&g.minimum(&f), 1e-7));
+    }
+
+    #[test]
+    fn minimum_is_idempotent(f in fifo_plf()) {
+        prop_assert!(f.minimum(&f).approx_eq(&f, 1e-7));
+    }
+
+    #[test]
+    fn minimum_is_associative(f in fifo_plf(), g in fifo_plf(), h in fifo_plf()) {
+        let left = f.minimum(&g).minimum(&h);
+        let right = f.minimum(&g.minimum(&h));
+        prop_assert!(left.approx_eq(&right, 1e-6));
+    }
+
+    #[test]
+    fn minimum_preserves_fifo(f in fifo_plf(), g in fifo_plf()) {
+        prop_assert!(f.minimum(&g).is_fifo());
+    }
+
+    #[test]
+    fn minimum_lower_bounds_both(f in fifo_plf(), g in fifo_plf()) {
+        let h = f.minimum(&g);
+        for t in probe_times(&[&f, &g]) {
+            prop_assert!(h.eval(t) <= f.eval(t) + 1e-7);
+            prop_assert!(h.eval(t) <= g.eval(t) + 1e-7);
+        }
+    }
+
+    #[test]
+    fn simplify_preserves_values(f in fifo_plf()) {
+        let s = f.simplified();
+        prop_assert!(s.len() <= f.len());
+        for t in probe_times(&[&f]) {
+            prop_assert!((s.eval(t) - f.eval(t)).abs() < 1e-6,
+                "t={t}: {} vs {}", s.eval(t), f.eval(t));
+        }
+    }
+
+    #[test]
+    fn compound_distributes_over_min_on_the_left(
+        f in fifo_plf(), g in fifo_plf(), h in fifo_plf()
+    ) {
+        // f ∘ min(g,h) == min(f∘g, f∘h): both legs depart at the same arrival
+        // time, so minimising afterwards is the same as minimising first.
+        let a = f.compound(&g.minimum(&h), NO_VIA);
+        let b = f.compound(&g, NO_VIA).minimum(&f.compound(&h, NO_VIA));
+        prop_assert!(a.approx_eq(&b, 1e-5), "a={a:?}\nb={b:?}");
+    }
+
+    #[test]
+    fn eval_is_clamped_and_bounded(f in fifo_plf()) {
+        let (lo, hi) = (f.min_value(), f.max_value());
+        for t in probe_times(&[&f]) {
+            let v = f.eval(t);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+        prop_assert!((f.eval(-1e9) - f.first().v).abs() < 1e-12);
+        prop_assert!((f.eval(1e9) - f.last().v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_value_lower_bounds_compound(f in fifo_plf(), g in fifo_plf()) {
+        // Used by A* and Algo. 6 pruning: min over the whole day of the
+        // compound is at least the sum of the individual minima.
+        let h = f.compound(&g, NO_VIA);
+        prop_assert!(h.min_value() >= f.min_value() + g.min_value() - 1e-7);
+    }
+}

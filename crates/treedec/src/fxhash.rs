@@ -1,0 +1,98 @@
+//! A minimal Fx-style hasher for small integer keys.
+//!
+//! The elimination data structures hash millions of `u32` vertex ids; the
+//! standard SipHash is needlessly slow for this (see the Rust Performance
+//! Book's Hashing chapter). This is the classic Firefox/rustc multiply-rotate
+//! hash, implemented locally to keep the dependency set to the approved list.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-rotate hasher (word-at-a-time, non-cryptographic).
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributes_sequential_keys() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u32..10_000 {
+            let mut h = FxHasher::default();
+            h.write_u32(i);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 10_000, "collisions on sequential u32 keys");
+    }
+
+    #[test]
+    fn works_as_map_hasher() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.get(&500), Some(&1000));
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn byte_writes_consistent() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,163 @@
+//! O(1) lowest-common-ancestor queries via Euler tour + sparse-table RMQ.
+//!
+//! Property 1 makes the LCA node's bag the vertex cut between the query
+//! endpoints, so every query starts with an LCA lookup; the sparse table
+//! makes that constant-time after `O(n log n)` preprocessing.
+
+use crate::tree::TreeNode;
+use td_graph::VertexId;
+
+/// Euler-tour sparse-table LCA index.
+pub struct LcaIndex {
+    /// Euler tour of vertices (2n-1 entries).
+    euler: Vec<VertexId>,
+    /// Depth of each Euler entry.
+    depth: Vec<u32>,
+    /// First occurrence of each vertex in the tour.
+    first: Vec<u32>,
+    /// sparse[k][i] = index (into euler) of the min-depth entry in
+    /// [i, i + 2^k).
+    sparse: Vec<Vec<u32>>,
+}
+
+impl LcaIndex {
+    /// Builds the index from the tree's parent/children links.
+    pub fn build(nodes: &[TreeNode], root: VertexId) -> LcaIndex {
+        let n = nodes.len();
+        let mut euler: Vec<VertexId> = Vec::with_capacity(2 * n);
+        let mut depth: Vec<u32> = Vec::with_capacity(2 * n);
+        let mut first: Vec<u32> = vec![u32::MAX; n];
+
+        // Iterative Euler tour.
+        enum Step {
+            Visit(VertexId),
+            Emit(VertexId),
+        }
+        let mut stack = vec![Step::Visit(root)];
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Visit(v) => {
+                    if first[v as usize] == u32::MAX {
+                        first[v as usize] = euler.len() as u32;
+                    }
+                    euler.push(v);
+                    depth.push(nodes[v as usize].depth);
+                    for &c in nodes[v as usize].children.iter().rev() {
+                        stack.push(Step::Emit(v));
+                        stack.push(Step::Visit(c));
+                    }
+                }
+                Step::Emit(v) => {
+                    euler.push(v);
+                    depth.push(nodes[v as usize].depth);
+                }
+            }
+        }
+
+        // Sparse table over depths.
+        let m = euler.len();
+        let levels = (usize::BITS - m.leading_zeros()) as usize;
+        let mut sparse: Vec<Vec<u32>> = Vec::with_capacity(levels);
+        sparse.push((0..m as u32).collect());
+        let mut k = 1;
+        while (1 << k) <= m {
+            let half = 1 << (k - 1);
+            let prev = &sparse[k - 1];
+            let mut row = Vec::with_capacity(m - (1 << k) + 1);
+            for i in 0..=(m - (1 << k)) {
+                let a = prev[i];
+                let b = prev[i + half];
+                row.push(if depth[a as usize] <= depth[b as usize] { a } else { b });
+            }
+            sparse.push(row);
+            k += 1;
+        }
+
+        LcaIndex {
+            euler,
+            depth,
+            first,
+            sparse,
+        }
+    }
+
+    /// The LCA of `u` and `v`.
+    pub fn query(&self, u: VertexId, v: VertexId) -> VertexId {
+        if u == v {
+            return u;
+        }
+        let (mut a, mut b) = (self.first[u as usize], self.first[v as usize]);
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let len = (b - a + 1) as usize;
+        let k = (usize::BITS - 1 - len.leading_zeros()) as usize;
+        let left = self.sparse[k][a as usize];
+        let right = self.sparse[k][b as usize + 1 - (1 << k)];
+        let idx = if self.depth[left as usize] <= self.depth[right as usize] {
+            left
+        } else {
+            right
+        };
+        self.euler[idx as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeDecomposition;
+    use td_gen::random_graph::seeded_graph;
+
+    /// Slow reference LCA by walking up.
+    fn slow_lca(td: &TreeDecomposition, mut u: VertexId, mut v: VertexId) -> VertexId {
+        while td.node(u).depth > td.node(v).depth {
+            u = td.node(u).parent.unwrap();
+        }
+        while td.node(v).depth > td.node(u).depth {
+            v = td.node(v).parent.unwrap();
+        }
+        while u != v {
+            u = td.node(u).parent.unwrap();
+            v = td.node(v).parent.unwrap();
+        }
+        u
+    }
+
+    #[test]
+    fn matches_slow_reference_on_random_trees() {
+        for seed in 0..5u64 {
+            let g = seeded_graph(seed, 50, 30, 3);
+            let td = TreeDecomposition::build(&g);
+            for u in 0..50u32 {
+                for v in 0..50u32 {
+                    assert_eq!(
+                        td.lca(u, v),
+                        slow_lca(&td, u, v),
+                        "seed={seed} u={u} v={v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lca_of_self_is_self() {
+        let g = seeded_graph(1, 20, 10, 3);
+        let td = TreeDecomposition::build(&g);
+        for v in 0..20u32 {
+            assert_eq!(td.lca(v, v), v);
+        }
+    }
+
+    #[test]
+    fn lca_with_ancestor_is_the_ancestor() {
+        let g = seeded_graph(2, 30, 20, 3);
+        let td = TreeDecomposition::build(&g);
+        for v in 0..30u32 {
+            for a in td.ancestors_root_first(v) {
+                assert_eq!(td.lca(v, a), a);
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # td-treedec — tree decomposition of time-dependent road networks
+//!
+//! Implements §3 of the paper:
+//!
+//! * the **reduction operator** `G ⊖ v` (Algo. 1), which eliminates a vertex
+//!   while preserving shortest travel-cost functions among its neighbours
+//!   (producing a TFP-graph, Def. 5);
+//! * **TFP tree decomposition** (Algo. 2): min-degree elimination, one tree
+//!   node `X(v)` per vertex storing the weight lists `Ws` (`v → u`) and `Wd`
+//!   (`u → v`) for every bag member `u ∈ X(v)\{v}`;
+//! * the tree skeleton with parent/children links, depths, subtree sizes,
+//!   treewidth/treeheight (Def. 4) and O(1) **LCA** via Euler tour + sparse
+//!   table (needed by Property 1's vertex-cut argument).
+//!
+//! The decomposition is the substrate shared by `td-core` (the paper's index)
+//! and `td-h2h` (the TD-H2H baseline).
+
+pub mod elimination;
+pub mod fxhash;
+pub mod lca;
+pub mod tree;
+
+pub use elimination::{EliminationGraph, ReductionStats};
+pub use lca::LcaIndex;
+pub use tree::{TreeDecomposition, TreeNode, TreeStats};

@@ -1,0 +1,473 @@
+//! TFP tree decomposition (Algo. 2) and the tree skeleton.
+
+use crate::elimination::{EliminationGraph, ReductionStats, SupportMap};
+use crate::lca::LcaIndex;
+use td_graph::{TdGraph, VertexId};
+use td_plf::Plf;
+
+/// One tree node `X(v)` of the decomposition.
+///
+/// `bag` is `X(v)\{v}` sorted by elimination order (ascending), so `bag\[0\]`
+/// is the parent vertex (Algo. 2 line 12) and, by Property 2, every bag
+/// member is an ancestor of `X(v)`.
+#[derive(Clone, Debug)]
+pub struct TreeNode {
+    /// The vertex this node corresponds to.
+    pub vertex: VertexId,
+    /// `X(v)\{v}` sorted by elimination order (parent first).
+    pub bag: Vec<VertexId>,
+    /// `X(v).Ws`: weight function `v → bag[i]` (`None` when the reduced graph
+    /// had no such directed edge).
+    pub ws: Vec<Option<Plf>>,
+    /// `X(v).Wd`: weight function `bag[i] → v`.
+    pub wd: Vec<Option<Plf>>,
+    /// Parent tree node's vertex (`None` for the root).
+    pub parent: Option<VertexId>,
+    /// Children tree nodes' vertices.
+    pub children: Vec<VertexId>,
+    /// Depth from the root (root = 0); the paper's `height(X(v))` = depth+1.
+    pub depth: u32,
+    /// Vertices in the subtree rooted here (including this node).
+    pub subtree_size: u32,
+}
+
+/// Summary statistics of a decomposition (Table 2's `h(T_G)`, `w(T_G)`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TreeStats {
+    /// Treewidth `w(T_G)` = max |X(v)| − 1.
+    pub width: usize,
+    /// Treeheight `h(T_G)` = max height (depth+1).
+    pub height: usize,
+    /// Mean depth over all nodes.
+    pub avg_depth: f64,
+    /// Total interpolation points stored in all `Ws`/`Wd` lists.
+    pub stored_points: usize,
+    /// Heap bytes of all stored weight functions.
+    pub bytes: usize,
+    /// Elimination counters.
+    pub reduction: ReductionStats,
+}
+
+/// A travel-function-preserved tree decomposition `T_G` (Algo. 2).
+pub struct TreeDecomposition {
+    /// Tree nodes indexed by vertex id (one-to-one correspondence, §3.1).
+    pub nodes: Vec<TreeNode>,
+    /// Elimination order `π`: `order[v]` = step at which `v` was eliminated.
+    pub order: Vec<u32>,
+    /// The root node's vertex (eliminated last).
+    pub root: VertexId,
+    /// Optional support lists for incremental updates.
+    pub supports: Option<SupportMap>,
+    lca: LcaIndex,
+    reduction: ReductionStats,
+}
+
+impl TreeDecomposition {
+    /// Runs Algo. 2 on `g`: min-degree elimination with the reduction
+    /// operator, then assembles the tree. `g` should be connected (isolated
+    /// components are attached below the root so LCA stays total; queries
+    /// across components correctly return "unreachable").
+    pub fn build(g: &TdGraph) -> TreeDecomposition {
+        Self::build_opts(g, false)
+    }
+
+    /// [`TreeDecomposition::build`] with optional support tracking for
+    /// incremental updates (`td-core::update`).
+    pub fn build_opts(g: &TdGraph, track_supports: bool) -> TreeDecomposition {
+        let n = g.num_vertices();
+        assert!(n > 0, "cannot decompose an empty graph");
+        let mut eg = EliminationGraph::with_supports(g, track_supports);
+        let mut order = vec![0u32; n];
+        let mut nodes: Vec<Option<TreeNode>> = (0..n).map(|_| None).collect();
+
+        for step in 0..n as u32 {
+            let v = eg.pop_min_degree().expect("one pop per vertex");
+            let (bag, ws, wd) = eg.eliminate(v);
+            order[v as usize] = step;
+            nodes[v as usize] = Some(TreeNode {
+                vertex: v,
+                bag,
+                ws,
+                wd,
+                parent: None,
+                children: Vec::new(),
+                depth: 0,
+                subtree_size: 1,
+            });
+        }
+        let reduction = eg.stats;
+
+        let mut nodes: Vec<TreeNode> = nodes.into_iter().map(|n| n.expect("all built")).collect();
+
+        // Sort each bag (and its weight lists) by elimination order; bag[0]
+        // becomes the parent (Algo. 2 lines 10-13).
+        for node in &mut nodes {
+            let mut idx: Vec<usize> = (0..node.bag.len()).collect();
+            idx.sort_by_key(|&i| order[node.bag[i] as usize]);
+            node.bag = idx.iter().map(|&i| node.bag[i]).collect();
+            node.ws = idx.iter().map(|&i| node.ws[i].clone()).collect();
+            node.wd = idx.iter().map(|&i| node.wd[i].clone()).collect();
+        }
+
+        // Root = vertex eliminated last.
+        let root = (0..n as u32)
+            .max_by_key(|&v| order[v as usize])
+            .expect("non-empty");
+
+        // Parents and children.
+        for v in 0..n as u32 {
+            let parent = if v == root {
+                None
+            } else if nodes[v as usize].bag.is_empty() {
+                // Disconnected component's local root: hang under the global
+                // root with no weight entries (unreachable in queries).
+                Some(root)
+            } else {
+                Some(nodes[v as usize].bag[0])
+            };
+            nodes[v as usize].parent = parent;
+            if let Some(p) = parent {
+                let child = v;
+                nodes[p as usize].children.push(child);
+            }
+        }
+
+        // Depths + subtree sizes via preorder/postorder over the tree.
+        let mut preorder = Vec::with_capacity(n);
+        let mut stack = vec![root];
+        while let Some(v) = stack.pop() {
+            preorder.push(v);
+            let children = nodes[v as usize].children.clone();
+            let d = nodes[v as usize].depth;
+            for c in children {
+                nodes[c as usize].depth = d + 1;
+                stack.push(c);
+            }
+        }
+        debug_assert_eq!(preorder.len(), n, "tree must span all vertices");
+        for &v in preorder.iter().rev() {
+            let size = nodes[v as usize].subtree_size;
+            if let Some(p) = nodes[v as usize].parent {
+                nodes[p as usize].subtree_size += size;
+            }
+            let _ = size;
+        }
+
+        let supports = eg.supports.take();
+        let lca = LcaIndex::build(&nodes, root);
+        TreeDecomposition {
+            nodes,
+            order,
+            root,
+            supports,
+            lca,
+            reduction,
+        }
+    }
+
+    /// Position of `u` inside `X(v)`'s bag, if present.
+    pub fn bag_position(&self, v: VertexId, u: VertexId) -> Option<usize> {
+        self.nodes[v as usize].bag.iter().position(|&x| x == u)
+    }
+
+    /// Number of tree nodes (= vertices).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the decomposition is empty (never: `build` requires n > 0).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node `X(v)`.
+    #[inline]
+    pub fn node(&self, v: VertexId) -> &TreeNode {
+        &self.nodes[v as usize]
+    }
+
+    /// The paper's `height(X(v))` (= depth + 1, root has height 1).
+    #[inline]
+    pub fn height_of(&self, v: VertexId) -> u32 {
+        self.nodes[v as usize].depth + 1
+    }
+
+    /// Lowest common ancestor of `X(u)` and `X(v)` (Property 1: its bag ∪
+    /// vertex is a vertex cut separating `u` and `v`).
+    #[inline]
+    pub fn lca(&self, u: VertexId, v: VertexId) -> VertexId {
+        self.lca.query(u, v)
+    }
+
+    /// The vertex cut separating `s` and `d` (Property 1): the LCA node's
+    /// `{vertex} ∪ bag`.
+    pub fn vertex_cut(&self, s: VertexId, d: VertexId) -> Vec<VertexId> {
+        let x = self.lca(s, d);
+        let node = self.node(x);
+        let mut cut = Vec::with_capacity(node.bag.len() + 1);
+        cut.push(x);
+        cut.extend_from_slice(&node.bag);
+        cut
+    }
+
+    /// Ancestor vertices of `X(v)` from the root down to the parent
+    /// (Def. 6's list sorted by increasing height).
+    pub fn ancestors_root_first(&self, v: VertexId) -> Vec<VertexId> {
+        let mut anc = Vec::with_capacity(self.nodes[v as usize].depth as usize);
+        let mut cur = self.nodes[v as usize].parent;
+        while let Some(p) = cur {
+            anc.push(p);
+            cur = self.nodes[p as usize].parent;
+        }
+        anc.reverse();
+        anc
+    }
+
+    /// Iterator over `v`'s ancestors walking *up* (parent first).
+    pub fn walk_up(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        std::iter::successors(self.nodes[v as usize].parent, move |&p| {
+            self.nodes[p as usize].parent
+        })
+    }
+
+    /// True iff `a` is an ancestor of `v` (or equal).
+    pub fn is_ancestor_of(&self, a: VertexId, v: VertexId) -> bool {
+        self.lca(a, v) == a
+    }
+
+    /// Decomposition statistics (Def. 4).
+    pub fn stats(&self) -> TreeStats {
+        let width = self
+            .nodes
+            .iter()
+            .map(|n| n.bag.len())
+            .max()
+            .unwrap_or(0);
+        let height = self
+            .nodes
+            .iter()
+            .map(|n| n.depth + 1)
+            .max()
+            .unwrap_or(0) as usize;
+        let avg_depth =
+            self.nodes.iter().map(|n| n.depth as f64).sum::<f64>() / self.nodes.len() as f64;
+        let mut stored_points = 0usize;
+        let mut bytes = 0usize;
+        for n in &self.nodes {
+            for f in n.ws.iter().chain(n.wd.iter()).flatten() {
+                stored_points += f.len();
+                bytes += f.heap_bytes();
+            }
+        }
+        TreeStats {
+            width,
+            height,
+            avg_depth,
+            stored_points,
+            bytes,
+            reduction: self.reduction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_gen::random_graph::seeded_graph;
+    use td_graph::GraphBuilder;
+
+    fn small_road() -> TdGraph {
+        // A 3x3 grid, symmetric constant weights.
+        let mut b = GraphBuilder::new(9);
+        let at = |r: u32, c: u32| r * 3 + c;
+        for r in 0..3 {
+            for c in 0..3 {
+                if c + 1 < 3 {
+                    b.bidirectional(at(r, c), at(r, c + 1), Plf::constant(1.0))
+                        .unwrap();
+                }
+                if r + 1 < 3 {
+                    b.bidirectional(at(r, c), at(r + 1, c), Plf::constant(1.0))
+                        .unwrap();
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Def. 3 property (1): bags cover all vertices. Trivial here since
+    /// `v ∈ X(v)`, but we check the bag structure is well formed.
+    #[test]
+    fn def3_bags_are_well_formed() {
+        let g = small_road();
+        let td = TreeDecomposition::build(&g);
+        assert_eq!(td.len(), 9);
+        for v in 0..9u32 {
+            let node = td.node(v);
+            assert_eq!(node.vertex, v);
+            assert!(!node.bag.contains(&v), "bag must exclude its own vertex");
+            assert_eq!(node.bag.len(), node.ws.len());
+            assert_eq!(node.bag.len(), node.wd.len());
+        }
+    }
+
+    /// Def. 3 property (2): every original edge appears inside some bag.
+    #[test]
+    fn def3_every_edge_is_covered_by_a_bag() {
+        let g = small_road();
+        let td = TreeDecomposition::build(&g);
+        for e in g.edges() {
+            let (u, v) = (e.from, e.to);
+            // The earlier-eliminated endpoint's node contains the other.
+            let first = if td.order[u as usize] < td.order[v as usize] { u } else { v };
+            let other = if first == u { v } else { u };
+            assert!(
+                td.node(first).bag.contains(&other),
+                "edge ({u},{v}) not covered by X({first})"
+            );
+        }
+    }
+
+    /// Def. 3 property (3): nodes containing a vertex form a connected
+    /// subtree. For elimination-based decompositions this is equivalent to:
+    /// every bag member of X(v) is an ancestor of X(v) (Property 2), which we
+    /// check directly.
+    #[test]
+    fn property2_bag_members_are_ancestors() {
+        for seed in 0..4u64 {
+            let g = seeded_graph(seed, 40, 25, 3);
+            let td = TreeDecomposition::build(&g);
+            for v in 0..40u32 {
+                for &u in &td.node(v).bag {
+                    assert!(
+                        td.is_ancestor_of(u, v),
+                        "seed={seed}: bag member {u} is not an ancestor of {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parent_is_lowest_order_bag_member() {
+        let g = small_road();
+        let td = TreeDecomposition::build(&g);
+        for v in 0..9u32 {
+            if v == td.root {
+                assert!(td.node(v).parent.is_none());
+            } else {
+                let node = td.node(v);
+                let min_order_member = *node
+                    .bag
+                    .iter()
+                    .min_by_key(|&&u| td.order[u as usize])
+                    .unwrap();
+                assert_eq!(node.parent, Some(min_order_member));
+                // Parent was eliminated after v.
+                assert!(td.order[min_order_member as usize] > td.order[v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn depths_and_subtree_sizes_are_consistent() {
+        let g = seeded_graph(9, 60, 40, 3);
+        let td = TreeDecomposition::build(&g);
+        let root = td.root;
+        assert_eq!(td.node(root).depth, 0);
+        assert_eq!(td.node(root).subtree_size as usize, td.len());
+        let mut child_sum = vec![0u32; td.len()];
+        for v in 0..td.len() as u32 {
+            if let Some(p) = td.node(v).parent {
+                assert_eq!(td.node(v).depth, td.node(p).depth + 1);
+                child_sum[p as usize] += td.node(v).subtree_size;
+            }
+        }
+        for v in 0..td.len() as u32 {
+            assert_eq!(td.node(v).subtree_size, child_sum[v as usize] + 1);
+        }
+    }
+
+    #[test]
+    fn vertex_cut_separates_in_the_original_graph() {
+        // Property 1: removing the LCA cut disconnects s from d.
+        let g = small_road();
+        let td = TreeDecomposition::build(&g);
+        for s in 0..9u32 {
+            for d in 0..9u32 {
+                if s == d || td.is_ancestor_of(s, d) || td.is_ancestor_of(d, s) {
+                    continue;
+                }
+                let cut = td.vertex_cut(s, d);
+                if cut.contains(&s) || cut.contains(&d) {
+                    continue;
+                }
+                // BFS in g avoiding the cut.
+                let mut seen = [false; 9];
+                for &c in &cut {
+                    seen[c as usize] = true;
+                }
+                let mut stack = vec![s];
+                seen[s as usize] = true;
+                let mut reached = false;
+                while let Some(x) = stack.pop() {
+                    if x == d {
+                        reached = true;
+                        break;
+                    }
+                    for &(y, _) in g.out_edges(x) {
+                        if !seen[y as usize] {
+                            seen[y as usize] = true;
+                            stack.push(y);
+                        }
+                    }
+                }
+                assert!(!reached, "cut {cut:?} fails to separate {s} and {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_report_plausible_width_and_height() {
+        let g = small_road();
+        let td = TreeDecomposition::build(&g);
+        let st = td.stats();
+        // A 3x3 grid has treewidth 3.
+        assert!(st.width >= 2 && st.width <= 4, "width={}", st.width);
+        assert!(st.height >= st.width, "height={} width={}", st.height, st.width);
+        assert!(st.stored_points > 0);
+        assert_eq!(st.reduction.max_bag, st.width + 1);
+    }
+
+    #[test]
+    fn ancestors_root_first_matches_walk_up() {
+        let g = seeded_graph(5, 30, 20, 3);
+        let td = TreeDecomposition::build(&g);
+        for v in 0..30u32 {
+            let mut up: Vec<VertexId> = td.walk_up(v).collect();
+            up.reverse();
+            assert_eq!(td.ancestors_root_first(v), up);
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_attaches_component_roots() {
+        let mut g = TdGraph::with_vertices(4);
+        g.add_edge(0, 1, Plf::constant(1.0)).unwrap();
+        g.add_edge(1, 0, Plf::constant(1.0)).unwrap();
+        g.add_edge(2, 3, Plf::constant(1.0)).unwrap();
+        g.add_edge(3, 2, Plf::constant(1.0)).unwrap();
+        let td = TreeDecomposition::build(&g);
+        // Every node reaches the root by parent links.
+        for v in 0..4u32 {
+            let mut cur = v;
+            let mut steps = 0;
+            while let Some(p) = td.node(cur).parent {
+                cur = p;
+                steps += 1;
+                assert!(steps <= 4);
+            }
+            assert_eq!(cur, td.root);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Departure-time optimisation: the cost *function* query in action.
+//!
+//! A single profile query `f_{s,d}(t)` answers "when should I leave?" for a
+//! whole day — the commuter picks the cheapest departure within a window and
+//! the latest departure that still makes a deadline. Doing this with scalar
+//! queries would need one shortest-path run per candidate minute.
+//!
+//! Run with: `cargo run --release --example commute_planner`
+
+use td_road::prelude::*;
+
+fn hm(t: f64) -> String {
+    format!("{:02}:{:02}", (t / 3600.0) as u32, ((t % 3600.0) / 60.0) as u32)
+}
+
+fn main() {
+    let graph = Dataset::Col.build(4, 0.1, 11);
+    let n = graph.num_vertices() as u32;
+    let budget = Dataset::Col.spec().budget_at(0.1) as u64;
+    let index = TdTreeIndex::build(
+        graph,
+        IndexOptions {
+            strategy: SelectionStrategy::Greedy { budget },
+            ..Default::default()
+        },
+    );
+
+    let home: VertexId = 3;
+    let office: VertexId = n - 5;
+    let f = index.query_profile(home, office).expect("connected");
+    println!(
+        "commute {home} -> {office}: cost function with {} interpolation points",
+        f.len()
+    );
+
+    // Cheapest departure between 6:00 and 10:00.
+    let (lo, hi) = (6.0 * 3600.0, 10.0 * 3600.0);
+    let mut best = (lo, f.eval(lo));
+    // A PLF attains its extrema at breakpoints or window edges.
+    for p in f.points().iter().filter(|p| p.t > lo && p.t < hi) {
+        if p.v < best.1 {
+            best = (p.t, p.v);
+        }
+    }
+    if f.eval(hi) < best.1 {
+        best = (hi, f.eval(hi));
+    }
+    println!(
+        "cheapest departure in [06:00, 10:00]: {} ({:.0}s travel)",
+        hm(best.0),
+        best.1
+    );
+    for t in [6.0, 7.0, 8.0, 9.0, 10.0] {
+        let tt = t * 3600.0;
+        println!("  leave {} -> {:>5.0}s travel, arrive {}", hm(tt), f.eval(tt), hm(tt + f.eval(tt)));
+    }
+
+    // Latest departure that still reaches the office by 9:00.
+    let deadline = 9.0 * 3600.0;
+    match f.latest_departure_before(deadline, 0.0) {
+        Some(t) => println!(
+            "latest departure to arrive by {}: {} (arrives {})",
+            hm(deadline),
+            hm(t),
+            hm(t + f.eval(t))
+        ),
+        None => println!("cannot reach the office by {}", hm(deadline)),
+    }
+
+    // Sanity: the function agrees with scalar queries.
+    for k in 0..24 {
+        let t = k as f64 * 3600.0;
+        let scalar = index.query_cost(home, office, t).expect("connected");
+        assert!(
+            (scalar - f.eval(t)).abs() < 1e-5,
+            "profile and scalar disagree at {}",
+            hm(t)
+        );
+    }
+    println!("profile agrees with 24 hourly scalar queries ✓");
+}

@@ -1,0 +1,83 @@
+//! Live traffic updates: §5.2's index-update scenario.
+//!
+//! An accident multiplies travel times on a handful of road segments during
+//! the morning; the index is repaired incrementally (support-list replay +
+//! top-down shortcut rebuild) instead of being rebuilt, and queries
+//! immediately reflect the new costs.
+//!
+//! Run with: `cargo run --release --example live_traffic`
+
+use td_plf::Pt;
+use td_road::prelude::*;
+
+fn main() {
+    let graph = Dataset::Cal.build(3, 0.15, 5);
+    let n = graph.num_vertices() as u32;
+    let budget = Dataset::Cal.spec().budget_at(0.15) as u64;
+    let mut index = TdTreeIndex::build(
+        graph,
+        IndexOptions {
+            strategy: SelectionStrategy::Greedy { budget },
+            track_supports: true, // enables update_edges
+            ..Default::default()
+        },
+    );
+    println!(
+        "index built in {:.2}s ({} shortcut pairs)",
+        index.build_stats.total_secs(),
+        index.build_stats.selected_pairs
+    );
+
+    let (s, d) = (1u32, n - 2);
+    let depart = 8.0 * 3600.0;
+    let before = index.query_cost(s, d, depart).expect("connected");
+    let (_, path) = index.query_path(s, d, depart).expect("connected");
+    println!("before incident: {before:.0}s via {} vertices", path.vertices.len());
+
+    // Accident: the first few segments of the current best route triple in
+    // cost between 7:00 and 11:00.
+    let mut changes = Vec::new();
+    for w in path.vertices.windows(2).take(4) {
+        let e = index.graph().find_edge(w[0], w[1]).expect("path edge");
+        let old = index.graph().weight(e).clone();
+        let mut pts: Vec<Pt> = Vec::new();
+        for &(t, mult) in &[
+            (0.0, 1.0),
+            (6.9 * 3600.0, 1.0),
+            (8.0 * 3600.0, 3.0),
+            (11.0 * 3600.0, 1.0),
+            (DAY, 1.0),
+        ] {
+            pts.push(Pt::new(t, old.eval(t) * mult));
+        }
+        let jammed = Plf::new(pts).expect("valid incident profile");
+        changes.push((w[0], w[1], jammed));
+    }
+    let stats = index.update_edges(&changes);
+    println!(
+        "applied incident to {} segments: replay {:.3}s ({} eliminations, {} nodes changed), shortcut rebuild {:.3}s ({} nodes)",
+        stats.changed_edges,
+        stats.replay_secs,
+        stats.replayed_eliminations,
+        stats.changed_nodes,
+        stats.rebuild_secs,
+        stats.rebuilt_subtree_nodes
+    );
+
+    let after = index.query_cost(s, d, depart).expect("connected");
+    let (_, new_path) = index.query_path(s, d, depart).expect("connected");
+    println!(
+        "after incident:  {after:.0}s via {} vertices {}",
+        new_path.vertices.len(),
+        if new_path.vertices == path.vertices {
+            "(same route, slower)"
+        } else {
+            "(rerouted!)"
+        }
+    );
+    assert!(after >= before - 1e-6, "congestion cannot make the trip faster");
+
+    // Off-peak queries are unaffected by the 7-11am incident.
+    let night_before = index.query_cost(s, d, 2.0 * 3600.0).expect("connected");
+    println!("at 02:00 the trip still costs {night_before:.0}s (incident is time-bounded)");
+}

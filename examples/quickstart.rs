@@ -1,0 +1,64 @@
+//! Quickstart: build a time-dependent road network, index it with selected
+//! shortcuts, and run the three query types of the paper.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use td_road::prelude::*;
+
+fn main() {
+    // A CAL-like synthetic road network, ~1300 vertices, 3 interpolation
+    // points per edge (the paper's default c = 3).
+    let graph = Dataset::Cal.build(3, 0.25, 42);
+    println!(
+        "graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // TD-appro: the paper's index with the 0.5-approximation shortcut
+    // selection under a budget of interpolation points.
+    let budget = Dataset::Cal.spec().budget_at(0.25) as u64;
+    let index = TdTreeIndex::build(
+        graph,
+        IndexOptions {
+            strategy: SelectionStrategy::Greedy { budget },
+            ..Default::default()
+        },
+    );
+    let stats = index.tree_stats();
+    println!(
+        "index: treeheight {}, treewidth {}, {} shortcut pairs ({} points), built in {:.2}s",
+        stats.height,
+        stats.width,
+        index.build_stats.selected_pairs,
+        index.build_stats.selected_weight,
+        index.build_stats.total_secs()
+    );
+
+    let (s, d) = (0u32, 1200u32);
+    let depart = 8.0 * 3600.0; // 8am — rush hour
+
+    // 1. Travel cost query Q(s, d, t).
+    let cost = index.query_cost(s, d, depart).expect("connected network");
+    println!("cost {s} -> {d} departing 08:00  = {cost:.1}s");
+
+    // 2. Shortest travel cost function query f_{s,d}(t): the whole day.
+    let f = index.query_profile(s, d).expect("connected network");
+    println!(
+        "cost function: {} interpolation points; best {:.1}s, worst {:.1}s over the day",
+        f.len(),
+        f.min_value(),
+        f.max_value()
+    );
+    let night = f.eval(3.0 * 3600.0);
+    println!("  at 03:00 the same trip costs {night:.1}s (vs {cost:.1}s at 08:00)");
+
+    // 3. Shortest path recovery.
+    let (cost2, path) = index.query_path(s, d, depart).expect("connected network");
+    assert!((cost - cost2).abs() < 1e-6);
+    println!(
+        "path: {} vertices, replayed cost {:.1}s",
+        path.vertices.len(),
+        path.cost(index.graph(), depart).unwrap()
+    );
+}

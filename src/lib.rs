@@ -1,0 +1,62 @@
+//! # td-road — time-dependent road network shortest paths with shortcuts
+//!
+//! A from-scratch Rust reproduction of *"Querying Shortest Path on Large
+//! Time-Dependent Road Networks with Shortcuts"* (Gong, Zeng, Chen — ICDE
+//! 2024, arXiv:2303.03720).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`plf`] — piecewise-linear travel-cost functions (`Compound`, `min`);
+//! * [`graph`] — the time-dependent directed graph model;
+//! * [`gen`] — synthetic road networks, profiles, workloads and the paper's
+//!   named datasets;
+//! * [`dijkstra`] — non-index baselines and correctness oracles;
+//! * [`treedec`] — travel-function-preserved tree decomposition;
+//! * [`core`] — the paper's TD-tree index (TD-basic / TD-dp / TD-appro);
+//! * [`gtree`] — the TD-G-tree baseline;
+//! * [`h2h`] — the TD-H2H baseline.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use td_road::prelude::*;
+//!
+//! // A small time-dependent road network (3 interpolation points per edge).
+//! let graph = Dataset::Cal.build(3, 0.002, 42);
+//!
+//! // Build the paper's index with greedily selected shortcuts.
+//! let index = TdTreeIndex::build(
+//!     graph,
+//!     IndexOptions {
+//!         strategy: SelectionStrategy::Greedy { budget: 50_000 },
+//!         ..Default::default()
+//!     },
+//! );
+//!
+//! // Travel cost at 8am, the full cost function, and the path.
+//! let cost = index.query_cost(0, 5, 8.0 * 3600.0);
+//! let profile = index.query_profile(0, 5);
+//! let path = index.query_path(0, 5, 8.0 * 3600.0);
+//! assert_eq!(cost.is_some(), profile.is_some());
+//! assert_eq!(cost.is_some(), path.is_some());
+//! ```
+
+pub use td_core as core;
+pub use td_dijkstra as dijkstra;
+pub use td_gen as gen;
+pub use td_graph as graph;
+pub use td_gtree as gtree;
+pub use td_h2h as h2h;
+pub use td_plf as plf;
+pub use td_treedec as treedec;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use td_core::{IndexOptions, SelectionStrategy, TdTreeIndex};
+    pub use td_gen::{Dataset, ProfileConfig, Query, Workload, WorkloadConfig};
+    pub use td_graph::{GraphBuilder, Path, TdGraph, VertexId};
+    pub use td_gtree::{GtreeConfig, TdGtree};
+    pub use td_h2h::TdH2h;
+    pub use td_plf::{Plf, DAY};
+    pub use td_treedec::TreeDecomposition;
+}

@@ -1,0 +1,115 @@
+//! End-to-end agreement: every index in the workspace (TD-basic, TD-dp,
+//! TD-appro, TD-H2H, TD-G-tree) must return the same travel costs as the
+//! TD-Dijkstra oracle, on both adversarial random graphs and road-like
+//! networks.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use td_road::core::{IndexOptions, SelectionStrategy, TdTreeIndex};
+use td_road::dijkstra::shortest_path_cost;
+use td_road::gen::random_graph::seeded_graph;
+use td_road::gen::Dataset;
+use td_road::graph::TdGraph;
+use td_road::gtree::{GtreeConfig, TdGtree};
+use td_road::h2h::TdH2h;
+use td_road::plf::DAY;
+
+fn check_all_indexes(g: &TdGraph, budget: u64, seed: u64, queries: usize) {
+    let n = g.num_vertices();
+    let basic = TdTreeIndex::build(g.clone(), IndexOptions::default());
+    let appro = TdTreeIndex::build(
+        g.clone(),
+        IndexOptions {
+            strategy: SelectionStrategy::Greedy { budget },
+            ..Default::default()
+        },
+    );
+    let dp = TdTreeIndex::build(
+        g.clone(),
+        IndexOptions {
+            strategy: SelectionStrategy::Dp { budget, weight_scale: 4 },
+            ..Default::default()
+        },
+    );
+    let h2h = TdH2h::build(g.clone(), 0);
+    let gtree = TdGtree::build(g.clone(), GtreeConfig { max_leaf: 16 });
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..queries {
+        let s = rng.gen_range(0..n) as u32;
+        let d = rng.gen_range(0..n) as u32;
+        let t = rng.gen_range(0.0..DAY);
+        let want = shortest_path_cost(g, s, d, t);
+        let answers = [
+            ("TD-basic", basic.query_cost_basic(s, d, t)),
+            ("TD-appro", appro.query_cost(s, d, t)),
+            ("TD-dp", dp.query_cost(s, d, t)),
+            ("TD-H2H", h2h.query_cost(s, d, t)),
+            ("TD-G-tree", gtree.query_cost(s, d, t)),
+        ];
+        for (name, got) in answers {
+            match (want, got) {
+                (Some(a), Some(b)) => assert!(
+                    (a - b).abs() < 1e-4,
+                    "{name} seed={seed} s={s} d={d} t={t}: oracle {a} vs {b}"
+                ),
+                (None, None) => {}
+                other => panic!("{name} seed={seed} s={s} d={d}: {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn agreement_on_random_graphs() {
+    for seed in 0..3u64 {
+        let g = seeded_graph(seed, 50, 35, 4);
+        check_all_indexes(&g, 3_000, seed, 30);
+    }
+}
+
+#[test]
+fn agreement_on_road_like_network() {
+    let g = Dataset::Cal.build(3, 0.02, 3); // ~200 vertices, road structure
+    check_all_indexes(&g, 20_000, 77, 40);
+}
+
+#[test]
+fn agreement_on_profiles_across_indexes() {
+    let g = seeded_graph(9, 40, 25, 3);
+    let budget = 2_500u64;
+    let basic = TdTreeIndex::build(g.clone(), IndexOptions::default());
+    let appro = TdTreeIndex::build(
+        g.clone(),
+        IndexOptions {
+            strategy: SelectionStrategy::Greedy { budget },
+            ..Default::default()
+        },
+    );
+    let h2h = TdH2h::build(g.clone(), 0);
+    let gtree = TdGtree::build(g.clone(), GtreeConfig { max_leaf: 12 });
+    let mut rng = StdRng::seed_from_u64(4242);
+    for _ in 0..25 {
+        let s = rng.gen_range(0..40) as u32;
+        let d = rng.gen_range(0..40) as u32;
+        let fs = [
+            basic.query_profile_basic(s, d),
+            appro.query_profile(s, d),
+            h2h.query_profile(s, d),
+            gtree.query_profile(s, d),
+        ];
+        for k in 0..10 {
+            let t = k as f64 * DAY / 10.0 + 31.0;
+            let vals: Vec<Option<f64>> = fs.iter().map(|f| f.as_ref().map(|f| f.eval(t))).collect();
+            for v in &vals[1..] {
+                match (vals[0], v) {
+                    (Some(a), Some(b)) => {
+                        assert!((a - b).abs() < 1e-4, "s={s} d={d} t={t}: {vals:?}")
+                    }
+                    (None, None) => {}
+                    _ => panic!("s={s} d={d}: reachability disagreement {vals:?}"),
+                }
+            }
+        }
+    }
+}

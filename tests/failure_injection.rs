@@ -1,0 +1,78 @@
+//! Failure injection: malformed inputs must be rejected loudly at the right
+//! layer, never silently mis-answered.
+
+use td_road::graph::{GraphError, TdGraph};
+use td_road::plf::{Plf, PlfError};
+
+#[test]
+fn malformed_profiles_are_rejected_at_construction() {
+    // NaN, unsorted, duplicate-time and negative-cost point lists.
+    assert!(matches!(
+        Plf::from_pairs(&[(0.0, f64::NAN)]),
+        Err(PlfError::NotFinite(0))
+    ));
+    assert!(matches!(
+        Plf::from_pairs(&[(10.0, 1.0), (5.0, 2.0)]),
+        Err(PlfError::NotIncreasing(1))
+    ));
+    assert!(matches!(
+        Plf::from_pairs(&[(5.0, 1.0), (5.0, 2.0)]),
+        Err(PlfError::NotIncreasing(1))
+    ));
+    assert!(matches!(
+        Plf::from_pairs(&[(0.0, -0.5)]),
+        Err(PlfError::Negative(0))
+    ));
+    assert!(matches!(Plf::new(vec![]), Err(PlfError::Empty)));
+}
+
+#[test]
+fn non_fifo_weights_are_rejected_by_the_graph() {
+    let mut g = TdGraph::with_vertices(2);
+    // Slope -2: a later departure overtakes an earlier one.
+    let overtaking = Plf::from_pairs(&[(0.0, 100.0), (10.0, 80.0)]).unwrap();
+    assert!(!overtaking.is_fifo());
+    assert_eq!(
+        g.add_edge(0, 1, overtaking.clone()),
+        Err(GraphError::NotFifo(0, 1))
+    );
+    // Same check on in-place weight updates.
+    g.add_edge(0, 1, Plf::constant(5.0)).unwrap();
+    assert_eq!(g.set_weight(0, overtaking), Err(GraphError::NotFifo(0, 1)));
+}
+
+#[test]
+fn structural_errors_are_rejected() {
+    let mut g = TdGraph::with_vertices(2);
+    assert_eq!(
+        g.add_edge(0, 7, Plf::constant(1.0)),
+        Err(GraphError::VertexOutOfRange(7))
+    );
+    assert_eq!(g.add_edge(1, 1, Plf::constant(1.0)), Err(GraphError::SelfLoop(1)));
+    g.add_edge(0, 1, Plf::constant(1.0)).unwrap();
+    assert_eq!(
+        g.add_edge(0, 1, Plf::constant(2.0)),
+        Err(GraphError::DuplicateEdge(0, 1))
+    );
+    assert_eq!(
+        g.set_weight(9, Plf::constant(1.0)),
+        Err(GraphError::NoSuchEdge(9))
+    );
+}
+
+#[test]
+fn profile_search_handles_zero_cost_cycles() {
+    // A zero-cost 2-cycle is the classic non-termination hazard for
+    // label-correcting searches. With exact minimum-merging it converges
+    // (re-relaxing the cycle yields no strict improvement), and a pop-count
+    // guard inside `profile_search` turns any residual non-convergence into
+    // a loud panic instead of a hang. This test documents the converging
+    // behaviour and exact answers.
+    let mut g = TdGraph::with_vertices(3);
+    g.add_edge(0, 1, Plf::constant(0.0)).unwrap();
+    g.add_edge(1, 0, Plf::constant(0.0)).unwrap();
+    g.add_edge(1, 2, Plf::constant(1.0)).unwrap();
+    let prof = td_road::dijkstra::profile_search(&g, 0);
+    assert_eq!(prof.cost(1, 0.0), Some(0.0));
+    assert_eq!(prof.cost(2, 0.0), Some(1.0));
+}
