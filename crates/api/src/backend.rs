@@ -1,0 +1,165 @@
+//! The [`Backend`] enum, unified [`IndexConfig`] and the [`build_index`]
+//! factory.
+
+use crate::index::RoutingIndex;
+use crate::oracle::DijkstraOracle;
+use std::fmt;
+use std::str::FromStr;
+use td_core::{IndexOptions, SelectionStrategy, TdTreeIndex};
+use td_graph::TdGraph;
+use td_gtree::{GtreeConfig, TdGtree};
+use td_h2h::{H2hConfig, TdH2h};
+
+/// Every index family in the workspace, named as in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// The TD-tree without shortcuts (Algo. 3 queries only).
+    TdBasic,
+    /// The TD-tree with Algo. 5 dual-greedy shortcut selection.
+    TdAppro,
+    /// The TD-tree with Algo. 4 dynamic-programming shortcut selection.
+    TdDp,
+    /// The TD-H2H baseline (full 2-hop labels).
+    TdH2h,
+    /// The TD-G-tree baseline (border cost-function matrices).
+    TdGtree,
+    /// The non-index TD-Dijkstra baseline / correctness oracle.
+    Dijkstra,
+}
+
+impl Backend {
+    /// Every backend, in the paper's presentation order.
+    pub const ALL: [Backend; 6] = [
+        Backend::TdBasic,
+        Backend::TdAppro,
+        Backend::TdDp,
+        Backend::TdH2h,
+        Backend::TdGtree,
+        Backend::Dijkstra,
+    ];
+
+    /// Display name as in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::TdBasic => "TD-basic",
+            Backend::TdAppro => "TD-appro",
+            Backend::TdDp => "TD-dp",
+            Backend::TdH2h => "TD-H2H",
+            Backend::TdGtree => "TD-G-tree",
+            Backend::Dijkstra => "TD-Dijkstra",
+        }
+    }
+
+    /// Builds this backend's index over `graph`.
+    pub fn build(self, graph: TdGraph, cfg: &IndexConfig) -> Box<dyn RoutingIndex> {
+        let tree_opts = |strategy| IndexOptions {
+            strategy,
+            threads: cfg.threads,
+            track_supports: cfg.track_supports,
+        };
+        match self {
+            Backend::TdBasic => Box::new(TdTreeIndex::build(
+                graph,
+                tree_opts(SelectionStrategy::Basic),
+            )),
+            Backend::TdAppro => Box::new(TdTreeIndex::build(
+                graph,
+                tree_opts(SelectionStrategy::Greedy { budget: cfg.budget }),
+            )),
+            Backend::TdDp => Box::new(TdTreeIndex::build(
+                graph,
+                tree_opts(SelectionStrategy::Dp {
+                    budget: cfg.budget,
+                    weight_scale: cfg.dp_weight_scale(),
+                }),
+            )),
+            Backend::TdH2h => Box::new(TdH2h::build(
+                graph,
+                H2hConfig {
+                    threads: cfg.threads,
+                },
+            )),
+            Backend::TdGtree => Box::new(TdGtree::build(
+                graph,
+                GtreeConfig {
+                    max_leaf: cfg.max_leaf,
+                },
+            )),
+            Backend::Dijkstra => Box::new(DijkstraOracle::new(graph)),
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Backend {
+    type Err = String;
+
+    /// Parses paper names and common aliases (case-insensitive):
+    /// `td-basic`, `td-appro`/`appro`, `td-dp`/`dp`, `td-h2h`/`h2h`,
+    /// `td-g-tree`/`gtree`, `td-dijkstra`/`dijkstra`.
+    fn from_str(s: &str) -> Result<Backend, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "td-basic" | "basic" => Ok(Backend::TdBasic),
+            "td-appro" | "appro" => Ok(Backend::TdAppro),
+            "td-dp" | "dp" => Ok(Backend::TdDp),
+            "td-h2h" | "h2h" => Ok(Backend::TdH2h),
+            "td-g-tree" | "td-gtree" | "gtree" => Ok(Backend::TdGtree),
+            "td-dijkstra" | "dijkstra" => Ok(Backend::Dijkstra),
+            other => Err(format!("unknown backend `{other}`")),
+        }
+    }
+}
+
+/// Backend-agnostic construction options. Each backend reads the knobs that
+/// apply to it and ignores the rest, so one config drives a whole
+/// multi-backend comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct IndexConfig {
+    /// Shortcut budget `N` in interpolation points (TD-appro / TD-dp).
+    pub budget: u64,
+    /// Weight bucketing for the DP knapsack (TD-dp): `0` = auto-scale so the
+    /// DP row stays around 10k cells, `1` = exact, larger = coarser.
+    pub weight_scale: u32,
+    /// Worker threads for construction passes (0 = all cores).
+    pub threads: usize,
+    /// Track support lists so the TD-tree family accepts
+    /// [`crate::IncrementalIndex::update_edges`].
+    pub track_supports: bool,
+    /// Maximum vertices per leaf partition (TD-G-tree's τ).
+    pub max_leaf: usize,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig {
+            budget: 10_000,
+            weight_scale: 0,
+            threads: 0,
+            track_supports: false,
+            max_leaf: 32,
+        }
+    }
+}
+
+impl IndexConfig {
+    /// The effective DP weight scale: explicit, or auto-derived from the
+    /// budget to keep the knapsack row near 10k cells.
+    pub fn dp_weight_scale(&self) -> u32 {
+        if self.weight_scale != 0 {
+            self.weight_scale
+        } else {
+            self.budget.div_ceil(10_000).max(1) as u32
+        }
+    }
+}
+
+/// Builds `backend`'s index over `graph` — the workspace's uniform entry
+/// point.
+pub fn build_index(graph: TdGraph, backend: Backend, cfg: &IndexConfig) -> Box<dyn RoutingIndex> {
+    backend.build(graph, cfg)
+}

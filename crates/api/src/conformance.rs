@@ -1,0 +1,120 @@
+//! Backend-generic conformance suite.
+//!
+//! [`check_backend`] drives one [`Backend`] through every trait obligation
+//! on a given graph and workload:
+//!
+//! 1. `query_cost` agrees with the TD-Dijkstra oracle;
+//! 2. `query_profile` evaluated at the departure time agrees with
+//!    `query_cost` (and with the oracle);
+//! 3. `query_path` returns a valid path whose replayed cost equals the
+//!    reported cost, which in turn equals the oracle's;
+//! 4. `memory_bytes() > 0` and `build_stats()` is sane;
+//! 5. a reused [`QuerySession`] answers identically to per-call fresh
+//!    sessions, for all three query kinds;
+//! 6. `query_many` matches one-at-a-time `query_cost`.
+//!
+//! The suite is instantiated for every backend in this crate's tests and is
+//! public so downstream crates can run it against new backends.
+
+use crate::{build_index, Backend, IndexConfig, QuerySession};
+use td_graph::{TdGraph, VertexId};
+
+/// Absolute tolerance for cost comparisons. TD-G-tree assembles answers
+/// from refined PLF matrices, which accumulate slightly more float error
+/// than the sweep-based backends; 1e-4 seconds is far below anything a
+/// travel-time consumer can observe.
+pub const COST_EPS: f64 = 1e-4;
+
+fn assert_opt_close(name: &str, ctx: &str, want: Option<f64>, got: Option<f64>) {
+    match (want, got) {
+        (Some(a), Some(b)) => assert!(
+            (a - b).abs() < COST_EPS,
+            "{name} {ctx}: expected {a}, got {b}"
+        ),
+        (None, None) => {}
+        other => panic!("{name} {ctx}: reachability disagreement {other:?}"),
+    }
+}
+
+/// Runs the full conformance suite for `backend` over `graph` and the
+/// `(source, destination, depart)` workload. Panics on any violation.
+pub fn check_backend(
+    backend: Backend,
+    graph: &TdGraph,
+    cfg: &IndexConfig,
+    queries: &[(VertexId, VertexId, f64)],
+) {
+    let index = build_index(graph.clone(), backend, cfg);
+    let oracle = crate::DijkstraOracle::new(graph.clone());
+    let name = index.backend_name();
+
+    // 4. Accounting obligations.
+    assert!(
+        index.memory_bytes() > 0,
+        "{name}: memory_bytes() must be positive"
+    );
+    let stats = index.build_stats();
+    assert!(
+        stats.construction_secs >= 0.0,
+        "{name}: negative construction time"
+    );
+    assert_eq!(
+        index.graph().num_vertices(),
+        graph.num_vertices(),
+        "{name}: graph() must expose the input graph"
+    );
+
+    // 1–3. Query agreement with the oracle, via a reused session (5) and
+    // fresh per-call state simultaneously.
+    let mut session = QuerySession::new(index.as_ref());
+    for &(s, d, t) in queries {
+        let ctx = format!("s={s} d={d} t={t}");
+        let want = oracle.query_cost(s, d, t);
+
+        let fresh = index.query_cost(s, d, t);
+        assert_opt_close(name, &ctx, want, fresh);
+        let reused = session.query_cost(s, d, t);
+        assert_opt_close(name, &ctx, fresh, reused);
+
+        let profile = session.query_profile(s, d);
+        assert_eq!(
+            profile.is_some(),
+            want.is_some(),
+            "{name} {ctx}: profile reachability disagrees with cost"
+        );
+        if let Some(f) = &profile {
+            assert_opt_close(name, &format!("{ctx} (profile)"), want, Some(f.eval(t)));
+        }
+
+        match (session.query_path(s, d, t), want) {
+            (Some((cost, path)), Some(w)) => {
+                assert!(
+                    (cost - w).abs() < COST_EPS,
+                    "{name} {ctx}: path cost {cost} vs oracle {w}"
+                );
+                assert_eq!(path.source(), s, "{name} {ctx}: path source");
+                assert_eq!(path.destination(), d, "{name} {ctx}: path destination");
+                assert!(path.is_valid(graph), "{name} {ctx}: invalid path");
+                let replay = path.cost(graph, t).expect("valid path replays");
+                assert!(
+                    (replay - cost).abs() < COST_EPS,
+                    "{name} {ctx}: reported {cost} vs replay {replay}"
+                );
+            }
+            (None, None) => {}
+            other => panic!(
+                "{name} {ctx}: path reachability disagreement (got={}, want={})",
+                other.0.is_some(),
+                other.1.is_some()
+            ),
+        }
+    }
+
+    // 6. Batch entry point matches singles.
+    let batch = session.query_many(queries.iter().copied());
+    assert_eq!(batch.len(), queries.len());
+    for (&(s, d, t), got) in queries.iter().zip(&batch) {
+        let single = index.query_cost(s, d, t);
+        assert_opt_close(name, &format!("batch s={s} d={d} t={t}"), single, *got);
+    }
+}

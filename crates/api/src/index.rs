@@ -1,0 +1,420 @@
+//! The [`RoutingIndex`] trait and its implementations for every backend.
+
+use crate::oracle::DijkstraOracle;
+use crate::session::{QuerySession, SessionScratch};
+use td_core::{CostScratch, ProfileScratch, TdTreeIndex, UpdateStats};
+use td_graph::{Path, TdGraph, VertexId};
+use td_gtree::{GtreeScratch, TdGtree};
+use td_h2h::TdH2h;
+use td_plf::Plf;
+
+/// Construction-time metrics every backend reports uniformly.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct IndexStats {
+    /// Total construction wall time, seconds (0 for the non-index oracle).
+    pub construction_secs: f64,
+    /// Number of precomputed pair entries (shortcut pairs, labels, matrix
+    /// cells; 0 when not applicable).
+    pub precomputed_pairs: usize,
+    /// Total stored interpolation points across precomputed functions.
+    pub stored_points: usize,
+}
+
+/// The unified query interface over every index family in the workspace.
+///
+/// All methods take `&self` — indexes are immutable once built (see
+/// [`IncrementalIndex`] for updates) and safe to share across threads. The
+/// `*_in` variants thread a [`SessionScratch`] through the call so repeated
+/// queries reuse buffers; [`QuerySession`] packages that pattern.
+pub trait RoutingIndex: Send + Sync {
+    /// The backend's display name, as used in the paper's tables.
+    fn backend_name(&self) -> &'static str;
+
+    /// The underlying graph (kept by every backend for path expansion,
+    /// updates and examples).
+    fn graph(&self) -> &TdGraph;
+
+    /// Travel cost query `Q(s, d, t)`.
+    fn query_cost(&self, s: VertexId, d: VertexId, t: f64) -> Option<f64>;
+
+    /// Shortest travel cost *function* query `f_{s,d}(t)`.
+    fn query_profile(&self, s: VertexId, d: VertexId) -> Option<Plf>;
+
+    /// Travel cost and the shortest path itself.
+    fn query_path(&self, s: VertexId, d: VertexId, t: f64) -> Option<(f64, Path)>;
+
+    /// Index memory in bytes. Precomputed structures only — the input graph
+    /// is not counted, since every compared method shares it. The one
+    /// exception is the non-index [`crate::DijkstraOracle`], which has no
+    /// precomputed structures and reports the graph's weight functions (its
+    /// entire working set) so the uniform `memory_bytes() > 0` accounting
+    /// holds; exclude it from index-memory comparisons.
+    fn memory_bytes(&self) -> usize;
+
+    /// Construction statistics.
+    fn build_stats(&self) -> IndexStats;
+
+    /// Fresh scratch sized for this backend. The default is an empty scratch
+    /// for backends whose queries have no reusable state.
+    fn new_scratch(&self) -> SessionScratch {
+        SessionScratch::none()
+    }
+
+    /// [`RoutingIndex::query_cost`] reusing `scratch` — the hot path.
+    fn query_cost_in(
+        &self,
+        scratch: &mut SessionScratch,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+    ) -> Option<f64> {
+        let _ = scratch;
+        self.query_cost(s, d, t)
+    }
+
+    /// [`RoutingIndex::query_profile`] reusing `scratch`.
+    fn query_profile_in(
+        &self,
+        scratch: &mut SessionScratch,
+        s: VertexId,
+        d: VertexId,
+    ) -> Option<Plf> {
+        let _ = scratch;
+        self.query_profile(s, d)
+    }
+
+    /// [`RoutingIndex::query_path`] reusing `scratch`.
+    fn query_path_in(
+        &self,
+        scratch: &mut SessionScratch,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+    ) -> Option<(f64, Path)> {
+        let _ = scratch;
+        self.query_path(s, d, t)
+    }
+}
+
+/// Extension methods that need `Self: Sized` (use [`QuerySession::new`]
+/// directly on `dyn RoutingIndex`).
+pub trait RoutingIndexExt: RoutingIndex + Sized {
+    /// A statically-dispatched query session over this index.
+    fn session(&self) -> QuerySession<'_, Self> {
+        QuerySession::new(self)
+    }
+}
+
+impl<I: RoutingIndex + Sized> RoutingIndexExt for I {}
+
+/// The optional incremental-maintenance extension: apply edge-weight changes
+/// in place instead of rebuilding.
+pub trait IncrementalIndex: RoutingIndex {
+    /// Applies weight changes to existing edges and repairs the index.
+    /// Panics if the backend was not built with update support (for the
+    /// TD-tree family: [`crate::IndexConfig::track_supports`]).
+    fn update_edges(&mut self, changes: &[(VertexId, VertexId, Plf)]) -> UpdateStats;
+}
+
+// ----------------------------------------------------------------------
+// TD-tree (TD-basic / TD-appro / TD-dp, and TD-H2H via `All`)
+// ----------------------------------------------------------------------
+
+/// Per-session scratch of the TD-tree family.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct TdTreeScratch {
+    pub cost: CostScratch,
+    pub profile: ProfileScratch,
+}
+
+/// True when the index was built without shortcuts (TD-basic): queries then
+/// dispatch to the paper's basic entry points, skipping the shortcut-aware
+/// engine's cut scan so measurements stay faithful to Algo. 3.
+fn is_basic(index: &TdTreeIndex) -> bool {
+    matches!(index.options.strategy, td_core::SelectionStrategy::Basic)
+}
+
+impl RoutingIndex for TdTreeIndex {
+    fn backend_name(&self) -> &'static str {
+        use td_core::SelectionStrategy::*;
+        match self.options.strategy {
+            Basic => "TD-basic",
+            Greedy { .. } => "TD-appro",
+            Dp { .. } => "TD-dp",
+            All => "TD-H2H",
+        }
+    }
+
+    fn graph(&self) -> &TdGraph {
+        TdTreeIndex::graph(self)
+    }
+
+    fn query_cost(&self, s: VertexId, d: VertexId, t: f64) -> Option<f64> {
+        if is_basic(self) {
+            TdTreeIndex::query_cost_basic(self, s, d, t)
+        } else {
+            TdTreeIndex::query_cost(self, s, d, t)
+        }
+    }
+
+    fn query_profile(&self, s: VertexId, d: VertexId) -> Option<Plf> {
+        if is_basic(self) {
+            TdTreeIndex::query_profile_basic(self, s, d)
+        } else {
+            TdTreeIndex::query_profile(self, s, d)
+        }
+    }
+
+    fn query_path(&self, s: VertexId, d: VertexId, t: f64) -> Option<(f64, Path)> {
+        TdTreeIndex::query_path(self, s, d, t)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        TdTreeIndex::memory_bytes(self)
+    }
+
+    fn build_stats(&self) -> IndexStats {
+        IndexStats {
+            construction_secs: self.build_stats.total_secs(),
+            precomputed_pairs: self.shortcuts().num_pairs(),
+            stored_points: self.shortcuts().total_points() + self.tree_stats().stored_points,
+        }
+    }
+
+    fn new_scratch(&self) -> SessionScratch {
+        SessionScratch::new(TdTreeScratch::default())
+    }
+
+    fn query_cost_in(
+        &self,
+        scratch: &mut SessionScratch,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+    ) -> Option<f64> {
+        let sc: &mut TdTreeScratch = scratch.get_or_default();
+        if is_basic(self) {
+            self.query_cost_basic_with(&mut sc.cost, s, d, t)
+        } else {
+            self.query_cost_with(&mut sc.cost, s, d, t)
+        }
+    }
+
+    fn query_profile_in(
+        &self,
+        scratch: &mut SessionScratch,
+        s: VertexId,
+        d: VertexId,
+    ) -> Option<Plf> {
+        let sc: &mut TdTreeScratch = scratch.get_or_default();
+        if is_basic(self) {
+            self.query_profile_basic_with(&mut sc.profile, s, d)
+        } else {
+            self.query_profile_with(&mut sc.profile, s, d)
+        }
+    }
+
+    fn query_path_in(
+        &self,
+        scratch: &mut SessionScratch,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+    ) -> Option<(f64, Path)> {
+        let sc: &mut TdTreeScratch = scratch.get_or_default();
+        self.query_path_with(&mut sc.cost, s, d, t)
+    }
+}
+
+impl IncrementalIndex for TdTreeIndex {
+    fn update_edges(&mut self, changes: &[(VertexId, VertexId, Plf)]) -> UpdateStats {
+        TdTreeIndex::update_edges(self, changes)
+    }
+}
+
+// ----------------------------------------------------------------------
+// TD-H2H
+// ----------------------------------------------------------------------
+
+impl RoutingIndex for TdH2h {
+    fn backend_name(&self) -> &'static str {
+        "TD-H2H"
+    }
+
+    fn graph(&self) -> &TdGraph {
+        self.inner().graph()
+    }
+
+    fn query_cost(&self, s: VertexId, d: VertexId, t: f64) -> Option<f64> {
+        TdH2h::query_cost(self, s, d, t)
+    }
+
+    fn query_profile(&self, s: VertexId, d: VertexId) -> Option<Plf> {
+        TdH2h::query_profile(self, s, d)
+    }
+
+    fn query_path(&self, s: VertexId, d: VertexId, t: f64) -> Option<(f64, Path)> {
+        TdH2h::query_path(self, s, d, t)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        TdH2h::memory_bytes(self)
+    }
+
+    fn build_stats(&self) -> IndexStats {
+        IndexStats {
+            construction_secs: self.construction_secs(),
+            precomputed_pairs: self.num_labels(),
+            stored_points: self.total_points(),
+        }
+    }
+
+    fn new_scratch(&self) -> SessionScratch {
+        SessionScratch::new(TdTreeScratch::default())
+    }
+
+    fn query_cost_in(
+        &self,
+        scratch: &mut SessionScratch,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+    ) -> Option<f64> {
+        let sc: &mut TdTreeScratch = scratch.get_or_default();
+        self.query_cost_with(&mut sc.cost, s, d, t)
+    }
+
+    fn query_profile_in(
+        &self,
+        scratch: &mut SessionScratch,
+        s: VertexId,
+        d: VertexId,
+    ) -> Option<Plf> {
+        let sc: &mut TdTreeScratch = scratch.get_or_default();
+        self.query_profile_with(&mut sc.profile, s, d)
+    }
+
+    fn query_path_in(
+        &self,
+        scratch: &mut SessionScratch,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+    ) -> Option<(f64, Path)> {
+        let sc: &mut TdTreeScratch = scratch.get_or_default();
+        self.query_path_with(&mut sc.cost, s, d, t)
+    }
+}
+
+// ----------------------------------------------------------------------
+// TD-G-tree
+// ----------------------------------------------------------------------
+
+impl RoutingIndex for TdGtree {
+    fn backend_name(&self) -> &'static str {
+        "TD-G-tree"
+    }
+
+    fn graph(&self) -> &TdGraph {
+        TdGtree::graph(self)
+    }
+
+    fn query_cost(&self, s: VertexId, d: VertexId, t: f64) -> Option<f64> {
+        TdGtree::query_cost(self, s, d, t)
+    }
+
+    fn query_profile(&self, s: VertexId, d: VertexId) -> Option<Plf> {
+        TdGtree::query_profile(self, s, d)
+    }
+
+    fn query_path(&self, s: VertexId, d: VertexId, t: f64) -> Option<(f64, Path)> {
+        TdGtree::query_path(self, s, d, t)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        TdGtree::memory_bytes(self)
+    }
+
+    fn build_stats(&self) -> IndexStats {
+        IndexStats {
+            construction_secs: self.build_secs,
+            precomputed_pairs: self.num_entries(),
+            stored_points: self.total_points(),
+        }
+    }
+
+    fn new_scratch(&self) -> SessionScratch {
+        SessionScratch::new(GtreeScratch::default())
+    }
+
+    fn query_cost_in(
+        &self,
+        scratch: &mut SessionScratch,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+    ) -> Option<f64> {
+        let sc: &mut GtreeScratch = scratch.get_or_default();
+        self.query_cost_with(sc, s, d, t)
+    }
+}
+
+// ----------------------------------------------------------------------
+// TD-Dijkstra oracle
+// ----------------------------------------------------------------------
+
+impl RoutingIndex for DijkstraOracle {
+    fn backend_name(&self) -> &'static str {
+        "TD-Dijkstra"
+    }
+
+    fn graph(&self) -> &TdGraph {
+        DijkstraOracle::graph(self)
+    }
+
+    fn query_cost(&self, s: VertexId, d: VertexId, t: f64) -> Option<f64> {
+        DijkstraOracle::query_cost(self, s, d, t)
+    }
+
+    fn query_profile(&self, s: VertexId, d: VertexId) -> Option<Plf> {
+        DijkstraOracle::query_profile(self, s, d)
+    }
+
+    fn query_path(&self, s: VertexId, d: VertexId, t: f64) -> Option<(f64, Path)> {
+        DijkstraOracle::query_path(self, s, d, t)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        DijkstraOracle::memory_bytes(self)
+    }
+
+    fn build_stats(&self) -> IndexStats {
+        IndexStats::default()
+    }
+
+    fn new_scratch(&self) -> SessionScratch {
+        SessionScratch::new(td_dijkstra::DijkstraScratch::default())
+    }
+
+    fn query_cost_in(
+        &self,
+        scratch: &mut SessionScratch,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+    ) -> Option<f64> {
+        let sc: &mut td_dijkstra::DijkstraScratch = scratch.get_or_default();
+        td_dijkstra::shortest_path_cost_with(sc, self.graph(), s, d, t)
+    }
+
+    fn query_path_in(
+        &self,
+        scratch: &mut SessionScratch,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+    ) -> Option<(f64, Path)> {
+        let sc: &mut td_dijkstra::DijkstraScratch = scratch.get_or_default();
+        td_dijkstra::shortest_path_with(sc, self.graph(), s, d, t)
+    }
+}

@@ -1,0 +1,46 @@
+//! # td-api — the system's public query contract
+//!
+//! Every index family in the workspace — the paper's TD-tree
+//! ([`td_core::TdTreeIndex`]), the TD-G-tree and TD-H2H baselines, and the
+//! non-index TD-Dijkstra oracle — answers the same three query kinds under
+//! the same accounting. This crate is the one seam expressing that:
+//!
+//! * [`RoutingIndex`] — the object-safe trait every backend implements:
+//!   `query_cost` / `query_profile` / `query_path` / `memory_bytes` /
+//!   `build_stats`, plus scratch-aware `*_in` variants powering sessions;
+//! * [`Backend`] + [`IndexConfig`] + [`build_index`] — a uniform factory so
+//!   harnesses, tests and examples never hand-roll per-backend dispatch;
+//! * [`QuerySession`] — owns reusable per-query scratch (distance arrays,
+//!   sweep tables, PLF work vectors) so hot-path queries stop allocating,
+//!   with [`QuerySession::query_many`] amortising the reuse over a batch;
+//! * [`IncrementalIndex`] — the optional `update_edges` extension
+//!   (implemented by the TD-tree family when built with
+//!   [`IndexConfig::track_supports`]);
+//! * [`conformance`] — a backend-generic test suite instantiated for every
+//!   [`Backend`] in this crate's tests.
+//!
+//! ```
+//! use td_api::{build_index, Backend, IndexConfig, QuerySession};
+//! # let mut g = td_graph::TdGraph::with_vertices(2);
+//! # g.add_edge(0, 1, td_plf::Plf::constant(60.0)).unwrap();
+//! # g.add_edge(1, 0, td_plf::Plf::constant(60.0)).unwrap();
+//! let index = build_index(g, Backend::TdAppro, &IndexConfig {
+//!     budget: 20_000,
+//!     ..Default::default()
+//! });
+//! let mut session = QuerySession::new(index.as_ref());
+//! let cost = session.query_cost(0, 1, 8.0 * 3600.0);
+//! let again = session.query_cost(0, 1, 8.0 * 3600.0); // reuses buffers
+//! assert_eq!(cost, again);
+//! ```
+
+mod backend;
+pub mod conformance;
+mod index;
+mod oracle;
+mod session;
+
+pub use backend::{build_index, Backend, IndexConfig};
+pub use index::{IncrementalIndex, IndexStats, RoutingIndex, RoutingIndexExt};
+pub use oracle::DijkstraOracle;
+pub use session::{QuerySession, SessionScratch};

@@ -1,0 +1,53 @@
+//! The non-index TD-Dijkstra baseline behind the [`RoutingIndex`] trait.
+
+use td_dijkstra::{profile_search_to, shortest_path, shortest_path_cost};
+use td_graph::{Path, TdGraph, VertexId};
+use td_plf::Plf;
+
+#[allow(unused_imports)] // rustdoc link
+use crate::index::RoutingIndex;
+
+/// The TD-Dijkstra "index": no precomputation, every query searched from
+/// scratch on the input graph. This is the paper's non-index baseline and
+/// the workspace's correctness oracle; wrapping it behind [`RoutingIndex`]
+/// lets harnesses and conformance tests treat it like any other backend.
+pub struct DijkstraOracle {
+    graph: TdGraph,
+}
+
+impl DijkstraOracle {
+    /// Wraps `graph`; there is nothing to build.
+    pub fn new(graph: TdGraph) -> DijkstraOracle {
+        DijkstraOracle { graph }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &TdGraph {
+        &self.graph
+    }
+
+    /// Travel cost query by scalar TD-Dijkstra.
+    pub fn query_cost(&self, s: VertexId, d: VertexId, t: f64) -> Option<f64> {
+        shortest_path_cost(&self.graph, s, d, t)
+    }
+
+    /// Cost function query by a full profile search from `s`.
+    pub fn query_profile(&self, s: VertexId, d: VertexId) -> Option<Plf> {
+        if s == d {
+            return Some(Plf::zero());
+        }
+        profile_search_to(&self.graph, s, |v| v == d).dist[d as usize].clone()
+    }
+
+    /// Travel cost and path by scalar TD-Dijkstra with parent tracking.
+    pub fn query_path(&self, s: VertexId, d: VertexId, t: f64) -> Option<(f64, Path)> {
+        shortest_path(&self.graph, s, d, t)
+    }
+
+    /// The oracle stores no index structures; its only memory is the shared
+    /// input graph's weight functions, reported here so the uniform
+    /// `memory_bytes > 0` accounting holds for every backend.
+    pub fn memory_bytes(&self) -> usize {
+        self.graph.weight_bytes()
+    }
+}

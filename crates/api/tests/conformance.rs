@@ -1,0 +1,142 @@
+//! The trait-level conformance suite, instantiated for every backend.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use td_api::conformance::check_backend;
+use td_api::{build_index, Backend, IncrementalIndex, IndexConfig, QuerySession, RoutingIndexExt};
+use td_gen::random_graph::seeded_graph;
+use td_graph::VertexId;
+use td_plf::DAY;
+
+fn workload(n: usize, count: usize, seed: u64) -> Vec<(VertexId, VertexId, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            (
+                rng.gen_range(0..n) as u32,
+                rng.gen_range(0..n) as u32,
+                rng.gen_range(0.0..DAY),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn every_backend_conforms_on_random_graphs() {
+    let cfg = IndexConfig {
+        budget: 3_000,
+        max_leaf: 12,
+        ..Default::default()
+    };
+    for seed in 0..2u64 {
+        let n = 40;
+        let g = seeded_graph(seed, n, 28, 3);
+        let queries = workload(n, 25, seed ^ 0xabcd);
+        for backend in Backend::ALL {
+            check_backend(backend, &g, &cfg, &queries);
+        }
+    }
+}
+
+#[test]
+fn every_backend_conforms_on_a_disconnected_graph() {
+    // Two components: reachability answers must agree (None on cross pairs).
+    use td_graph::TdGraph;
+    use td_plf::Plf;
+    let mut g = TdGraph::with_vertices(6);
+    for (u, v) in [(0u32, 1u32), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+        g.add_edge(u, v, Plf::constant(30.0)).unwrap();
+        g.add_edge(v, u, Plf::constant(45.0)).unwrap();
+    }
+    let queries: Vec<(u32, u32, f64)> = (0..6)
+        .flat_map(|s| (0..6).map(move |d| (s, d, 1_000.0)))
+        .collect();
+    let cfg = IndexConfig {
+        budget: 500,
+        max_leaf: 4,
+        ..Default::default()
+    };
+    for backend in Backend::ALL {
+        check_backend(backend, &g, &cfg, &queries);
+    }
+}
+
+#[test]
+fn sessions_survive_interleaved_query_kinds() {
+    // One session per backend, interleaving cost/profile/path queries in a
+    // mixed order — buffer reuse must never leak state between query kinds.
+    let n = 30;
+    let g = seeded_graph(7, n, 20, 3);
+    let cfg = IndexConfig {
+        budget: 2_000,
+        max_leaf: 8,
+        ..Default::default()
+    };
+    for backend in Backend::ALL {
+        let index = build_index(g.clone(), backend, &cfg);
+        let mut session = QuerySession::new(index.as_ref());
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..40 {
+            let s = rng.gen_range(0..n) as u32;
+            let d = rng.gen_range(0..n) as u32;
+            let t = rng.gen_range(0.0..DAY);
+            let cost = session.query_cost(s, d, t);
+            match rng.gen_range(0..3usize) {
+                0 => {
+                    let p = session.query_profile(s, d);
+                    assert_eq!(p.is_some(), cost.is_some(), "{backend} s={s} d={d}");
+                }
+                1 => {
+                    let p = session.query_path(s, d, t);
+                    assert_eq!(p.is_some(), cost.is_some(), "{backend} s={s} d={d}");
+                }
+                _ => {}
+            }
+            assert_eq!(session.query_cost(s, d, t), cost, "{backend} s={s} d={d}");
+        }
+    }
+}
+
+#[test]
+fn incremental_extension_repairs_the_td_tree() {
+    use td_gen::random_graph::random_profile;
+    let n = 25;
+    let g = seeded_graph(3, n, 16, 3);
+    let cfg = IndexConfig {
+        budget: 1_000,
+        track_supports: true,
+        ..Default::default()
+    };
+    // Build through the factory, then use the concrete type for updates
+    // (trait objects stay read-only; IncrementalIndex needs &mut).
+    let mut index = td_core::TdTreeIndex::build(
+        g.clone(),
+        td_core::IndexOptions {
+            strategy: td_core::SelectionStrategy::Greedy { budget: cfg.budget },
+            threads: 0,
+            track_supports: true,
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(17);
+    let e = g.edges()[rng.gen_range(0..g.num_edges())].clone();
+    let new_w = random_profile(&mut rng, 3, 100.0, 900.0);
+    let stats = IncrementalIndex::update_edges(&mut index, &[(e.from, e.to, new_w.clone())]);
+    assert!(stats.changed_edges <= 1);
+
+    // Post-update answers must match a fresh build on the updated graph.
+    let mut g2 = g.clone();
+    let eid = g2.find_edge(e.from, e.to).expect("edge exists");
+    g2.set_weight(eid, new_w).expect("valid weight");
+    let fresh = build_index(g2, Backend::TdAppro, &cfg);
+    let mut updated = index.session();
+    for _ in 0..30 {
+        let s = rng.gen_range(0..n) as u32;
+        let d = rng.gen_range(0..n) as u32;
+        let t = rng.gen_range(0.0..DAY);
+        match (updated.query_cost(s, d, t), fresh.query_cost(s, d, t)) {
+            (Some(a), Some(b)) => assert!((a - b).abs() < 1e-5, "s={s} d={d} t={t}: {a} vs {b}"),
+            (None, None) => {}
+            other => panic!("s={s} d={d}: {other:?}"),
+        }
+    }
+}

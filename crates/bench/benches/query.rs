@@ -24,7 +24,7 @@ fn bench_queries(criterion: &mut Criterion) {
             track_supports: false,
         },
     );
-    let h2h = td_h2h::TdH2h::build(g.clone(), 0);
+    let h2h = td_h2h::TdH2h::build(g.clone(), td_h2h::H2hConfig::default());
     let gtree = TdGtree::build(g.clone(), GtreeConfig::default());
     let mut rng = StdRng::seed_from_u64(3);
     let queries: Vec<(u32, u32, f64)> = (0..256)

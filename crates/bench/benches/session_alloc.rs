@@ -1,0 +1,146 @@
+//! Session-reuse micro-bench: per-query heap allocations and throughput of
+//! repeated scalar queries, with and without a `QuerySession`, under both
+//! static and `dyn RoutingIndex` dispatch.
+//!
+//! Documents the `td-api` overhead budget:
+//! * a warmed session performs **zero** allocations per `query_cost` (the
+//!   allocation counts are printed before the timing runs, and asserted);
+//! * session reuse beats fresh per-call scratch on throughput (the
+//!   acceptance bar is ≥ 20%);
+//! * `dyn` dispatch through `Box<dyn RoutingIndex>` costs only the virtual
+//!   call — it shares the same scratch machinery.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use td_api::{build_index, Backend, IndexConfig, QuerySession, RoutingIndex, RoutingIndexExt};
+use td_core::{IndexOptions, SelectionStrategy, TdTreeIndex};
+use td_gen::Dataset;
+use td_plf::DAY;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocs(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+fn bench_session_alloc(criterion: &mut Criterion) {
+    let g = Dataset::Cal.spec().build_scaled(3, 0.06, 42); // ~310 vertices
+    let n = g.num_vertices();
+    let budget = Dataset::Cal.spec().budget_at(0.06) as u64;
+    let index = TdTreeIndex::build(
+        g.clone(),
+        IndexOptions {
+            strategy: SelectionStrategy::Greedy { budget },
+            threads: 0,
+            track_supports: false,
+        },
+    );
+    let boxed: Box<dyn RoutingIndex> = build_index(
+        g,
+        Backend::TdAppro,
+        &IndexConfig {
+            budget,
+            ..Default::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(3);
+    let queries: Vec<(u32, u32, f64)> = (0..256)
+        .map(|_| {
+            (
+                rng.gen_range(0..n) as u32,
+                rng.gen_range(0..n) as u32,
+                rng.gen_range(0.0..DAY),
+            )
+        })
+        .collect();
+
+    // ---- Allocation accounting (printed, not timed) ----
+    let per_call = allocs(|| {
+        for &(s, d, t) in &queries {
+            black_box(index.query_cost(s, d, t));
+        }
+    }) as f64
+        / queries.len() as f64;
+
+    let mut session = index.session();
+    for &(s, d, t) in &queries {
+        black_box(session.query_cost(s, d, t)); // warm the scratch buffers
+    }
+    let warmed = allocs(|| {
+        for &(s, d, t) in &queries {
+            black_box(session.query_cost(s, d, t));
+        }
+    }) as f64
+        / queries.len() as f64;
+
+    println!("allocations/query: fresh-per-call {per_call:.1}, warmed session {warmed:.1}");
+    assert_eq!(
+        warmed, 0.0,
+        "QuerySession::query_cost must not allocate after warm-up"
+    );
+
+    // ---- Throughput ----
+    let mut group = criterion.benchmark_group("session_alloc");
+    {
+        let mut i = 0usize;
+        group.bench_function("fresh_per_call", |b| {
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                let (s, d, t) = queries[i];
+                black_box(index.query_cost(s, d, t))
+            })
+        });
+    }
+    {
+        let mut session = index.session();
+        let mut i = 0usize;
+        group.bench_function("session_static", |b| {
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                let (s, d, t) = queries[i];
+                black_box(session.query_cost(s, d, t))
+            })
+        });
+    }
+    {
+        let mut session: QuerySession<'_, dyn RoutingIndex> = QuerySession::new(boxed.as_ref());
+        let mut i = 0usize;
+        group.bench_function("session_dyn", |b| {
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                let (s, d, t) = queries[i];
+                black_box(session.query_cost(s, d, t))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_alloc);
+criterion_main!(benches);

@@ -10,7 +10,8 @@
 //!
 //! Usage: `cargo run --release -p td-bench --bin exp_ablation [--scale X]`
 
-use td_bench::{dp_scale, timed, Csv, ExpArgs};
+use td_api::IndexConfig;
+use td_bench::{timed, Csv, ExpArgs};
 use td_core::select::{
     select_dp, select_greedy, select_greedy_density_only, select_greedy_utility_only,
 };
@@ -42,7 +43,12 @@ fn main() {
     td_bench::rule(60);
     for pct in [1u64, 5, 10, 25, 50] {
         let budget = total_weight * pct / 100;
-        let (dp, dp_secs) = timed(|| select_dp(&candidates, budget, dp_scale(budget, 10_000)));
+        let scale = IndexConfig {
+            budget,
+            ..Default::default()
+        }
+        .dp_weight_scale();
+        let (dp, dp_secs) = timed(|| select_dp(&candidates, budget, scale));
         let runs: Vec<(&str, f64, f64)> = {
             let (u, su) = timed(|| select_greedy_utility_only(&candidates, budget));
             let (d, sd) = timed(|| select_greedy_density_only(&candidates, budget));
@@ -55,12 +61,19 @@ fn main() {
             ]
         };
         for (name, utility, secs) in runs {
-            let ratio = if dp.utility > 0.0 { utility / dp.utility } else { 1.0 };
+            let ratio = if dp.utility > 0.0 {
+                utility / dp.utility
+            } else {
+                1.0
+            };
             println!(
                 "{:>6}% {:<14} {:>14.1} {:>8.3} {:>9.2}",
                 pct, name, utility, ratio, secs
             );
-            csv.row(header, format_args!("{pct},{name},{utility},{ratio},{secs}"));
+            csv.row(
+                header,
+                format_args!("{pct},{name},{utility},{ratio},{secs}"),
+            );
         }
     }
     println!("\nWrote results/ablation_selection.csv");

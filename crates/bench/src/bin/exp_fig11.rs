@@ -7,8 +7,8 @@
 //!
 //! Usage: `cargo run --release -p td-bench --bin exp_fig11 [--scale X]`
 
+use td_api::{build_index, Backend, IndexConfig, QuerySession};
 use td_bench::{avg_micros, fmt_bytes, timed, Csv, ExpArgs};
-use td_core::{IndexOptions, SelectionStrategy, TdTreeIndex};
 use td_gen::{Dataset, Workload, WorkloadConfig};
 
 fn main() {
@@ -20,9 +20,7 @@ fn main() {
     let g = spec.build_scaled(3, args.scale, args.seed);
     let n = g.num_vertices();
     let base = spec.budget_at(args.scale) as u64;
-    println!(
-        "Fig. 11: Varying N on FLA analogue (|V|={n}, base N={base})",
-    );
+    println!("Fig. 11: Varying N on FLA analogue (|V|={n}, base N={base})",);
     let wl = Workload::generate(
         n,
         &WorkloadConfig {
@@ -40,18 +38,15 @@ fn main() {
     td_bench::rule(75);
     for mult in 1..=5u64 {
         let budget = base * mult;
-        let (index, build_s) = timed(|| {
-            TdTreeIndex::build(
-                g.clone(),
-                IndexOptions {
-                    strategy: SelectionStrategy::Greedy { budget },
-                    threads: args.threads,
-                    track_supports: false,
-                },
-            )
-        });
+        let cfg = IndexConfig {
+            budget,
+            threads: args.threads,
+            ..Default::default()
+        };
+        let (index, build_s) = timed(|| build_index(g.clone(), Backend::TdAppro, &cfg));
+        let mut session = QuerySession::new(index.as_ref());
         let q = avg_micros(&wl.queries, |q| {
-            index.query_cost(q.source, q.destination, q.depart);
+            session.query_cost(q.source, q.destination, q.depart);
         });
         println!(
             "{:>4} {:>12} {:>14.4} {:>12} {:>10} {:>15.1}",
@@ -59,7 +54,7 @@ fn main() {
             budget,
             q / 1000.0,
             fmt_bytes(index.memory_bytes()),
-            index.build_stats.selected_pairs,
+            index.build_stats().precomputed_pairs,
             build_s
         );
         csv.row(
@@ -68,7 +63,7 @@ fn main() {
                 "{mult},{budget},{},{},{},{build_s}",
                 q / 1000.0,
                 index.memory_bytes(),
-                index.build_stats.selected_pairs
+                index.build_stats().precomputed_pairs
             ),
         );
     }

@@ -14,7 +14,8 @@
 //!
 //! Usage: `cargo run --release -p td-bench --bin exp_fig8 [--scale X] [--pairs N]`
 
-use td_bench::sweep::{run_cell, Method};
+use td_api::Backend;
+use td_bench::sweep::run_cell;
 use td_bench::{Csv, ExpArgs};
 use td_gen::Dataset;
 
@@ -30,11 +31,23 @@ fn main() {
     let qh = "dataset,c,method,cost_query_ms,profile_query_ms";
     let ch = "dataset,c,method,construction_s,memory_bytes";
 
-    let groups: [(Dataset, &[Method]); 4] = [
-        (Dataset::Cal, &[Method::Gtree, Method::Basic, Method::H2h]),
-        (Dataset::Sf, &[Method::Gtree, Method::Appro, Method::Dp]),
-        (Dataset::Col, &[Method::Gtree, Method::Appro, Method::Dp]),
-        (Dataset::Fla, &[Method::Gtree, Method::Appro, Method::Dp]),
+    let groups: [(Dataset, &[Backend]); 4] = [
+        (
+            Dataset::Cal,
+            &[Backend::TdGtree, Backend::TdBasic, Backend::TdH2h],
+        ),
+        (
+            Dataset::Sf,
+            &[Backend::TdGtree, Backend::TdAppro, Backend::TdDp],
+        ),
+        (
+            Dataset::Col,
+            &[Backend::TdGtree, Backend::TdAppro, Backend::TdDp],
+        ),
+        (
+            Dataset::Fla,
+            &[Backend::TdGtree, Backend::TdAppro, Backend::TdDp],
+        ),
     ];
 
     for (dataset, methods) in groups {

@@ -9,7 +9,8 @@
 //!
 //! Usage: `cargo run --release -p td-bench --bin exp_fig9 [--scale X]`
 
-use td_bench::sweep::{run_cell, Method};
+use td_api::Backend;
+use td_bench::sweep::run_cell;
 use td_bench::{Csv, ExpArgs};
 use td_gen::Dataset;
 
@@ -29,9 +30,17 @@ fn main() {
         );
         td_bench::rule(50);
         for c in 2..=6 {
-            for m in [Method::Gtree, Method::Appro, Method::Dp] {
+            for m in [Backend::TdGtree, Backend::TdAppro, Backend::TdDp] {
                 let row = run_cell(
-                    dataset, c, m, args.scale, args.seed, args.threads, 0, 0, false,
+                    dataset,
+                    c,
+                    m,
+                    args.scale,
+                    args.seed,
+                    args.threads,
+                    0,
+                    0,
+                    false,
                 );
                 println!(
                     "{:>2} {:<10} {:>16.1} {:>12}",

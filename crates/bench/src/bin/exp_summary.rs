@@ -4,7 +4,8 @@
 //!
 //! Usage: `cargo run --release -p td-bench --bin exp_summary [--scale X]`
 
-use td_bench::sweep::{run_cell, Method};
+use td_api::Backend;
+use td_bench::sweep::run_cell;
 use td_bench::{Csv, ExpArgs};
 use td_gen::Dataset;
 
@@ -14,9 +15,11 @@ fn main() {
         args.scale = 0.25;
     }
     let mut csv = Csv::new("summary_dp_vs_appro");
-    let header =
-        "dataset,method,cost_query_ms,profile_query_ms,construction_s,memory_bytes";
-    println!("§5.4 summary: TD-dp vs TD-appro (c=3, scale {})", args.scale);
+    let header = "dataset,method,cost_query_ms,profile_query_ms,construction_s,memory_bytes";
+    println!(
+        "§5.4 summary: TD-dp vs TD-appro (c=3, scale {})",
+        args.scale
+    );
     println!(
         "{:<6} {:<10} {:>15} {:>19} {:>16} {:>12}",
         "data", "method", "cost query (ms)", "function query (ms)", "construction (s)", "memory"
@@ -24,9 +27,17 @@ fn main() {
     td_bench::rule(85);
     for dataset in [Dataset::Col, Dataset::Fla] {
         let mut rows = Vec::new();
-        for m in [Method::Appro, Method::Dp] {
+        for m in [Backend::TdAppro, Backend::TdDp] {
             let row = run_cell(
-                dataset, 3, m, args.scale, args.seed, args.threads, 300, 150, true,
+                dataset,
+                3,
+                m,
+                args.scale,
+                args.seed,
+                args.threads,
+                300,
+                150,
+                true,
             );
             println!(
                 "{:<6} {:<10} {:>15.4} {:>19.3} {:>16.1} {:>12}",

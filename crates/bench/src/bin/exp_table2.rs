@@ -11,7 +11,10 @@ use td_treedec::TreeDecomposition;
 fn main() {
     let args = ExpArgs::parse();
     let mut csv = Csv::new("table2_datasets");
-    println!("Table 2: Statistics of datasets (synthetic analogues at scale {})", args.scale);
+    println!(
+        "Table 2: Statistics of datasets (synthetic analogues at scale {})",
+        args.scale
+    );
     println!(
         "{:<8} {:>9} {:>9} {:>7} {:>6} {:>12} | paper: (V, E, h, w, N)",
         "Dataset", "#Vertices", "#Edges", "h(TG)", "w(TG)", "N"

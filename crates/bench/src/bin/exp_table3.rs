@@ -8,18 +8,19 @@
 //!
 //! Usage: `cargo run --release -p td-bench --bin exp_table3 [--scale X] [--pairs N]`
 
+use td_api::{build_index, Backend, IndexConfig, QuerySession};
 use td_bench::{avg_micros, fmt_bytes, timed, Csv, ExpArgs};
-use td_core::{IndexOptions, SelectionStrategy, TdTreeIndex};
 use td_gen::{Dataset, Workload, WorkloadConfig};
-use td_gtree::{GtreeConfig, TdGtree};
-use td_h2h::TdH2h;
 
 fn main() {
     let args = ExpArgs::parse();
     let d = Dataset::Cal;
     let g = d.spec().build_scaled(3, args.scale, args.seed);
     let n = g.num_vertices();
-    println!("Table 3: Performance on CAL (|V|={n}, |E|={}, c=3)", g.num_edges());
+    println!(
+        "Table 3: Performance on CAL (|V|={n}, |E|={}, c=3)",
+        g.num_edges()
+    );
     let wl = Workload::generate(
         n,
         &WorkloadConfig {
@@ -36,56 +37,37 @@ fn main() {
     );
     td_bench::rule(95);
 
-    // TD-G-tree.
-    let (gt, build_s) = timed(|| TdGtree::build(g.clone(), GtreeConfig::default()));
-    let q = avg_micros(&wl.queries, |q| {
-        gt.query_cost(q.source, q.destination, q.depart);
-    });
-    println!(
-        "{:<10} {:>11.3}ms {:>15.1}s {:>10}   (0.16ms / 0.006h / 0.169GB)",
-        "TD-G-tree",
-        q / 1000.0,
-        build_s,
-        fmt_bytes(gt.memory_bytes())
-    );
-    csv.row(header, format_args!("TD-G-tree,{},{},{}", q / 1000.0, build_s, gt.memory_bytes()));
-    drop(gt);
-
-    // TD-H2H.
-    let (h2h, build_s) = timed(|| TdH2h::build(g.clone(), args.threads));
-    let q = avg_micros(&wl.queries, |q| {
-        h2h.query_cost(q.source, q.destination, q.depart);
-    });
-    println!(
-        "{:<10} {:>11.4}ms {:>15.1}s {:>10}   (0.0001ms / 0.12h / 3.7GB)",
-        "TD-H2H",
-        q / 1000.0,
-        build_s,
-        fmt_bytes(h2h.memory_bytes())
-    );
-    csv.row(header, format_args!("TD-H2H,{},{},{}", q / 1000.0, build_s, h2h.memory_bytes()));
-    drop(h2h);
-
-    // TD-basic.
-    let (basic, build_s) = timed(|| {
-        TdTreeIndex::build(
-            g.clone(),
-            IndexOptions {
-                strategy: SelectionStrategy::Basic,
-                threads: args.threads,
-                track_supports: false,
-            },
-        )
-    });
-    let q = avg_micros(&wl.queries, |q| {
-        basic.query_cost_basic(q.source, q.destination, q.depart);
-    });
-    println!(
-        "{:<10} {:>11.3}ms {:>15.1}s {:>10}   (4.4ms / 0.0002h / 0.089GB)",
-        "TD-basic",
-        q / 1000.0,
-        build_s,
-        fmt_bytes(basic.memory_bytes())
-    );
-    csv.row(header, format_args!("TD-basic,{},{},{}", q / 1000.0, build_s, basic.memory_bytes()));
+    let cfg = IndexConfig {
+        threads: args.threads,
+        ..Default::default()
+    };
+    let rows: [(Backend, &str); 3] = [
+        (Backend::TdGtree, "(0.16ms / 0.006h / 0.169GB)"),
+        (Backend::TdH2h, "(0.0001ms / 0.12h / 3.7GB)"),
+        (Backend::TdBasic, "(4.4ms / 0.0002h / 0.089GB)"),
+    ];
+    for (backend, paper) in rows {
+        let (index, build_s) = timed(|| build_index(g.clone(), backend, &cfg));
+        let mut session = QuerySession::new(index.as_ref());
+        let q = avg_micros(&wl.queries, |q| {
+            session.query_cost(q.source, q.destination, q.depart);
+        });
+        println!(
+            "{:<10} {:>11.4}ms {:>15.1}s {:>10}   {paper}",
+            backend.name(),
+            q / 1000.0,
+            build_s,
+            fmt_bytes(index.memory_bytes())
+        );
+        csv.row(
+            header,
+            format_args!(
+                "{},{},{},{}",
+                backend.name(),
+                q / 1000.0,
+                build_s,
+                index.memory_bytes()
+            ),
+        );
+    }
 }

@@ -10,10 +10,9 @@
 //! Default scale is 0.35 (≈11k vertices) so the run completes on a laptop;
 //! `--scale 1.0` grows it to ≈32k.
 
+use td_api::{build_index, Backend, IndexConfig, QuerySession};
 use td_bench::{avg_micros, fmt_bytes, timed, Csv, ExpArgs};
-use td_core::{IndexOptions, SelectionStrategy, TdTreeIndex};
 use td_gen::{Dataset, Workload, WorkloadConfig};
-use td_gtree::{GtreeConfig, TdGtree};
 
 fn main() {
     let mut args = ExpArgs::parse();
@@ -23,7 +22,10 @@ fn main() {
     let d = Dataset::WUsa;
     let g = d.spec().build_scaled(3, args.scale, args.seed);
     let n = g.num_vertices();
-    println!("Table 4: Performance on W-USA analogue (|V|={n}, |E|={}, c=3)", g.num_edges());
+    println!(
+        "Table 4: Performance on W-USA analogue (|V|={n}, |E|={}, c=3)",
+        g.num_edges()
+    );
     let wl = Workload::generate(
         n,
         &WorkloadConfig {
@@ -40,20 +42,20 @@ fn main() {
     );
     td_bench::rule(95);
 
-    // TD-G-tree.
-    let (gt, build_s) = timed(|| TdGtree::build(g.clone(), GtreeConfig::default()));
-    let q = avg_micros(&wl.queries, |q| {
-        gt.query_cost(q.source, q.destination, q.depart);
-    });
-    println!(
-        "{:<10} {:>11.3}ms {:>15.1}s {:>10}   (30ms / 15h / 102GB)",
-        "TD-G-tree",
-        q / 1000.0,
-        build_s,
-        fmt_bytes(gt.memory_bytes())
+    let cfg = IndexConfig {
+        threads: args.threads,
+        ..Default::default()
+    };
+    // TD-G-tree first, as in the paper's row order.
+    run_row(
+        &g,
+        Backend::TdGtree,
+        &cfg,
+        &wl,
+        "(30ms / 15h / 102GB)",
+        &mut csv,
+        header,
     );
-    csv.row(header, format_args!("TD-G-tree,{},{},{}", q / 1000.0, build_s, gt.memory_bytes()));
-    drop(gt);
 
     // TD-H2H: project the label size before attempting the build — at this
     // structure it exceeds sensible memory, which is the paper's N/A.
@@ -81,26 +83,46 @@ fn main() {
         csv.row(header, format_args!("TD-H2H,NA,NA,NA"));
     }
 
-    // TD-basic.
-    let (basic, build_s) = timed(|| {
-        TdTreeIndex::build(
-            g.clone(),
-            IndexOptions {
-                strategy: SelectionStrategy::Basic,
-                threads: args.threads,
-                track_supports: false,
-            },
-        )
-    });
+    run_row(
+        &g,
+        Backend::TdBasic,
+        &cfg,
+        &wl,
+        "(9118ms / 1.18h / 66GB)",
+        &mut csv,
+        header,
+    );
+}
+
+fn run_row(
+    g: &td_graph::TdGraph,
+    backend: Backend,
+    cfg: &IndexConfig,
+    wl: &Workload,
+    paper: &str,
+    csv: &mut Csv,
+    header: &str,
+) {
+    let (index, build_s) = timed(|| build_index(g.clone(), backend, cfg));
+    let mut session = QuerySession::new(index.as_ref());
     let q = avg_micros(&wl.queries, |q| {
-        basic.query_cost_basic(q.source, q.destination, q.depart);
+        session.query_cost(q.source, q.destination, q.depart);
     });
     println!(
-        "{:<10} {:>11.3}ms {:>15.1}s {:>10}   (9118ms / 1.18h / 66GB)",
-        "TD-basic",
+        "{:<10} {:>11.3}ms {:>15.1}s {:>10}   {paper}",
+        backend.name(),
         q / 1000.0,
         build_s,
-        fmt_bytes(basic.memory_bytes())
+        fmt_bytes(index.memory_bytes())
     );
-    csv.row(header, format_args!("TD-basic,{},{},{}", q / 1000.0, build_s, basic.memory_bytes()));
+    csv.row(
+        header,
+        format_args!(
+            "{},{},{},{}",
+            backend.name(),
+            q / 1000.0,
+            build_s,
+            index.memory_bytes()
+        ),
+    );
 }

@@ -4,22 +4,54 @@ use td_core::{IndexOptions, SelectionStrategy, TdTreeIndex};
 use td_gen::Dataset;
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
     let d = Dataset::Cal;
     let spec = d.spec();
     let g = spec.build_scaled(3, scale, 42);
-    println!("CAL scale={scale}: |V|={} |E|={}", g.num_vertices(), g.num_edges());
+    println!(
+        "CAL scale={scale}: |V|={} |E|={}",
+        g.num_vertices(),
+        g.num_edges()
+    );
     let (td, secs) = timed(|| td_treedec::TreeDecomposition::build(&g));
     let st = td.stats();
-    println!("decompose: {secs:.2}s  h={} w={} points={} bytes={}MB", st.height, st.width, st.stored_points, st.bytes / (1024*1024));
+    println!(
+        "decompose: {secs:.2}s  h={} w={} points={} bytes={}MB",
+        st.height,
+        st.width,
+        st.stored_points,
+        st.bytes / (1024 * 1024)
+    );
     drop(td);
     let budget = spec.budget_at(scale);
-    let (idx, secs) = timed(|| TdTreeIndex::build(g.clone(), IndexOptions { strategy: SelectionStrategy::Greedy { budget: budget as u64 }, threads: 0, track_supports: false }));
+    let (idx, secs) = timed(|| {
+        TdTreeIndex::build(
+            g.clone(),
+            IndexOptions {
+                strategy: SelectionStrategy::Greedy {
+                    budget: budget as u64,
+                },
+                threads: 0,
+                track_supports: false,
+            },
+        )
+    });
     println!("TD-appro build: {secs:.2}s (weigh {:.2}s select {:.2}s build {:.2}s) candidates={} selected={} budget={}",
         idx.build_stats.weigh_secs, idx.build_stats.select_secs, idx.build_stats.build_secs,
         idx.build_stats.candidates, idx.build_stats.selected_pairs, budget);
-    let (h2h, secs) = timed(|| td_h2h::TdH2h::build(g.clone(), 0));
-    println!("TD-H2H build: {secs:.2}s labels={} mem={}MB", h2h.num_labels(), h2h.memory_bytes() / (1024*1024));
-    let (gt, secs) = timed(|| td_gtree::TdGtree::build(g.clone(), td_gtree::GtreeConfig::default()));
-    println!("TD-G-tree build: {secs:.2}s mem={}MB", gt.memory_bytes() / (1024*1024));
+    let (h2h, secs) = timed(|| td_h2h::TdH2h::build(g.clone(), td_h2h::H2hConfig::default()));
+    println!(
+        "TD-H2H build: {secs:.2}s labels={} mem={}MB",
+        h2h.num_labels(),
+        h2h.memory_bytes() / (1024 * 1024)
+    );
+    let (gt, secs) =
+        timed(|| td_gtree::TdGtree::build(g.clone(), td_gtree::GtreeConfig::default()));
+    println!(
+        "TD-G-tree build: {secs:.2}s mem={}MB",
+        gt.memory_bytes() / (1024 * 1024)
+    );
 }

@@ -26,7 +26,12 @@ pub struct ExpArgs {
 
 impl Default for ExpArgs {
     fn default() -> Self {
-        ExpArgs { scale: 1.0, seed: 42, threads: 0, pairs: 1000 }
+        ExpArgs {
+            scale: 1.0,
+            seed: 42,
+            threads: 0,
+            pairs: 1000,
+        }
     }
 }
 
@@ -39,10 +44,20 @@ impl ExpArgs {
             match arg.as_str() {
                 "--scale" => a.scale = args.next().and_then(|v| v.parse().ok()).expect("--scale X"),
                 "--seed" => a.seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N"),
-                "--threads" => a.threads = args.next().and_then(|v| v.parse().ok()).expect("--threads N"),
+                "--threads" => {
+                    a.threads = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--threads N")
+                }
                 "--pairs" => a.pairs = args.next().and_then(|v| v.parse().ok()).expect("--pairs N"),
-                "--quick" => { a.scale = 0.25; a.pairs = 200; }
-                "--full" => { a.scale = 4.0; }
+                "--quick" => {
+                    a.scale = 0.25;
+                    a.pairs = 200;
+                }
+                "--full" => {
+                    a.scale = 4.0;
+                }
                 other => panic!("unknown flag {other}"),
             }
         }
@@ -63,7 +78,10 @@ impl Csv {
         std::fs::create_dir_all(&dir).expect("create results dir");
         let path = dir.join(format!("{name}.csv"));
         let _ = std::fs::remove_file(&path);
-        Csv { path, wrote_header: false }
+        Csv {
+            path,
+            wrote_header: false,
+        }
     }
 
     /// Writes the header once, then rows.
@@ -107,9 +125,4 @@ pub fn fmt_bytes(b: usize) -> String {
     } else {
         format!("{:.1}KB", b as f64 / 1024.0)
     }
-}
-
-/// DP weight bucketing that keeps the knapsack row around `target` cells.
-pub fn dp_scale(budget: u64, target: u64) -> u32 {
-    budget.div_ceil(target).max(1) as u32
 }

@@ -1,11 +1,14 @@
 //! Shared sweep machinery for the Fig. 8 / Fig. 9 experiments: build every
 //! index for a (dataset, c) grid, measure query and construction metrics.
+//!
+//! Since the `td-api` redesign the cell runner is backend-generic: one
+//! [`build_index`] call and one [`QuerySession`] query loop serve every
+//! method — there is no per-backend dispatch anywhere in the measurement
+//! path.
 
-use crate::harness::{avg_micros, dp_scale, timed};
-use td_core::{IndexOptions, SelectionStrategy, TdTreeIndex};
+use crate::harness::{avg_micros, timed};
+use td_api::{build_index, Backend, IndexConfig, QuerySession};
 use td_gen::{Dataset, Workload, WorkloadConfig};
-use td_gtree::{GtreeConfig, TdGtree};
-use td_h2h::TdH2h;
 
 /// One measured configuration.
 #[derive(Clone, Debug)]
@@ -26,40 +29,12 @@ pub struct SweepRow {
     pub memory_bytes: usize,
 }
 
-/// Which methods to run in a sweep cell.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Method {
-    /// TD-G-tree baseline.
-    Gtree,
-    /// TD-H2H baseline.
-    H2h,
-    /// TD-basic (no shortcuts).
-    Basic,
-    /// TD-appro (Algo. 5 selection).
-    Appro,
-    /// TD-dp (Algo. 4 selection).
-    Dp,
-}
-
-impl Method {
-    /// Display name as in the paper.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Method::Gtree => "TD-G-tree",
-            Method::H2h => "TD-H2H",
-            Method::Basic => "TD-basic",
-            Method::Appro => "TD-appro",
-            Method::Dp => "TD-dp",
-        }
-    }
-}
-
-/// Builds and measures one (dataset, c, method) cell.
+/// Builds and measures one (dataset, c, backend) cell.
 #[allow(clippy::too_many_arguments)] // experiment-grid parameters, used by binaries only
 pub fn run_cell(
     dataset: Dataset,
     c: usize,
-    method: Method,
+    backend: Backend,
     scale: f64,
     seed: u64,
     threads: usize,
@@ -80,94 +55,34 @@ pub fn run_cell(
     );
     let cost_wl = &wl.queries[..(cost_queries * 10).min(wl.queries.len())];
     let profile_pairs: Vec<_> = wl.pairs().into_iter().take(profile_queries).collect();
-    let budget = spec.budget_at(scale) as u64;
+    let cfg = IndexConfig {
+        budget: spec.budget_at(scale) as u64,
+        threads,
+        ..Default::default()
+    };
 
-    let (cost_ms, profile_ms, build_s, mem) = match method {
-        Method::Gtree => {
-            let (gt, build_s) = timed(|| TdGtree::build(g, GtreeConfig::default()));
-            let (cq, pq) = if measure_queries {
-                (
-                    avg_micros(cost_wl, |q| {
-                        gt.query_cost(q.source, q.destination, q.depart);
-                    }),
-                    avg_micros(&profile_pairs, |&(s, d)| {
-                        gt.query_profile(s, d);
-                    }),
-                )
-            } else {
-                (0.0, 0.0)
-            };
-            (cq / 1e3, pq / 1e3, build_s, gt.memory_bytes())
-        }
-        Method::H2h => {
-            let (ix, build_s) = timed(|| TdH2h::build(g, threads));
-            let (cq, pq) = if measure_queries {
-                (
-                    avg_micros(cost_wl, |q| {
-                        ix.query_cost(q.source, q.destination, q.depart);
-                    }),
-                    avg_micros(&profile_pairs, |&(s, d)| {
-                        ix.query_profile(s, d);
-                    }),
-                )
-            } else {
-                (0.0, 0.0)
-            };
-            (cq / 1e3, pq / 1e3, build_s, ix.memory_bytes())
-        }
-        Method::Basic | Method::Appro | Method::Dp => {
-            let strategy = match method {
-                Method::Basic => SelectionStrategy::Basic,
-                Method::Appro => SelectionStrategy::Greedy { budget },
-                Method::Dp => SelectionStrategy::Dp {
-                    budget,
-                    weight_scale: dp_scale(budget, 10_000),
-                },
-                _ => unreachable!(),
-            };
-            let (ix, build_s) = timed(|| {
-                TdTreeIndex::build(
-                    g,
-                    IndexOptions {
-                        strategy,
-                        threads,
-                        track_supports: false,
-                    },
-                )
-            });
-            let (cq, pq) = if measure_queries {
-                match method {
-                    Method::Basic => (
-                        avg_micros(cost_wl, |q| {
-                            ix.query_cost_basic(q.source, q.destination, q.depart);
-                        }),
-                        avg_micros(&profile_pairs, |&(s, d)| {
-                            ix.query_profile_basic(s, d);
-                        }),
-                    ),
-                    _ => (
-                        avg_micros(cost_wl, |q| {
-                            ix.query_cost(q.source, q.destination, q.depart);
-                        }),
-                        avg_micros(&profile_pairs, |&(s, d)| {
-                            ix.query_profile(s, d);
-                        }),
-                    ),
-                }
-            } else {
-                (0.0, 0.0)
-            };
-            (cq / 1e3, pq / 1e3, build_s, ix.memory_bytes())
-        }
+    let (index, build_s) = timed(|| build_index(g, backend, &cfg));
+    let (cost_us, profile_us) = if measure_queries {
+        let mut session = QuerySession::new(index.as_ref());
+        (
+            avg_micros(cost_wl, |q| {
+                session.query_cost(q.source, q.destination, q.depart);
+            }),
+            avg_micros(&profile_pairs, |&(s, d)| {
+                session.query_profile(s, d);
+            }),
+        )
+    } else {
+        (0.0, 0.0)
     };
 
     SweepRow {
         dataset: dataset.name(),
         c,
-        method: method.name(),
-        cost_query_ms: cost_ms,
-        profile_query_ms: profile_ms,
+        method: backend.name(),
+        cost_query_ms: cost_us / 1e3,
+        profile_query_ms: profile_us / 1e3,
         construction_s: build_s,
-        memory_bytes: mem,
+        memory_bytes: index.memory_bytes(),
     }
 }

@@ -1,0 +1,227 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! No network access in this container, so this shim implements the subset
+//! the workspace's benches use: `criterion_group!`/`criterion_main!`,
+//! benchmark groups, `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `iter_batched`, and `black_box`. Timing is a plain warm-up + wall-clock
+//! loop printing a mean ns/iter line — no statistics, plots, or HTML
+//! reports, but the same bench sources compile and produce comparable
+//! numbers offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Batch sizing for [`Bencher::iter_batched`] (ignored by the shim's timer).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (setup excluded from timing).
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter display.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Types accepted where a benchmark name is expected.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Measures one benchmark body.
+pub struct Bencher {
+    nanos_per_iter: f64,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    fn new(measure_for: Duration) -> Self {
+        Bencher {
+            nanos_per_iter: f64::NAN,
+            measure_for,
+        }
+    }
+
+    /// Times `f` in a loop after a short warm-up.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= self.measure_for {
+                break;
+            }
+        }
+        self.nanos_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < self.measure_for {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.nanos_per_iter = total.as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure_for: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(self.measure_for, name, f);
+        self
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(measure_for: Duration, label: &str, mut f: F) {
+    let mut b = Bencher::new(measure_for);
+    f(&mut b);
+    println!("{label:<50} {:>14}/iter", fmt_nanos(b.nanos_per_iter));
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion compatibility; the shim's timer is fixed-length
+    /// so the sample count is ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_one(self.criterion.measure_for, &label, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(self.criterion.measure_for, &label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes harness flags like `--bench`; ignore them.
+            $( $group(); )+
+        }
+    };
+}

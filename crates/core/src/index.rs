@@ -1,6 +1,6 @@
 //! The [`TdTreeIndex`]: construction, configuration and accounting.
 
-use crate::query::QueryEngine;
+use crate::query::{CostScratch, ProfileScratch, QueryEngine};
 use crate::select::{select_dp, select_greedy, Candidate, Selection};
 use crate::shortcut::{build_all, build_selected, weigh_candidates, ShortcutStore};
 use std::time::Instant;
@@ -216,6 +216,60 @@ impl TdTreeIndex {
         self.engine().cost_with_path(s, d, t)
     }
 
+    /// [`TdTreeIndex::query_cost`] reusing `scratch` — no heap allocation on
+    /// the hot path once the buffers are warm.
+    pub fn query_cost_with(
+        &self,
+        scratch: &mut CostScratch,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+    ) -> Option<f64> {
+        self.engine().cost_with(scratch, s, d, t)
+    }
+
+    /// [`TdTreeIndex::query_cost_basic`] reusing `scratch`.
+    pub fn query_cost_basic_with(
+        &self,
+        scratch: &mut CostScratch,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+    ) -> Option<f64> {
+        self.engine().cost_basic_with(scratch, s, d, t)
+    }
+
+    /// [`TdTreeIndex::query_profile_basic`] reusing `scratch`'s sweep tables.
+    pub fn query_profile_basic_with(
+        &self,
+        scratch: &mut ProfileScratch,
+        s: VertexId,
+        d: VertexId,
+    ) -> Option<Plf> {
+        self.engine().profile_basic_with(scratch, s, d)
+    }
+
+    /// [`TdTreeIndex::query_profile`] reusing `scratch`'s sweep tables.
+    pub fn query_profile_with(
+        &self,
+        scratch: &mut ProfileScratch,
+        s: VertexId,
+        d: VertexId,
+    ) -> Option<Plf> {
+        self.engine().profile_with(scratch, s, d)
+    }
+
+    /// [`TdTreeIndex::query_path`] reusing `scratch`'s sweep buffers.
+    pub fn query_path_with(
+        &self,
+        scratch: &mut CostScratch,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+    ) -> Option<(f64, Path)> {
+        self.engine().cost_with_path_in(scratch, s, d, t)
+    }
+
     /// Tree statistics (`h(T_G)`, `w(T_G)`, stored points, …).
     pub fn tree_stats(&self) -> TreeStats {
         self.td.stats()
@@ -279,7 +333,10 @@ mod tests {
             for strategy in [
                 SelectionStrategy::Basic,
                 SelectionStrategy::Greedy { budget: 500 },
-                SelectionStrategy::Dp { budget: 500, weight_scale: 1 },
+                SelectionStrategy::Dp {
+                    budget: 500,
+                    weight_scale: 1,
+                },
                 SelectionStrategy::All,
             ] {
                 let index = TdTreeIndex::build(
@@ -350,7 +407,10 @@ mod tests {
         let dp = TdTreeIndex::build(
             g.clone(),
             IndexOptions {
-                strategy: SelectionStrategy::Dp { budget, weight_scale: 1 },
+                strategy: SelectionStrategy::Dp {
+                    budget,
+                    weight_scale: 1,
+                },
                 ..Default::default()
             },
         );
@@ -361,7 +421,9 @@ mod tests {
             greedy.build_stats.selected_utility
         );
         // And the 0.5 guarantee the other way.
-        assert!(greedy.build_stats.selected_utility >= 0.5 * dp.build_stats.selected_utility - 1e-9);
+        assert!(
+            greedy.build_stats.selected_utility >= 0.5 * dp.build_stats.selected_utility - 1e-9
+        );
     }
 
     #[test]

@@ -28,4 +28,6 @@ pub mod shortcut;
 pub mod update;
 
 pub use index::{BuildStats, IndexOptions, SelectionStrategy, TdTreeIndex};
+pub use query::{CostScratch, ProfileScratch, QueryEngine};
 pub use select::{Candidate, Selection};
+pub use update::UpdateStats;

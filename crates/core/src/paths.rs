@@ -18,7 +18,7 @@
 //! sub-shortcuts that were not selected); shortcuts accelerate costs, not
 //! path extraction.
 
-use crate::query::QueryEngine;
+use crate::query::{CostScratch, QueryEngine};
 use td_graph::{Path, VertexId};
 use td_plf::{Plf, NO_VIA};
 use td_treedec::TreeDecomposition;
@@ -64,13 +64,27 @@ impl QueryEngine<'_> {
     /// Runs the basic scalar sweeps with predecessor tracking, then unfolds
     /// each hop's stored function through [`expand_pair`].
     pub fn cost_with_path(&self, s: VertexId, d: VertexId, t: f64) -> Option<(f64, Path)> {
+        self.cost_with_path_in(&mut CostScratch::default(), s, d, t)
+    }
+
+    /// [`QueryEngine::cost_with_path`] reusing `scratch`'s sweep buffers.
+    /// The returned [`Path`] is freshly allocated (it is the result), but the
+    /// sweep tables are reused across calls.
+    pub fn cost_with_path_in(
+        &self,
+        scratch: &mut CostScratch,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+    ) -> Option<(f64, Path)> {
         if s == d {
             return Some((0.0, Path::new(vec![s])));
         }
         let x = self.td.lca(s, d);
         let upto = self.td.node(x).depth as usize;
-        let up = self.sweep_up_scalar(s, t, &[], None);
-        let down = self.sweep_down_scalar(d, &up.arr, upto, t, None);
+        self.sweep_up_scalar_into(s, t, &[], None, &mut scratch.up);
+        self.sweep_down_scalar_into(d, &scratch.up.arr, upto, t, None, &mut scratch.down);
+        let (up, down) = (&scratch.up, &scratch.down);
         let dd = down.path.len() - 1;
         let arrival = down.arr[dd]?;
 

@@ -16,6 +16,15 @@
 //! With shortcuts (Algo. 6) there are three situations: (1) all cut
 //! shortcuts selected → `O(w(T_G))` combination; (2) a subset selected →
 //! upper bound `f⁺` prunes the sweeps (NIL-marking); (3) none → basic sweep.
+//!
+//! ## Scratch buffers
+//!
+//! Every query comes in two flavours: a convenience form (`cost`, `profile`)
+//! that allocates its working state per call, and a `*_with` form taking a
+//! reusable [`CostScratch`] / [`ProfileScratch`]. The `*_with` forms are the
+//! hot path used by `td-api`'s `QuerySession`: after the first few queries
+//! warm the buffers up to the tree's depth, a scalar query performs **no
+//! heap allocation at all**.
 
 use crate::shortcut::ShortcutStore;
 use td_graph::VertexId;
@@ -30,15 +39,71 @@ pub struct QueryEngine<'a> {
     pub store: &'a ShortcutStore,
 }
 
-/// Result of an upward scalar sweep: root path and arrival times.
-pub(crate) struct ScalarSweep {
-    /// Root-first path: `path[k]` = vertex at depth `k`; last entry = source.
+/// Reusable buffers for one scalar sweep direction.
+#[derive(Clone, Debug, Default)]
+pub struct SweepBufs {
+    /// Root-first path: `path[k]` = vertex at depth `k`; last entry = the
+    /// sweep's endpoint.
     pub path: Vec<VertexId>,
     /// `arr[k]` = earliest arrival at `path[k]` (absolute time).
     pub arr: Vec<Option<f64>>,
-    /// Predecessor of `path[k]`: `(deeper depth, bag index)` of the relaxing
-    /// node, for path recovery.
+    /// Predecessor of `path[k]`: `(relaxing depth, bag index)`, for path
+    /// recovery.
     pub pred: Vec<Option<(usize, usize)>>,
+    /// Depths holding exact shortcut values (skipped by relaxation).
+    fixed: Vec<bool>,
+}
+
+impl SweepBufs {
+    fn reset(&mut self, len: usize) {
+        self.arr.clear();
+        self.arr.resize(len, None);
+        self.pred.clear();
+        self.pred.resize(len, None);
+        self.fixed.clear();
+        self.fixed.resize(len, false);
+    }
+}
+
+/// Reusable scratch for scalar (travel cost) queries. After warm-up the
+/// buffers reach the tree's depth and scalar queries stop allocating.
+#[derive(Clone, Debug, Default)]
+pub struct CostScratch {
+    pub(crate) up: SweepBufs,
+    pub(crate) down: SweepBufs,
+    pub(crate) cut: Vec<VertexId>,
+    pub(crate) seeds: Vec<(usize, f64)>,
+}
+
+/// Reusable buffers for one profile sweep direction.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileSweepBufs {
+    /// Root-first path, last entry = the sweep's endpoint.
+    pub path: Vec<VertexId>,
+    /// `cost[k]` = travel cost function between `path[k]` and the endpoint.
+    pub cost: Vec<Option<Plf>>,
+    fixed: Vec<bool>,
+}
+
+impl ProfileSweepBufs {
+    fn reset(&mut self, len: usize) {
+        self.cost.clear();
+        self.cost.resize(len, None);
+        self.fixed.clear();
+        self.fixed.resize(len, false);
+    }
+}
+
+/// Reusable scratch for profile (cost function) queries. The result PLFs are
+/// owned by the caller and still allocate; the sweep tables, seed lists and
+/// cut vector are reused across queries.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileScratch {
+    up: ProfileSweepBufs,
+    down: ProfileSweepBufs,
+    cut: Vec<VertexId>,
+    seeds_s: Vec<(usize, Plf)>,
+    seeds_d: Vec<(usize, Plf)>,
 }
 
 impl<'a> QueryEngine<'a> {
@@ -47,62 +112,59 @@ impl<'a> QueryEngine<'a> {
         QueryEngine { td, store }
     }
 
-    fn root_path(&self, v: VertexId) -> Vec<VertexId> {
-        let mut p = self.td.ancestors_root_first(v);
-        p.push(v);
-        p
+    fn root_path_into(&self, v: VertexId, out: &mut Vec<VertexId>) {
+        self.td.ancestors_root_first_into(v, out);
+        out.push(v);
     }
 
     // ------------------------------------------------------------------
     // Scalar (travel cost) queries
     // ------------------------------------------------------------------
 
-    /// Upward earliest-arrival sweep from `s` departing at `t`, optionally
-    /// seeded with selected shortcuts towards cut vertices and pruned by a
-    /// cost upper bound.
-    pub(crate) fn sweep_up_scalar(
+    /// Upward earliest-arrival sweep from `s` departing at `t` into `bufs`,
+    /// optionally seeded with selected shortcuts towards cut vertices and
+    /// pruned by a cost upper bound.
+    pub(crate) fn sweep_up_scalar_into(
         &self,
         s: VertexId,
         t: f64,
         seeds: &[(usize, f64)],
         bound: Option<f64>,
-    ) -> ScalarSweep {
-        let path = self.root_path(s);
-        let ds = path.len() - 1;
-        let mut arr: Vec<Option<f64>> = vec![None; ds + 1];
-        let mut pred: Vec<Option<(usize, usize)>> = vec![None; ds + 1];
-        let mut fixed = vec![false; ds + 1];
-        arr[ds] = Some(t);
+        bufs: &mut SweepBufs,
+    ) {
+        self.root_path_into(s, &mut bufs.path);
+        let ds = bufs.path.len() - 1;
+        bufs.reset(ds + 1);
+        bufs.arr[ds] = Some(t);
         for &(k, a) in seeds {
-            arr[k] = Some(a);
-            fixed[k] = true; // Algo. 6 line 15: shortcut values are exact
+            bufs.arr[k] = Some(a);
+            bufs.fixed[k] = true; // Algo. 6 line 15: shortcut values are exact
         }
         for k in (0..=ds).rev() {
-            let Some(a) = arr[k] else { continue };
+            let Some(a) = bufs.arr[k] else { continue };
             if let Some(b) = bound {
                 if a - t > b {
-                    arr[k] = None; // NIL (Algo. 6 line 20)
+                    bufs.arr[k] = None; // NIL (Algo. 6 line 20)
                     continue;
                 }
             }
-            let node = self.td.node(path[k]);
+            let node = self.td.node(bufs.path[k]);
             for (bi, &u) in node.bag.iter().enumerate() {
                 let Some(ws) = &node.ws[bi] else { continue };
                 let ku = self.td.node(u).depth as usize;
-                if fixed[ku] {
+                if bufs.fixed[ku] {
                     continue;
                 }
                 let cand = a + ws.eval(a);
-                if arr[ku].is_none_or(|x| cand < x) {
-                    arr[ku] = Some(cand);
-                    pred[ku] = Some((k, bi));
+                if bufs.arr[ku].is_none_or(|x| cand < x) {
+                    bufs.arr[ku] = Some(cand);
+                    bufs.pred[ku] = Some((k, bi));
                 }
             }
         }
-        ScalarSweep { path, arr, pred }
     }
 
-    /// Top-down arrival sweep along `d`'s root path.
+    /// Top-down arrival sweep along `d`'s root path into `bufs`.
     ///
     /// `init[k]` carries the up-sweep arrivals at the common ancestors
     /// (`k ≤ upto`, shared by both root paths). Every depth — including the
@@ -110,29 +172,29 @@ impl<'a> QueryEngine<'a> {
     /// shortest path is some common ancestor, and the down-monotone leg from
     /// the apex may pass through other common ancestors before descending to
     /// `d`, so the prefix vertices must be relaxable too.
-    pub(crate) fn sweep_down_scalar(
+    pub(crate) fn sweep_down_scalar_into(
         &self,
         d: VertexId,
         init: &[Option<f64>],
         upto: usize,
         t: f64,
         bound: Option<f64>,
-    ) -> ScalarSweep {
-        let path = self.root_path(d);
-        let dd = path.len() - 1;
-        let mut arr: Vec<Option<f64>> = vec![None; dd + 1];
-        let mut pred: Vec<Option<(usize, usize)>> = vec![None; dd + 1];
-        for (k, slot) in arr.iter_mut().enumerate().take(upto.min(dd) + 1) {
+        bufs: &mut SweepBufs,
+    ) {
+        self.root_path_into(d, &mut bufs.path);
+        let dd = bufs.path.len() - 1;
+        bufs.reset(dd + 1);
+        for (k, slot) in bufs.arr.iter_mut().enumerate().take(upto.min(dd) + 1) {
             *slot = init.get(k).copied().flatten();
         }
         for k in 0..=dd {
-            let node = self.td.node(path[k]);
-            let mut best: Option<f64> = arr[k]; // seeded up-sweep arrival
+            let node = self.td.node(bufs.path[k]);
+            let mut best: Option<f64> = bufs.arr[k]; // seeded up-sweep arrival
             let mut best_pred = None;
             for (bi, &u) in node.bag.iter().enumerate() {
                 let Some(wd) = &node.wd[bi] else { continue };
                 let ku = self.td.node(u).depth as usize;
-                let Some(a) = arr[ku] else { continue };
+                let Some(a) = bufs.arr[ku] else { continue };
                 let cand = a + wd.eval(a);
                 if best.is_none_or(|x| cand < x) {
                     best = Some(cand);
@@ -140,33 +202,52 @@ impl<'a> QueryEngine<'a> {
                 }
             }
             if let (Some(b), Some(a)) = (bound, best) {
-                if a - t > b && path[k] != d {
+                if a - t > b && bufs.path[k] != d {
                     best = None; // NIL
                     best_pred = None;
                 }
             }
-            arr[k] = best;
-            pred[k] = best_pred;
+            bufs.arr[k] = best;
+            bufs.pred[k] = best_pred;
         }
-        ScalarSweep { path, arr, pred }
     }
 
     /// Travel cost query `Q(s, d, t)` — Algo. 6 when shortcuts exist,
     /// falling back to the basic sweeps (Algo. 3's scalar counterpart).
+    ///
+    /// Convenience form allocating fresh scratch; hot paths should hold a
+    /// [`CostScratch`] and call [`QueryEngine::cost_with`].
     pub fn cost(&self, s: VertexId, d: VertexId, t: f64) -> Option<f64> {
+        self.cost_with(&mut CostScratch::default(), s, d, t)
+    }
+
+    /// Travel cost query `Q(s, d, t)` reusing `scratch` (allocation-free
+    /// after warm-up).
+    pub fn cost_with(
+        &self,
+        scratch: &mut CostScratch,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+    ) -> Option<f64> {
         if s == d {
             return Some(0.0);
         }
-        let x = self.td.lca(s, d);
-        let cut = self.td.vertex_cut(s, d);
+        let CostScratch {
+            up,
+            down,
+            cut,
+            seeds,
+        } = scratch;
+        let x = self.td.vertex_cut_into(s, d, cut);
         let upto = self.td.node(x).depth as usize;
 
         // Shortcut values over the cut: (depth of w, cost s→w, cost w→d).
         let mut full_cover = true;
         let mut bound: Option<f64> = None;
-        let mut seeds: Vec<(usize, f64)> = Vec::new();
+        seeds.clear();
         let mut jump_total: Option<f64> = None;
-        for &w in &cut {
+        for &w in cut.iter() {
             let kw = self.td.node(w).depth as usize;
             // s → w.
             let up_cost: Option<Option<f64>> = if w == s {
@@ -193,9 +274,9 @@ impl<'a> QueryEngine<'a> {
                         let total = if w == d {
                             Some(cs)
                         } else {
-                            self.store.get(d, w).and_then(|(_, down)| {
-                                down.as_ref().map(|f| cs + f.eval(t + cs))
-                            })
+                            self.store
+                                .get(d, w)
+                                .and_then(|(_, down)| down.as_ref().map(|f| cs + f.eval(t + cs)))
                         };
                         if let Some(total) = total {
                             if bound.is_none_or(|b| total < b) {
@@ -216,8 +297,8 @@ impl<'a> QueryEngine<'a> {
         }
 
         // Situations (2)/(3): sweeps, pruned by the bound when present.
-        let up = self.sweep_up_scalar(s, t, &seeds, bound);
-        let down = self.sweep_down_scalar(d, &up.arr, upto, t, bound);
+        self.sweep_up_scalar_into(s, t, seeds, bound, up);
+        self.sweep_down_scalar_into(d, &up.arr, upto, t, bound, down);
         let swept = down.arr[down.path.len() - 1].map(|a| a - t);
         match (swept, jump_total) {
             (Some(a), Some(b)) => Some(a.min(b)),
@@ -227,13 +308,25 @@ impl<'a> QueryEngine<'a> {
 
     /// Basic travel cost query ignoring shortcuts (TD-basic's scalar mode).
     pub fn cost_basic(&self, s: VertexId, d: VertexId, t: f64) -> Option<f64> {
+        self.cost_basic_with(&mut CostScratch::default(), s, d, t)
+    }
+
+    /// Basic travel cost query reusing `scratch`.
+    pub fn cost_basic_with(
+        &self,
+        scratch: &mut CostScratch,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+    ) -> Option<f64> {
         if s == d {
             return Some(0.0);
         }
+        let CostScratch { up, down, .. } = scratch;
         let x = self.td.lca(s, d);
         let upto = self.td.node(x).depth as usize;
-        let up = self.sweep_up_scalar(s, t, &[], None);
-        let down = self.sweep_down_scalar(d, &up.arr, upto, t, None);
+        self.sweep_up_scalar_into(s, t, &[], None, up);
+        self.sweep_down_scalar_into(d, &up.arr, upto, t, None, down);
         down.arr[down.path.len() - 1].map(|a| a - t)
     }
 
@@ -241,114 +334,132 @@ impl<'a> QueryEngine<'a> {
     // Profile (cost function) queries
     // ------------------------------------------------------------------
 
-    /// Upward function sweep from `s` (Algo. 3 lines 1-10): `cost[k]` =
-    /// `f_{s, path[k]}(t)` for every root-path vertex. `seeds` carries
-    /// shortcut functions (exact, skipped by relaxation per Algo. 6 line 15);
-    /// `bound` enables NIL pruning (Algo. 6 line 20).
-    pub(crate) fn sweep_up_profile(
+    /// Upward function sweep from `s` (Algo. 3 lines 1-10) into `bufs`:
+    /// `cost[k]` = `f_{s, path[k]}(t)` for every root-path vertex. `seeds`
+    /// carries shortcut functions (exact, skipped by relaxation per Algo. 6
+    /// line 15); `bound` enables NIL pruning (Algo. 6 line 20).
+    pub(crate) fn sweep_up_profile_into(
         &self,
         s: VertexId,
         seeds: &[(usize, Plf)],
         bound: Option<&Plf>,
-    ) -> (Vec<VertexId>, Vec<Option<Plf>>) {
-        let path = self.root_path(s);
-        let ds = path.len() - 1;
-        let mut cost: Vec<Option<Plf>> = vec![None; ds + 1];
-        let mut fixed = vec![false; ds + 1];
+        bufs: &mut ProfileSweepBufs,
+    ) {
+        self.root_path_into(s, &mut bufs.path);
+        let ds = bufs.path.len() - 1;
+        bufs.reset(ds + 1);
         for (k, f) in seeds {
-            cost[*k] = Some(f.clone());
-            fixed[*k] = true;
+            bufs.cost[*k] = Some(f.clone());
+            bufs.fixed[*k] = true;
         }
         let bound_max = bound.map(|b| b.max_value());
         for k in (0..=ds).rev() {
             // At processing time cost[k] is final: NIL-prune it (Algo. 6
             // line 20) when it can never beat the shortcut bound anywhere.
             if k != ds {
-                let Some(f) = &cost[k] else { continue };
+                let Some(f) = &bufs.cost[k] else { continue };
                 if let Some(bm) = bound_max {
                     if f.min_value() > bm {
-                        cost[k] = None; // NIL
+                        bufs.cost[k] = None; // NIL
                         continue;
                     }
                 }
             }
-            let node = self.td.node(path[k]);
+            let node = self.td.node(bufs.path[k]);
             for (bi, &u) in node.bag.iter().enumerate() {
                 let Some(ws) = &node.ws[bi] else { continue };
                 let ku = self.td.node(u).depth as usize;
-                if fixed[ku] {
+                if bufs.fixed[ku] {
                     continue;
                 }
                 let cand = if k == ds {
                     ws.clone() // line 2: cost_s[u] ← X(s).Ws_u
                 } else {
-                    cost[k].as_ref().expect("checked above").compound(ws, path[k])
+                    bufs.cost[k]
+                        .as_ref()
+                        .expect("checked above")
+                        .compound(ws, bufs.path[k])
                 };
-                min_into(&mut cost[ku], cand);
+                min_into(&mut bufs.cost[ku], cand);
             }
         }
-        (path, cost)
     }
 
-    /// Upward *reverse* function sweep towards `d`: `cost[k]` =
+    /// Upward *reverse* function sweep towards `d` into `bufs`: `cost[k]` =
     /// `f_{path[k], d}(t)` (Algo. 3 line 11 "repeat for cost_d").
-    pub(crate) fn sweep_up_profile_rev(
+    pub(crate) fn sweep_up_profile_rev_into(
         &self,
         d: VertexId,
         seeds: &[(usize, Plf)],
         bound: Option<&Plf>,
-    ) -> (Vec<VertexId>, Vec<Option<Plf>>) {
-        let path = self.root_path(d);
-        let dd = path.len() - 1;
-        let mut cost: Vec<Option<Plf>> = vec![None; dd + 1];
-        let mut fixed = vec![false; dd + 1];
+        bufs: &mut ProfileSweepBufs,
+    ) {
+        self.root_path_into(d, &mut bufs.path);
+        let dd = bufs.path.len() - 1;
+        bufs.reset(dd + 1);
         for (k, f) in seeds {
-            cost[*k] = Some(f.clone());
-            fixed[*k] = true;
+            bufs.cost[*k] = Some(f.clone());
+            bufs.fixed[*k] = true;
         }
         let bound_max = bound.map(|b| b.max_value());
         for k in (0..=dd).rev() {
             if k != dd {
-                let Some(f) = &cost[k] else { continue };
+                let Some(f) = &bufs.cost[k] else { continue };
                 if let Some(bm) = bound_max {
                     if f.min_value() > bm {
-                        cost[k] = None; // NIL
+                        bufs.cost[k] = None; // NIL
                         continue;
                     }
                 }
             }
-            let node = self.td.node(path[k]);
+            let node = self.td.node(bufs.path[k]);
             for (bi, &u) in node.bag.iter().enumerate() {
                 let Some(wd) = &node.wd[bi] else { continue };
                 let ku = self.td.node(u).depth as usize;
-                if fixed[ku] {
+                if bufs.fixed[ku] {
                     continue;
                 }
                 let cand = if k == dd {
                     wd.clone()
                 } else {
-                    wd.compound(cost[k].as_ref().expect("checked above"), path[k])
+                    wd.compound(bufs.cost[k].as_ref().expect("checked above"), bufs.path[k])
                 };
-                min_into(&mut cost[ku], cand);
+                min_into(&mut bufs.cost[ku], cand);
             }
         }
-        (path, cost)
     }
 
     /// Cost function query `f_{s,d}(t)` — Algo. 6 (falls back to Algo. 3
     /// when no shortcut covers the cut).
     pub fn profile(&self, s: VertexId, d: VertexId) -> Option<Plf> {
+        self.profile_with(&mut ProfileScratch::default(), s, d)
+    }
+
+    /// Cost function query reusing `scratch`'s sweep tables and seed lists.
+    pub fn profile_with(
+        &self,
+        scratch: &mut ProfileScratch,
+        s: VertexId,
+        d: VertexId,
+    ) -> Option<Plf> {
         if s == d {
             return Some(Plf::zero());
         }
-        let cut = self.td.vertex_cut(s, d);
+        let ProfileScratch {
+            up,
+            down,
+            cut,
+            seeds_s,
+            seeds_d,
+        } = scratch;
+        let x = self.td.vertex_cut_into(s, d, cut);
 
         // Collect shortcut functions over the cut.
         let mut full_cover = true;
-        let mut seeds_s: Vec<(usize, Plf)> = Vec::new();
-        let mut seeds_d: Vec<(usize, Plf)> = Vec::new();
+        seeds_s.clear();
+        seeds_d.clear();
         let mut bound: Option<Plf> = None;
-        for &w in &cut {
+        for &w in cut.iter() {
             let kw = self.td.node(w).depth as usize;
             let up_f: Option<Option<Plf>> = if w == s {
                 Some(Some(Plf::zero()))
@@ -392,26 +503,36 @@ impl<'a> QueryEngine<'a> {
 
         // Situations (2)/(3): pruned sweeps + combination over the common
         // ancestor chain.
-        let x = self.td.lca(s, d);
         let upto = self.td.node(x).depth as usize;
-        let (path_s, cost_s) = self.sweep_up_profile(s, &seeds_s, bound.as_ref());
-        let (_, cost_d) = self.sweep_up_profile_rev(d, &seeds_d, bound.as_ref());
+        self.sweep_up_profile_into(s, seeds_s, bound.as_ref(), up);
+        self.sweep_up_profile_rev_into(d, seeds_d, bound.as_ref(), down);
         let mut result: Option<Plf> = bound;
-        combine_over_chain(&path_s, &cost_s, &cost_d, upto, s, d, &mut result);
+        combine_over_chain(&up.path, &up.cost, &down.cost, upto, s, d, &mut result);
         result
     }
 
     /// Basic cost function query (Algo. 3, no shortcuts).
     pub fn profile_basic(&self, s: VertexId, d: VertexId) -> Option<Plf> {
+        self.profile_basic_with(&mut ProfileScratch::default(), s, d)
+    }
+
+    /// Basic cost function query reusing `scratch`.
+    pub fn profile_basic_with(
+        &self,
+        scratch: &mut ProfileScratch,
+        s: VertexId,
+        d: VertexId,
+    ) -> Option<Plf> {
         if s == d {
             return Some(Plf::zero());
         }
+        let ProfileScratch { up, down, .. } = scratch;
         let x = self.td.lca(s, d);
         let upto = self.td.node(x).depth as usize;
-        let (path_s, cost_s) = self.sweep_up_profile(s, &[], None);
-        let (_, cost_d) = self.sweep_up_profile_rev(d, &[], None);
+        self.sweep_up_profile_into(s, &[], None, up);
+        self.sweep_up_profile_rev_into(d, &[], None, down);
         let mut result: Option<Plf> = None;
-        combine_over_chain(&path_s, &cost_s, &cost_d, upto, s, d, &mut result);
+        combine_over_chain(&up.path, &up.cost, &down.cost, upto, s, d, &mut result);
         result
     }
 }
@@ -525,7 +646,10 @@ mod tests {
                         }
                         (None, None) => {}
                         other => {
-                            panic!("seed={seed} s={s} d={d}: {:?}", other.1.as_ref().map(|_| ()))
+                            panic!(
+                                "seed={seed} s={s} d={d}: {:?}",
+                                other.1.as_ref().map(|_| ())
+                            )
                         }
                     }
                 }
@@ -554,7 +678,10 @@ mod tests {
                 let b = slow.cost_basic(s, d, t);
                 match (a, b) {
                     (Some(a), Some(b)) => {
-                        assert!((a - b).abs() < 1e-5, "seed={seed} s={s} d={d} t={t}: {a} vs {b}")
+                        assert!(
+                            (a - b).abs() < 1e-5,
+                            "seed={seed} s={s} d={d} t={t}: {a} vs {b}"
+                        )
                     }
                     (None, None) => {}
                     other => panic!("seed={seed} s={s} d={d}: {other:?}"),
@@ -572,6 +699,51 @@ mod tests {
                     }
                     (None, None) => {}
                     other => panic!("seed={seed} s={s} d={d}: {:?}", other.0.map(|_| ())),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_scratch() {
+        // The same CostScratch/ProfileScratch driven through many mixed
+        // queries must answer exactly like per-call fresh scratch.
+        for seed in 0..3u64 {
+            let n = 32;
+            let g = seeded_graph(seed, n, 22, 3);
+            let td = TreeDecomposition::build(&g);
+            let full = build_all(&td, 2);
+            let none = ShortcutStore::empty(n);
+            for store in [&none, &full] {
+                let engine = QueryEngine::new(&td, store);
+                let mut cost_scratch = CostScratch::default();
+                let mut profile_scratch = ProfileScratch::default();
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
+                for _ in 0..60 {
+                    let s = rng.gen_range(0..n) as u32;
+                    let d = rng.gen_range(0..n) as u32;
+                    let t = rng.gen_range(0.0..DAY);
+                    assert_eq!(
+                        engine.cost_with(&mut cost_scratch, s, d, t),
+                        engine.cost(s, d, t),
+                        "seed={seed} s={s} d={d} t={t}"
+                    );
+                    assert_eq!(
+                        engine.cost_basic_with(&mut cost_scratch, s, d, t),
+                        engine.cost_basic(s, d, t),
+                        "seed={seed} s={s} d={d} t={t}"
+                    );
+                    let a = engine.profile_with(&mut profile_scratch, s, d);
+                    let b = engine.profile(s, d);
+                    match (a, b) {
+                        (Some(a), Some(b)) => {
+                            for t in probe_times() {
+                                assert!((a.eval(t) - b.eval(t)).abs() < 1e-9);
+                            }
+                        }
+                        (None, None) => {}
+                        other => panic!("seed={seed} s={s} d={d}: {:?}", other.0.map(|_| ())),
+                    }
                 }
             }
         }

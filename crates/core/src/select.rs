@@ -200,7 +200,9 @@ pub fn select_brute_force(items: &[Candidate], budget: u64) -> Selection {
             best_mask = mask;
         }
     }
-    let chosen = (0..items.len()).filter(|i| best_mask & (1 << i) != 0).collect();
+    let chosen = (0..items.len())
+        .filter(|i| best_mask & (1 << i) != 0)
+        .collect();
     Selection::from_indices(chosen, items)
 }
 
@@ -313,10 +315,9 @@ mod tests {
     fn single_strategies_can_each_be_arbitrarily_bad() {
         // Utility-only trap: the max-utility item swallows the budget while
         // dense crumbs would have been ~10x better.
-        let crumb_heavy: Vec<Candidate> =
-            std::iter::once(cand(101.0, 100)) // picked first by utility
-                .chain((0..100).map(|_| cand(10.0, 1)))
-                .collect();
+        let crumb_heavy: Vec<Candidate> = std::iter::once(cand(101.0, 100)) // picked first by utility
+            .chain((0..100).map(|_| cand(10.0, 1)))
+            .collect();
         let u_only = select_greedy_utility_only(&crumb_heavy, 100);
         let d_only = select_greedy_density_only(&crumb_heavy, 100);
         assert!((u_only.utility - 101.0).abs() < 1e-9);
@@ -370,7 +371,10 @@ mod tests {
         let mut prev = 0.0;
         for budget in [5u64, 10, 20, 40, 80, 160] {
             let s = select_dp(&items, budget, 1);
-            assert!(s.utility >= prev - 1e-9, "budget {budget} decreased utility");
+            assert!(
+                s.utility >= prev - 1e-9,
+                "budget {budget} decreased utility"
+            );
             prev = s.utility;
         }
     }

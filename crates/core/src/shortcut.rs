@@ -48,7 +48,11 @@ pub fn compute_vectors(td: &TreeDecomposition, v: VertexId, stack: &[NodeVectors
     let mut up: Vec<Option<Plf>> = vec![None; d];
     let mut down: Vec<Option<Plf>> = vec![None; d];
     // Pre-fetch bag depths once.
-    let bag_depths: Vec<usize> = node.bag.iter().map(|&u| td.node(u).depth as usize).collect();
+    let bag_depths: Vec<usize> = node
+        .bag
+        .iter()
+        .map(|&u| td.node(u).depth as usize)
+        .collect();
     for k in 0..d {
         let mut best_up: Option<Plf> = None;
         let mut best_down: Option<Plf> = None;
@@ -149,9 +153,7 @@ impl ShortcutStore {
         self.per_node
             .iter()
             .flatten()
-            .map(|(_, u, d)| {
-                u.as_ref().map_or(0, |f| f.len()) + d.as_ref().map_or(0, |f| f.len())
-            })
+            .map(|(_, u, d)| u.as_ref().map_or(0, |f| f.len()) + d.as_ref().map_or(0, |f| f.len()))
             .sum()
     }
 
@@ -418,8 +420,7 @@ fn emit(
                 // p⟨i,j⟩ = |{k : LCA(X(i),X(k)) = X(j)}| / |V|
                 //        = (subtree(j) − subtree(child of j towards i)) / |V|.
                 let towards = if k + 1 < d { anc[k + 1] } else { v };
-                let covered =
-                    td.node(j).subtree_size - td.node(towards).subtree_size;
+                let covered = td.node(j).subtree_size - td.node(towards).subtree_size;
                 let p = covered as f64 / n;
                 let utility = (d - k) as f64 * width as f64 * p;
                 out.candidates.push(Candidate {
@@ -437,8 +438,12 @@ fn emit(
             let anc = td.ancestors_root_first(v);
             for &a in &selected[v as usize] {
                 let k = td.node(a).depth as usize;
-                debug_assert!(k < d && anc[k] == a, "selected ancestor must be on the root path");
-                out.stored.push((v, a, vecs.up[k].clone(), vecs.down[k].clone()));
+                debug_assert!(
+                    k < d && anc[k] == a,
+                    "selected ancestor must be on the root path"
+                );
+                out.stored
+                    .push((v, a, vecs.up[k].clone(), vecs.down[k].clone()));
             }
         }
         PassMode::StoreAll => {
@@ -555,7 +560,9 @@ mod tests {
         let store = build_all(&td, 2);
         assert!(!cands.is_empty());
         for c in &cands {
-            let (up, down) = store.get(c.node, c.ancestor).expect("candidate was weighed");
+            let (up, down) = store
+                .get(c.node, c.ancestor)
+                .expect("candidate was weighed");
             let w = up.as_ref().map_or(0, |f| f.len()) + down.as_ref().map_or(0, |f| f.len());
             assert_eq!(c.weight as usize, w, "pair ({}, {})", c.node, c.ancestor);
             assert!(c.utility >= 0.0);

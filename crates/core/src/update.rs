@@ -75,7 +75,9 @@ impl TdTreeIndex {
             if self.graph().weight(e).approx_eq(w, 1e-9) {
                 continue;
             }
-            self.graph_mut().set_weight(e, w.clone()).expect("validated");
+            self.graph_mut()
+                .set_weight(e, w.clone())
+                .expect("validated");
             stats.changed_edges += 1;
         }
 
@@ -109,8 +111,7 @@ impl TdTreeIndex {
             let bag = self.tree().node(m).bag.clone();
             for (ii, &i) in bag.iter().enumerate() {
                 for &j in bag.iter().skip(ii + 1) {
-                    let earlier = if self.tree().order[i as usize] < self.tree().order[j as usize]
-                    {
+                    let earlier = if self.tree().order[i as usize] < self.tree().order[j as usize] {
                         i
                     } else {
                         j
@@ -119,10 +120,7 @@ impl TdTreeIndex {
                     if self.refresh_pair(earlier, other) {
                         changed_nodes.insert(earlier);
                         if queued.insert(earlier) {
-                            dirty.push(Reverse((
-                                self.tree().order[earlier as usize],
-                                earlier,
-                            )));
+                            dirty.push(Reverse((self.tree().order[earlier as usize], earlier)));
                         }
                     }
                 }
@@ -140,7 +138,8 @@ impl TdTreeIndex {
             stats.rebuilt_subtree_nodes = affected.len();
             self.shortcuts_mut().clear_vertices(&affected);
             let selected = self.selected_per_node().to_vec();
-            let rebuilt = build_selected(self.tree(), &selected, self.options.threads, Some(&roots));
+            let rebuilt =
+                build_selected(self.tree(), &selected, self.options.threads, Some(&roots));
             // Merge rebuilt entries into the store.
             let td_len = self.tree().len();
             let mut merged = std::mem::replace(
@@ -186,7 +185,9 @@ impl TdTreeIndex {
             let node = self.tree().node(m);
             let pe = self.tree().bag_position(m, earlier);
             let po = self.tree().bag_position(m, other);
-            let (Some(pe), Some(po)) = (pe, po) else { continue };
+            let (Some(pe), Some(po)) = (pe, po) else {
+                continue;
+            };
             if let (Some(a), Some(b)) = (&node.wd[pe], &node.ws[po]) {
                 min_into(&mut fwd, a.compound(b, m));
             }

@@ -27,7 +27,10 @@ impl LowerBounds {
         let mut done = vec![false; n];
         let mut heap = BinaryHeap::new();
         h[d as usize] = 0.0;
-        heap.push(Entry { key: 0.0, vertex: d });
+        heap.push(Entry {
+            key: 0.0,
+            vertex: d,
+        });
         while let Some(Entry { key, vertex: u }) = heap.pop() {
             if done[u as usize] {
                 continue;
@@ -40,7 +43,10 @@ impl LowerBounds {
                 let cand = key + g.weight(e).min_value();
                 if cand < h[p as usize] {
                     h[p as usize] = cand;
-                    heap.push(Entry { key: cand, vertex: p });
+                    heap.push(Entry {
+                        key: cand,
+                        vertex: p,
+                    });
                 }
             }
         }
@@ -83,7 +89,10 @@ pub fn astar_cost_with(
     t: f64,
     bounds: &LowerBounds,
 ) -> Option<f64> {
-    assert_eq!(bounds.destination, d, "bounds computed for a different target");
+    assert_eq!(
+        bounds.destination, d,
+        "bounds computed for a different target"
+    );
     let n = g.num_vertices();
     let mut settled = vec![false; n];
     let mut best = vec![f64::INFINITY; n];

@@ -58,7 +58,10 @@ pub fn bidirectional_cost(
     t: f64,
     bounds: &LowerBounds,
 ) -> Option<f64> {
-    assert_eq!(bounds.destination, d, "bounds computed for a different target");
+    assert_eq!(
+        bounds.destination, d,
+        "bounds computed for a different target"
+    );
     if s == d {
         return Some(0.0);
     }
@@ -97,7 +100,10 @@ pub fn bidirectional_cost(
                 if v == d {
                     best_to_d = best_to_d.min(cand);
                 }
-                heap.push(Entry { key: cand, vertex: v });
+                heap.push(Entry {
+                    key: cand,
+                    vertex: v,
+                });
             }
         }
     }

@@ -64,7 +64,11 @@ pub fn profile_search(g: &TdGraph, s: VertexId) -> ProfileResult {
 /// Profile search from `s`, restricted to vertices for which `keep` returns
 /// true (the search still *traverses* everything reachable; `keep` only
 /// controls which functions are retained — memory matters on big graphs).
-pub fn profile_search_to(g: &TdGraph, s: VertexId, keep: impl Fn(VertexId) -> bool) -> ProfileResult {
+pub fn profile_search_to(
+    g: &TdGraph,
+    s: VertexId,
+    keep: impl Fn(VertexId) -> bool,
+) -> ProfileResult {
     let mut r = profile_search_impl(g, s, None);
     for v in 0..g.num_vertices() as u32 {
         if !keep(v) && v != s {
@@ -96,7 +100,9 @@ fn profile_search_impl(g: &TdGraph, s: VertexId, _reserved: Option<()>) -> Profi
              the graph likely contains a (near-)zero-cost cycle"
         );
         in_queue[u as usize] = false;
-        let du = dist[u as usize].clone().expect("queued vertices have labels");
+        let du = dist[u as usize]
+            .clone()
+            .expect("queued vertices have labels");
         for &(v, e) in g.out_edges(u) {
             let cand = du.compound(g.weight(e), u);
             let improved = match &dist[v as usize] {

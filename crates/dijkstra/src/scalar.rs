@@ -39,20 +39,55 @@ impl Ord for HeapEntry {
     }
 }
 
+/// Reusable search state for scalar TD-Dijkstra: distance/parent arrays and
+/// the priority queue are recycled across queries (allocation-free after the
+/// first query warms them to the graph's size).
+#[derive(Clone, Debug, Default)]
+pub struct DijkstraScratch {
+    arrival: Vec<Option<f64>>,
+    best: Vec<f64>,
+    parent: Vec<VertexId>,
+    heap: BinaryHeap<HeapEntry>,
+}
+
 /// The travel cost of the shortest path `s → d` departing at `t`, or `None`
 /// if `d` is unreachable.
 pub fn shortest_path_cost(g: &TdGraph, s: VertexId, d: VertexId, t: f64) -> Option<f64> {
-    run(g, s, Some(d), t).arrival[d as usize].map(|a| a - t)
+    shortest_path_cost_with(&mut DijkstraScratch::default(), g, s, d, t)
+}
+
+/// [`shortest_path_cost`] reusing `scratch`.
+pub fn shortest_path_cost_with(
+    scratch: &mut DijkstraScratch,
+    g: &TdGraph,
+    s: VertexId,
+    d: VertexId,
+    t: f64,
+) -> Option<f64> {
+    run(scratch, g, s, Some(d), t);
+    scratch.arrival[d as usize].map(|a| a - t)
 }
 
 /// The shortest path and its cost, or `None` if unreachable.
 pub fn shortest_path(g: &TdGraph, s: VertexId, d: VertexId, t: f64) -> Option<(f64, Path)> {
-    let state = run(g, s, Some(d), t);
-    let arr = state.arrival[d as usize]?;
+    shortest_path_with(&mut DijkstraScratch::default(), g, s, d, t)
+}
+
+/// [`shortest_path`] reusing `scratch` (the returned [`Path`] still
+/// allocates — it is the result).
+pub fn shortest_path_with(
+    scratch: &mut DijkstraScratch,
+    g: &TdGraph,
+    s: VertexId,
+    d: VertexId,
+    t: f64,
+) -> Option<(f64, Path)> {
+    run(scratch, g, s, Some(d), t);
+    let arr = scratch.arrival[d as usize]?;
     let mut vertices = vec![d];
     let mut cur = d;
     while cur != s {
-        let p = state.parent[cur as usize];
+        let p = scratch.parent[cur as usize];
         debug_assert_ne!(p, u32::MAX, "settled vertex must have a parent");
         vertices.push(p);
         cur = p;
@@ -64,30 +99,40 @@ pub fn shortest_path(g: &TdGraph, s: VertexId, d: VertexId, t: f64) -> Option<(f
 /// Costs from `s` to every vertex departing at `t` (`f64::INFINITY` when
 /// unreachable).
 pub fn one_to_all(g: &TdGraph, s: VertexId, t: f64) -> Vec<f64> {
-    run(g, s, None, t)
+    let mut scratch = DijkstraScratch::default();
+    run(&mut scratch, g, s, None, t);
+    scratch
         .arrival
-        .into_iter()
+        .iter()
         .map(|a| a.map(|x| x - t).unwrap_or(f64::INFINITY))
         .collect()
 }
 
-struct SearchState {
-    arrival: Vec<Option<f64>>,
-    parent: Vec<VertexId>,
-}
-
-fn run(g: &TdGraph, s: VertexId, target: Option<VertexId>, t: f64) -> SearchState {
+fn run(scratch: &mut DijkstraScratch, g: &TdGraph, s: VertexId, target: Option<VertexId>, t: f64) {
     let n = g.num_vertices();
-    let mut arrival: Vec<Option<f64>> = vec![None; n];
-    let mut best: Vec<f64> = vec![f64::INFINITY; n];
-    let mut parent: Vec<VertexId> = vec![u32::MAX; n];
-    let mut heap = BinaryHeap::new();
+    let DijkstraScratch {
+        arrival,
+        best,
+        parent,
+        heap,
+    } = scratch;
+    arrival.clear();
+    arrival.resize(n, None);
+    best.clear();
+    best.resize(n, f64::INFINITY);
+    parent.clear();
+    parent.resize(n, u32::MAX);
+    heap.clear();
     best[s as usize] = t;
     heap.push(HeapEntry {
         arrival: t,
         vertex: s,
     });
-    while let Some(HeapEntry { arrival: a, vertex: u }) = heap.pop() {
+    while let Some(HeapEntry {
+        arrival: a,
+        vertex: u,
+    }) = heap.pop()
+    {
         if arrival[u as usize].is_some() {
             continue; // stale entry
         }
@@ -110,7 +155,6 @@ fn run(g: &TdGraph, s: VertexId, target: Option<VertexId>, t: f64) -> SearchStat
             }
         }
     }
-    SearchState { arrival, parent }
 }
 
 #[cfg(test)]
@@ -199,8 +243,12 @@ mod tests {
         // Costs rise steeply with time: leaving later must not be "fixed" by
         // the algorithm pretending to wait.
         let mut g = TdGraph::with_vertices(2);
-        g.add_edge(0, 1, Plf::from_pairs(&[(0.0, 10.0), (100.0, 100.0)]).unwrap())
-            .unwrap();
+        g.add_edge(
+            0,
+            1,
+            Plf::from_pairs(&[(0.0, 10.0), (100.0, 100.0)]).unwrap(),
+        )
+        .unwrap();
         let c = shortest_path_cost(&g, 0, 1, 100.0).unwrap();
         assert!((c - 100.0).abs() < 1e-9);
     }

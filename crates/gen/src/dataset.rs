@@ -62,10 +62,10 @@ impl Dataset {
         // rows × cols chosen so relative sizes mirror the paper; the extra
         // edge fraction reproduces each dataset's directed m/n ratio.
         let (rows, cols, extra) = match self {
-            Dataset::Cal => (72, 72, 0.035),  // ~5.2k, m/n≈2.07
-            Dataset::Sf => (100, 100, 0.25),  // 10k, m/n≈2.5
-            Dataset::Col => (115, 115, 0.22), // ~13.2k
-            Dataset::Fla => (140, 140, 0.26), // ~19.6k
+            Dataset::Cal => (72, 72, 0.035),   // ~5.2k, m/n≈2.07
+            Dataset::Sf => (100, 100, 0.25),   // 10k, m/n≈2.5
+            Dataset::Col => (115, 115, 0.22),  // ~13.2k
+            Dataset::Fla => (140, 140, 0.26),  // ~19.6k
             Dataset::WUsa => (180, 180, 0.23), // ~32.4k
         };
         let (_, _, _, _, paper_n_budget) = self.paper_stats();

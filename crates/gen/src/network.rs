@@ -251,10 +251,7 @@ mod tests {
         });
         let n = sparse.graph.num_vertices() as f64;
         let ratio = sparse.graph.num_edges() as f64 / n;
-        assert!(
-            (1.9..2.2).contains(&ratio),
-            "sparse directed m/n = {ratio}"
-        );
+        assert!((1.9..2.2).contains(&ratio), "sparse directed m/n = {ratio}");
 
         let dense = RoadNetwork::generate(&RoadNetworkConfig {
             rows: 30,

@@ -110,7 +110,8 @@ pub fn apply_profiles(net: &RoadNetwork, cfg: &ProfileConfig) -> TdGraph {
     for e in 0..g.num_edges() as u32 {
         let base = g.weight(e).eval(0.0);
         let plf = edge_profile(base, cfg, &mut rng);
-        g.set_weight(e, plf).expect("profile is FIFO by construction");
+        g.set_weight(e, plf)
+            .expect("profile is FIFO by construction");
     }
     g
 }

@@ -19,7 +19,12 @@ impl GraphBuilder {
     }
 
     /// Adds a directed edge; a parallel edge is merged via `minimum`.
-    pub fn edge(&mut self, from: VertexId, to: VertexId, weight: Plf) -> Result<&mut Self, GraphError> {
+    pub fn edge(
+        &mut self,
+        from: VertexId,
+        to: VertexId,
+        weight: Plf,
+    ) -> Result<&mut Self, GraphError> {
         match self.graph.find_edge(from, to) {
             Some(e) => {
                 let merged = self.graph.weight(e).minimum(&weight);

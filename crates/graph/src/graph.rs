@@ -86,7 +86,12 @@ impl TdGraph {
     }
 
     /// Inserts a directed edge, validating endpoints, simplicity and FIFO.
-    pub fn add_edge(&mut self, from: VertexId, to: VertexId, weight: Plf) -> Result<EdgeId, GraphError> {
+    pub fn add_edge(
+        &mut self,
+        from: VertexId,
+        to: VertexId,
+        weight: Plf,
+    ) -> Result<EdgeId, GraphError> {
         let n = self.num_vertices() as u32;
         if from >= n {
             return Err(GraphError::VertexOutOfRange(from));
@@ -200,7 +205,10 @@ impl TdGraph {
         seen[0] = true;
         let mut count = 1usize;
         while let Some(v) = stack.pop() {
-            for &(u, _) in self.out[v as usize].iter().chain(self.inn[v as usize].iter()) {
+            for &(u, _) in self.out[v as usize]
+                .iter()
+                .chain(self.inn[v as usize].iter())
+            {
                 if !seen[u as usize] {
                     seen[u as usize] = true;
                     count += 1;
@@ -253,7 +261,10 @@ mod tests {
     #[test]
     fn rejects_self_loop() {
         let mut g = TdGraph::with_vertices(2);
-        assert_eq!(g.add_edge(1, 1, Plf::constant(1.0)), Err(GraphError::SelfLoop(1)));
+        assert_eq!(
+            g.add_edge(1, 1, Plf::constant(1.0)),
+            Err(GraphError::SelfLoop(1))
+        );
     }
 
     #[test]

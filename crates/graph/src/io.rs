@@ -86,7 +86,10 @@ pub fn read_td(r: impl BufRead) -> Result<TdGraph, IoError> {
             Some("p") => {
                 let kind = tok.next().unwrap_or("");
                 if kind != "td" {
-                    return Err(IoError::Parse(lineno, format!("expected 'p td', got 'p {kind}'")));
+                    return Err(IoError::Parse(
+                        lineno,
+                        format!("expected 'p td', got 'p {kind}'"),
+                    ));
                 }
                 let n: usize = parse_tok(&mut tok, lineno, "num_vertices")?;
                 declared_edges = parse_tok(&mut tok, lineno, "num_edges")?;

@@ -77,8 +77,12 @@ mod tests {
 
     fn line_graph() -> TdGraph {
         let mut g = TdGraph::with_vertices(3);
-        g.add_edge(0, 1, Plf::from_pairs(&[(0.0, 10.0), (100.0, 20.0)]).unwrap())
-            .unwrap();
+        g.add_edge(
+            0,
+            1,
+            Plf::from_pairs(&[(0.0, 10.0), (100.0, 20.0)]).unwrap(),
+        )
+        .unwrap();
         g.add_edge(1, 2, Plf::constant(5.0)).unwrap();
         g
     }

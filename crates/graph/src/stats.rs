@@ -31,7 +31,11 @@ impl GraphStats {
         GraphStats {
             vertices: g.num_vertices(),
             edges: m,
-            avg_points: if m == 0 { 0.0 } else { total_points as f64 / m as f64 },
+            avg_points: if m == 0 {
+                0.0
+            } else {
+                total_points as f64 / m as f64
+            },
             max_points,
             avg_degree: if g.num_vertices() == 0 {
                 0.0
@@ -65,8 +69,12 @@ mod tests {
     #[test]
     fn stats_of_small_graph() {
         let mut g = TdGraph::with_vertices(3);
-        g.add_edge(0, 1, Plf::from_pairs(&[(0.0, 1.0), (10.0, 2.0), (20.0, 1.0)]).unwrap())
-            .unwrap();
+        g.add_edge(
+            0,
+            1,
+            Plf::from_pairs(&[(0.0, 1.0), (10.0, 2.0), (20.0, 1.0)]).unwrap(),
+        )
+        .unwrap();
         g.add_edge(1, 2, Plf::constant(5.0)).unwrap();
         let s = GraphStats::of(&g);
         assert_eq!(s.vertices, 3);

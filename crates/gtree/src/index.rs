@@ -3,9 +3,22 @@
 use crate::partition::PartitionTree;
 use std::collections::HashMap;
 use std::time::Instant;
-use td_dijkstra::profile_search;
-use td_graph::{GraphBuilder, TdGraph, VertexId};
+use td_dijkstra::{profile_search, shortest_path};
+use td_graph::{GraphBuilder, Path, TdGraph, VertexId};
 use td_plf::{ops::min_into, Plf};
+
+/// Reusable scratch for TD-G-tree scalar queries: the stage plan, the two
+/// partition-tree paths and the two arrival hash maps are recycled across
+/// queries (hash maps keep their capacity through `clear`, so repeated
+/// queries stop allocating once warmed up).
+#[derive(Clone, Debug, Default)]
+pub struct GtreeScratch {
+    plan: Vec<(usize, usize)>,
+    path_s: Vec<usize>,
+    path_d: Vec<usize>,
+    cur: HashMap<VertexId, f64>,
+    next: HashMap<VertexId, f64>,
+}
 
 /// Configuration of the TD-G-tree.
 #[derive(Clone, Copy, Debug)]
@@ -44,7 +57,11 @@ impl NodeMatrix {
     }
 
     fn bytes(&self) -> usize {
-        self.mat.iter().flatten().map(|f| f.heap_bytes()).sum::<usize>()
+        self.mat
+            .iter()
+            .flatten()
+            .map(|f| f.heap_bytes())
+            .sum::<usize>()
             + self.mat.capacity() * std::mem::size_of::<Option<Plf>>()
     }
 }
@@ -81,7 +98,9 @@ impl TdGtree {
         let mut down: Vec<usize> = (0..nn).collect();
         down.sort_by_key(|&i| pt.nodes[i].depth);
         for &idx in &down {
-            let Some(parent) = pt.nodes[idx].parent else { continue };
+            let Some(parent) = pt.nodes[idx].parent else {
+                continue;
+            };
             let anchors = anchor_set(&pt, idx);
             let outside: Vec<(VertexId, VertexId, Plf)> = border_pairs(&pt, &mats, idx, parent);
             let local = supergraph(&graph, &pt, &mats, idx, &anchors, Some(&outside));
@@ -96,8 +115,53 @@ impl TdGtree {
         }
     }
 
+    /// Fills `plan` with the `(matrix node, target border owner)` relaxation
+    /// stages between `ls`'s borders and `ld`'s borders: up through the
+    /// nodes strictly between the leaf and the LCA, across the LCA towards
+    /// the d-side child, then down to `ld`. `path_s`/`path_d` are reusable
+    /// buffers for the partition-tree paths.
+    fn stage_plan_into(
+        &self,
+        ls: usize,
+        ld: usize,
+        plan: &mut Vec<(usize, usize)>,
+        path_s: &mut Vec<usize>,
+        path_d: &mut Vec<usize>,
+    ) {
+        let lca = self.pt.lca(ls, ld);
+        self.pt.path_up_into(ls, lca, path_s);
+        self.pt.path_up_into(ld, lca, path_d);
+        plan.clear();
+        // Upward: the nodes strictly between the leaf and the LCA.
+        for &n in &path_s[1..path_s.len().saturating_sub(1)] {
+            plan.push((n, n));
+        }
+        // Across the LCA: from s-side child borders to d-side child borders.
+        let child_d = path_d[path_d.len() - 2];
+        plan.push((lca, child_d));
+        // Downward on d's side (path_d[0] == ld, so `i - 1` is the node below).
+        for i in (1..path_d.len() - 1).rev() {
+            plan.push((path_d[i], path_d[i - 1]));
+        }
+    }
+
     /// Travel cost query `Q(s, d, t)`.
+    ///
+    /// Convenience form allocating fresh scratch; hot paths should hold a
+    /// [`GtreeScratch`] and call [`TdGtree::query_cost_with`].
     pub fn query_cost(&self, s: VertexId, d: VertexId, t: f64) -> Option<f64> {
+        self.query_cost_with(&mut GtreeScratch::default(), s, d, t)
+    }
+
+    /// Travel cost query reusing `scratch` (no fresh hash maps after
+    /// warm-up).
+    pub fn query_cost_with(
+        &self,
+        scratch: &mut GtreeScratch,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+    ) -> Option<f64> {
         if s == d {
             return Some(0.0);
         }
@@ -107,38 +171,31 @@ impl TdGtree {
             // Same-leaf: the refined leaf matrix is globally exact.
             return self.mats[ls].entry(s, d).map(|f| f.eval(t));
         }
-        let lca = self.pt.lca(ls, ld);
-        let path_s = self.pt.path_up(ls, lca);
-        let path_d = self.pt.path_up(ld, lca);
+        let GtreeScratch {
+            plan,
+            path_s,
+            path_d,
+            cur,
+            next,
+        } = scratch;
+        self.stage_plan_into(ls, ld, plan, path_s, path_d);
 
-        // Upward: arrivals at successive border sets.
-        let mut arr: HashMap<VertexId, f64> = HashMap::new();
+        // Upward: arrivals at the source leaf's border set.
+        cur.clear();
         for &b in &self.pt.nodes[ls].borders {
             if let Some(f) = self.mats[ls].entry(s, b) {
                 let a = t + f.eval(t);
-                arr.entry(b).and_modify(|x| *x = x.min(a)).or_insert(a);
+                cur.entry(b).and_modify(|x| *x = x.min(a)).or_insert(a);
             }
         }
-        // Relax through the nodes strictly between the leaf and the LCA.
-        for &n in &path_s[1..path_s.len().saturating_sub(1)] {
-            arr = relax_scalar(&self.mats[n], &arr, &self.pt.nodes[n].borders);
-        }
-        // Across the LCA: from s-side child borders to d-side child borders.
-        let child_d = path_d[path_d.len() - 2];
-        arr = relax_scalar(&self.mats[lca], &arr, &self.pt.nodes[child_d].borders);
-        // Downward on d's side.
-        for &n in path_d[1..path_d.len() - 1].iter().rev() {
-            let next_down: &[VertexId] = if n == path_d[1] {
-                &self.pt.nodes[ld].borders
-            } else {
-                let below = path_d[path_d.iter().position(|&x| x == n).unwrap() - 1];
-                &self.pt.nodes[below].borders
-            };
-            arr = relax_scalar(&self.mats[n], &arr, next_down);
+        // Relax through the staged border sets.
+        for &(n, tgt) in plan.iter() {
+            relax_scalar_into(&self.mats[n], cur, &self.pt.nodes[tgt].borders, next);
+            std::mem::swap(cur, next);
         }
         // Into d.
         let mut best: Option<f64> = None;
-        for (&b, &a) in &arr {
+        for (&b, &a) in cur.iter() {
             if let Some(f) = self.mats[ld].entry(b, d) {
                 let total = a + f.eval(a);
                 if best.is_none_or(|x| total < x) {
@@ -147,6 +204,97 @@ impl TdGtree {
             }
         }
         best.map(|a| a - t)
+    }
+
+    /// Travel cost *and* shortest path for `Q(s, d, t)`.
+    ///
+    /// Runs the scalar border relaxation with predecessor tracking to obtain
+    /// the optimal border chain `s → b₁ → … → b_k → d`, then expands each
+    /// consecutive hop with a targeted TD-Dijkstra on the original graph.
+    /// Every refined matrix entry is globally exact, so each hop expansion
+    /// reproduces exactly the hop's matrix cost and the concatenation is a
+    /// shortest path; the hops are partition-local, so each expansion only
+    /// explores a small region.
+    pub fn query_path(&self, s: VertexId, d: VertexId, t: f64) -> Option<(f64, Path)> {
+        if s == d {
+            return Some((0.0, Path::new(vec![s])));
+        }
+        let chain = self.border_chain(s, d, t)?;
+        let mut vertices = vec![s];
+        let mut now = t;
+        for w in chain.windows(2) {
+            let (u, v) = (w[0], w[1]);
+            let (c, seg) = shortest_path(&self.graph, u, v, now)?;
+            vertices.extend_from_slice(&seg.vertices[1..]);
+            now += c;
+        }
+        Some((now - t, Path::new(vertices)))
+    }
+
+    /// The optimal border chain `[s, b₁, …, b_k, d]` (consecutive duplicates
+    /// removed), or `None` when `d` is unreachable from `s`.
+    fn border_chain(&self, s: VertexId, d: VertexId, t: f64) -> Option<Vec<VertexId>> {
+        let ls = self.pt.leaf_of[s as usize];
+        let ld = self.pt.leaf_of[d as usize];
+        if ls == ld {
+            self.mats[ls].entry(s, d)?;
+            return Some(vec![s, d]);
+        }
+        let (mut plan, mut path_s, mut path_d) = (Vec::new(), Vec::new(), Vec::new());
+        self.stage_plan_into(ls, ld, &mut plan, &mut path_s, &mut path_d);
+
+        // Layered relaxation with predecessors: layers[k] maps a border to
+        // (arrival, predecessor border in layer k-1); layer 0's predecessor
+        // is `s` itself.
+        let mut layers: Vec<HashMap<VertexId, (f64, VertexId)>> =
+            Vec::with_capacity(plan.len() + 1);
+        let mut cur: HashMap<VertexId, (f64, VertexId)> = HashMap::new();
+        for &b in &self.pt.nodes[ls].borders {
+            if let Some(f) = self.mats[ls].entry(s, b) {
+                let a = t + f.eval(t);
+                match cur.entry(b) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        if a < e.get().0 {
+                            *e.get_mut() = (a, s);
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert((a, s));
+                    }
+                }
+            }
+        }
+        layers.push(cur);
+        for &(n, tgt) in &plan {
+            let prev = layers.last().expect("seeded above");
+            let next = relax_pred(&self.mats[n], prev, &self.pt.nodes[tgt].borders);
+            layers.push(next);
+        }
+
+        // Into d: pick the best final border.
+        let last = layers.last().expect("seeded above");
+        let mut best: Option<(f64, VertexId)> = None;
+        for (&b, &(a, _)) in last {
+            if let Some(f) = self.mats[ld].entry(b, d) {
+                let total = a + f.eval(a);
+                if best.is_none_or(|(x, _)| total < x) {
+                    best = Some((total, b));
+                }
+            }
+        }
+        let (_, mut bcur) = best?;
+
+        // Backtrack through the layers.
+        let mut rev = vec![d, bcur];
+        for li in (1..layers.len()).rev() {
+            let pred = layers[li][&bcur].1;
+            rev.push(pred);
+            bcur = pred;
+        }
+        rev.push(s);
+        rev.reverse();
+        rev.dedup();
+        Some(rev)
     }
 
     /// Shortest travel cost function query `f_{s,d}(t)`.
@@ -209,6 +357,15 @@ impl TdGtree {
         self.mats.iter().map(|m| m.points()).sum()
     }
 
+    /// Number of cached matrix entries (anchor pairs with a stored cost
+    /// function) across all partition nodes.
+    pub fn num_entries(&self) -> usize {
+        self.mats
+            .iter()
+            .map(|m| m.mat.iter().flatten().count())
+            .sum()
+    }
+
     /// Number of partition-tree nodes.
     pub fn num_partitions(&self) -> usize {
         self.pt.nodes.len()
@@ -264,7 +421,8 @@ fn supergraph(
         for &v in anchors {
             for &(u, e) in g.out_edges(v) {
                 if let Some(&lu) = local_of.get(&u) {
-                    b.edge(local_of[&v], lu, g.weight(e).clone()).expect("valid local edge");
+                    b.edge(local_of[&v], lu, g.weight(e).clone())
+                        .expect("valid local edge");
                 }
             }
         }
@@ -278,7 +436,8 @@ fn supergraph(
                         continue;
                     }
                     if let Some(f) = mats[c].entry(x, y) {
-                        b.edge(local_of[&x], local_of[&y], f.clone()).expect("valid");
+                        b.edge(local_of[&x], local_of[&y], f.clone())
+                            .expect("valid");
                     }
                 }
             }
@@ -290,7 +449,8 @@ fn supergraph(
                     // Only add original edges that cross children (edges
                     // inside one child are subsumed by its matrix, but adding
                     // them again is harmless thanks to min-merging).
-                    b.edge(local_of[&v], lu, g.weight(e).clone()).expect("valid");
+                    b.edge(local_of[&v], lu, g.weight(e).clone())
+                        .expect("valid");
                 }
             }
         }
@@ -331,7 +491,10 @@ fn border_pairs(
 
 /// All-pairs profile search over the local supergraph (one search per
 /// anchor, parallelised across rows).
-fn all_pairs(local: &(TdGraph, HashMap<VertexId, u32>, Vec<VertexId>), anchors: Vec<VertexId>) -> NodeMatrix {
+fn all_pairs(
+    local: &(TdGraph, HashMap<VertexId, u32>, Vec<VertexId>),
+    anchors: Vec<VertexId>,
+) -> NodeMatrix {
     let (g, _, order) = local;
     let k = anchors.len();
     let threads = std::thread::available_parallelism()
@@ -364,13 +527,15 @@ fn all_pairs(local: &(TdGraph, HashMap<VertexId, u32>, Vec<VertexId>), anchors: 
     NodeMatrix { anchors, pos, mat }
 }
 
-/// Scalar relaxation through a node matrix: earliest arrivals at `targets`.
-fn relax_scalar(
+/// Scalar relaxation through a node matrix into `out` (cleared first):
+/// earliest arrivals at `targets`.
+fn relax_scalar_into(
     m: &NodeMatrix,
     arr: &HashMap<VertexId, f64>,
     targets: &[VertexId],
-) -> HashMap<VertexId, f64> {
-    let mut out: HashMap<VertexId, f64> = HashMap::with_capacity(targets.len());
+    out: &mut HashMap<VertexId, f64>,
+) {
+    out.clear();
     for &b2 in targets {
         let mut best: Option<f64> = arr.get(&b2).copied();
         for (&b1, &a) in arr {
@@ -386,6 +551,34 @@ fn relax_scalar(
         }
         if let Some(a) = best {
             out.insert(b2, a);
+        }
+    }
+}
+
+/// [`relax_scalar_into`] with predecessor tracking for path recovery: each
+/// target maps to `(arrival, best predecessor border)`; a carried-over value
+/// records the border itself as its predecessor.
+fn relax_pred(
+    m: &NodeMatrix,
+    arr: &HashMap<VertexId, (f64, VertexId)>,
+    targets: &[VertexId],
+) -> HashMap<VertexId, (f64, VertexId)> {
+    let mut out: HashMap<VertexId, (f64, VertexId)> = HashMap::with_capacity(targets.len());
+    for &b2 in targets {
+        let mut best: Option<(f64, VertexId)> = arr.get(&b2).map(|&(a, _)| (a, b2));
+        for (&b1, &(a, _)) in arr {
+            if b1 == b2 {
+                continue;
+            }
+            if let Some(f) = m.entry(b1, b2) {
+                let cand = a + f.eval(a);
+                if best.is_none_or(|(x, _)| cand < x) {
+                    best = Some((cand, b1));
+                }
+            }
+        }
+        if let Some(v) = best {
+            out.insert(b2, v);
         }
     }
     out
@@ -491,6 +684,58 @@ mod tests {
                     other => panic!("s={s} d={d}: {other:?}"),
                 }
             }
+        }
+    }
+
+    #[test]
+    fn recovered_paths_are_shortest_and_replay_their_cost() {
+        for seed in 0..3u64 {
+            let n = 60;
+            let g = seeded_graph(seed, n, 40, 3);
+            let gt = TdGtree::build(g.clone(), GtreeConfig { max_leaf: 10 });
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xbbbb);
+            for _ in 0..40 {
+                let s = rng.gen_range(0..n) as u32;
+                let d = rng.gen_range(0..n) as u32;
+                let t = rng.gen_range(0.0..DAY);
+                match gt.query_path(s, d, t) {
+                    Some((cost, path)) => {
+                        assert_eq!(path.source(), s);
+                        assert_eq!(path.destination(), d);
+                        assert!(path.is_valid(&g), "seed={seed} invalid path");
+                        let replay = path.cost(&g, t).expect("valid path replays");
+                        assert!(
+                            (replay - cost).abs() < 1e-5,
+                            "seed={seed} s={s} d={d} t={t}: reported {cost} vs replay {replay}"
+                        );
+                        let want = shortest_path_cost(&g, s, d, t).expect("reachable");
+                        assert!(
+                            (want - cost).abs() < 1e-4,
+                            "seed={seed} s={s} d={d} t={t}: not shortest ({cost} vs {want})"
+                        );
+                    }
+                    None => assert!(shortest_path_cost(&g, s, d, t).is_none()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_scratch() {
+        let n = 50;
+        let g = seeded_graph(2, n, 30, 3);
+        let gt = TdGtree::build(g.clone(), GtreeConfig { max_leaf: 12 });
+        let mut scratch = GtreeScratch::default();
+        let mut rng = StdRng::seed_from_u64(0x5c5c);
+        for _ in 0..80 {
+            let s = rng.gen_range(0..n) as u32;
+            let d = rng.gen_range(0..n) as u32;
+            let t = rng.gen_range(0.0..DAY);
+            assert_eq!(
+                gt.query_cost_with(&mut scratch, s, d, t),
+                gt.query_cost(s, d, t),
+                "s={s} d={d} t={t}"
+            );
         }
     }
 

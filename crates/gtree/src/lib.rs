@@ -21,5 +21,5 @@
 pub mod index;
 pub mod partition;
 
-pub use index::{GtreeConfig, TdGtree};
+pub use index::{GtreeConfig, GtreeScratch, TdGtree};
 pub use partition::{bisect, PartitionTree};

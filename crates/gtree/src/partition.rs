@@ -42,7 +42,11 @@ pub fn bisect(g: &TdGraph, vertices: &[VertexId]) -> (Vec<VertexId>, Vec<VertexI
     // Peripheral pair by double BFS (restricted to the region).
     let a = farthest(g, vertices[0], &member).unwrap_or(vertices[0]);
     let b = farthest(g, a, &member).unwrap_or(vertices[vertices.len() - 1]);
-    let b = if a == b { vertices[vertices.len() - 1] } else { b };
+    let b = if a == b {
+        vertices[vertices.len() - 1]
+    } else {
+        b
+    };
 
     let mut side: std::collections::HashMap<VertexId, u8> = std::collections::HashMap::new();
     side.insert(a, 0);
@@ -54,7 +58,11 @@ pub fn bisect(g: &TdGraph, vertices: &[VertexId]) -> (Vec<VertexId>, Vec<VertexI
     let mut assigned = 2usize;
     while assigned < vertices.len() {
         // Grow the smaller side first for balance.
-        let order = if counts[0] <= counts[1] { [0usize, 1] } else { [1, 0] };
+        let order = if counts[0] <= counts[1] {
+            [0usize, 1]
+        } else {
+            [1, 0]
+        };
         let mut progressed = false;
         for &s in &order {
             if counts[s] > half {
@@ -241,13 +249,21 @@ impl PartitionTree {
 
     /// Path of node indices from `from` up to (and including) `to`.
     pub fn path_up(&self, from: usize, to: usize) -> Vec<usize> {
-        let mut p = vec![from];
+        let mut p = Vec::new();
+        self.path_up_into(from, to, &mut p);
+        p
+    }
+
+    /// Allocation-free [`PartitionTree::path_up`]: fills `out` (after
+    /// clearing it).
+    pub fn path_up_into(&self, from: usize, to: usize, out: &mut Vec<usize>) {
+        out.clear();
+        out.push(from);
         let mut cur = from;
         while cur != to {
             cur = self.nodes[cur].parent.expect("`to` must be an ancestor");
-            p.push(cur);
+            out.push(cur);
         }
-        p
     }
 }
 
@@ -306,7 +322,10 @@ mod tests {
     fn root_has_no_borders() {
         let g = seeded_graph(3, 60, 40, 2);
         let pt = PartitionTree::build(&g, 12);
-        assert!(pt.nodes[0].borders.is_empty(), "nothing is outside the root");
+        assert!(
+            pt.nodes[0].borders.is_empty(),
+            "nothing is outside the root"
+        );
     }
 
     #[test]
@@ -317,8 +336,7 @@ mod tests {
             if idx == 0 {
                 continue;
             }
-            let members: std::collections::HashSet<u32> =
-                pt.vertices_of(idx).into_iter().collect();
+            let members: std::collections::HashSet<u32> = pt.vertices_of(idx).into_iter().collect();
             for &b in &node.borders {
                 let crossing = g
                     .out_edges(b)

@@ -14,9 +14,17 @@
 //! selection strategy; the crate exists to give the baseline its own name,
 //! measurement surface and tests.
 
-use td_core::{IndexOptions, SelectionStrategy, TdTreeIndex};
+use td_core::{CostScratch, IndexOptions, ProfileScratch, SelectionStrategy, TdTreeIndex};
 use td_graph::{Path, TdGraph, VertexId};
 use td_plf::Plf;
+
+/// TD-H2H construction options, mirroring the config-struct constructors of
+/// the other backends.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct H2hConfig {
+    /// Worker threads for the label passes (0 = all cores).
+    pub threads: usize,
+}
 
 /// The TD-H2H index: a full 2-hop label over the tree decomposition.
 pub struct TdH2h {
@@ -25,17 +33,26 @@ pub struct TdH2h {
 
 impl TdH2h {
     /// Builds the full label (single pass, no selection).
-    pub fn build(graph: TdGraph, threads: usize) -> TdH2h {
+    pub fn build(graph: TdGraph, cfg: H2hConfig) -> TdH2h {
         TdH2h {
             inner: TdTreeIndex::build(
                 graph,
                 IndexOptions {
                     strategy: SelectionStrategy::All,
-                    threads,
+                    threads: cfg.threads,
                     track_supports: false,
                 },
             ),
         }
+    }
+
+    /// Pre-config-struct constructor, kept as a shim for one release.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `TdH2h::build(graph, H2hConfig { threads })`"
+    )]
+    pub fn build_with_threads(graph: TdGraph, threads: usize) -> TdH2h {
+        TdH2h::build(graph, H2hConfig { threads })
     }
 
     /// Travel cost query (always an `O(w)` label combination).
@@ -51,6 +68,39 @@ impl TdH2h {
     /// Travel cost and path.
     pub fn query_path(&self, s: VertexId, d: VertexId, t: f64) -> Option<(f64, Path)> {
         self.inner.query_path(s, d, t)
+    }
+
+    /// [`TdH2h::query_cost`] reusing `scratch` (allocation-free after
+    /// warm-up).
+    pub fn query_cost_with(
+        &self,
+        scratch: &mut CostScratch,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+    ) -> Option<f64> {
+        self.inner.query_cost_with(scratch, s, d, t)
+    }
+
+    /// [`TdH2h::query_profile`] reusing `scratch`'s sweep tables.
+    pub fn query_profile_with(
+        &self,
+        scratch: &mut ProfileScratch,
+        s: VertexId,
+        d: VertexId,
+    ) -> Option<Plf> {
+        self.inner.query_profile_with(scratch, s, d)
+    }
+
+    /// [`TdH2h::query_path`] reusing `scratch`'s sweep buffers.
+    pub fn query_path_with(
+        &self,
+        scratch: &mut CostScratch,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+    ) -> Option<(f64, Path)> {
+        self.inner.query_path_with(scratch, s, d, t)
     }
 
     /// Label memory in bytes.
@@ -92,7 +142,7 @@ mod tests {
     fn h2h_matches_the_oracle() {
         for seed in 0..3u64 {
             let g = seeded_graph(seed, 30, 20, 3);
-            let h2h = TdH2h::build(g.clone(), 2);
+            let h2h = TdH2h::build(g.clone(), H2hConfig { threads: 2 });
             let mut rng = StdRng::seed_from_u64(seed);
             for _ in 0..40 {
                 let s = rng.gen_range(0..30) as u32;
@@ -114,7 +164,7 @@ mod tests {
     #[test]
     fn h2h_profile_matches_basic_index() {
         let g = seeded_graph(9, 25, 15, 3);
-        let h2h = TdH2h::build(g.clone(), 2);
+        let h2h = TdH2h::build(g.clone(), H2hConfig { threads: 2 });
         let basic = td_core::TdTreeIndex::build(g, td_core::IndexOptions::default());
         for s in 0..25u32 {
             for d in [0u32, 7, 13, 24] {
@@ -135,9 +185,22 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_thread_shim_matches_config_build() {
+        let g = seeded_graph(4, 20, 12, 3);
+        let via_shim = TdH2h::build_with_threads(g.clone(), 2);
+        let via_cfg = TdH2h::build(g, H2hConfig { threads: 2 });
+        assert_eq!(via_shim.num_labels(), via_cfg.num_labels());
+        assert_eq!(
+            via_shim.query_cost(0, 19, 100.0),
+            via_cfg.query_cost(0, 19, 100.0)
+        );
+    }
+
+    #[test]
     fn h2h_memory_exceeds_basic_index() {
         let g = seeded_graph(11, 40, 25, 3);
-        let h2h = TdH2h::build(g.clone(), 2);
+        let h2h = TdH2h::build(g.clone(), H2hConfig { threads: 2 });
         let basic = td_core::TdTreeIndex::build(g, td_core::IndexOptions::default());
         assert!(h2h.memory_bytes() > basic.memory_bytes());
         assert!(h2h.num_labels() > 0);

@@ -249,8 +249,12 @@ mod tests {
 
     #[test]
     fn result_size_is_linear_in_inputs() {
-        let f: Vec<(f64, f64)> = (0..50).map(|i| (i as f64 * 10.0, 5.0 + (i % 7) as f64)).collect();
-        let g: Vec<(f64, f64)> = (0..50).map(|i| (i as f64 * 9.0, 3.0 + (i % 5) as f64)).collect();
+        let f: Vec<(f64, f64)> = (0..50)
+            .map(|i| (i as f64 * 10.0, 5.0 + (i % 7) as f64))
+            .collect();
+        let g: Vec<(f64, f64)> = (0..50)
+            .map(|i| (i as f64 * 9.0, 3.0 + (i % 5) as f64))
+            .collect();
         let f = plf(&f);
         let g = plf(&g);
         let h = f.compound(&g, NO_VIA);

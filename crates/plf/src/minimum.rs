@@ -196,7 +196,13 @@ mod tests {
 
     #[test]
     fn multiple_crossings() {
-        let f = plf(&[(0.0, 0.0), (10.0, 10.0), (20.0, 0.0), (30.0, 10.0), (40.0, 0.0)]);
+        let f = plf(&[
+            (0.0, 0.0),
+            (10.0, 10.0),
+            (20.0, 0.0),
+            (30.0, 10.0),
+            (40.0, 0.0),
+        ]);
         let g = Plf::constant(5.0);
         assert_min_exact(&f, &g);
         let h = f.minimum(&g);
@@ -206,9 +212,11 @@ mod tests {
 
     #[test]
     fn min_many_folds() {
-        let fs = [plf(&[(0.0, 9.0), (10.0, 9.0)]),
+        let fs = [
+            plf(&[(0.0, 9.0), (10.0, 9.0)]),
             plf(&[(0.0, 5.0), (10.0, 20.0)]),
-            plf(&[(0.0, 20.0), (10.0, 4.0)])];
+            plf(&[(0.0, 20.0), (10.0, 4.0)]),
+        ];
         let h = Plf::min_many(fs.iter()).unwrap();
         for t in [0.0, 2.5, 5.0, 7.5, 10.0] {
             let want = fs.iter().map(|f| f.eval(t)).fold(f64::INFINITY, f64::min);

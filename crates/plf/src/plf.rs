@@ -57,7 +57,10 @@ impl std::fmt::Display for PlfError {
         match self {
             PlfError::Empty => write!(f, "a PLF needs at least one interpolation point"),
             PlfError::NotIncreasing(i) => {
-                write!(f, "interpolation point {i} does not strictly increase in time")
+                write!(
+                    f,
+                    "interpolation point {i} does not strictly increase in time"
+                )
             }
             PlfError::NotFinite(i) => write!(f, "interpolation point {i} is not finite"),
             PlfError::Negative(i) => write!(f, "interpolation point {i} has a negative cost"),
@@ -212,7 +215,10 @@ impl Plf {
 
     /// Maximum value over all departure times (attained at a breakpoint).
     pub fn max_value(&self) -> f64 {
-        self.pts.iter().map(|p| p.v).fold(f64::NEG_INFINITY, f64::max)
+        self.pts
+            .iter()
+            .map(|p| p.v)
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// True iff the FIFO (non-overtaking) property holds: every segment slope

@@ -121,8 +121,14 @@ impl EliminationGraph {
         self.stats.max_bag = self.stats.max_bag.max(bag.len() + 1);
 
         // Preserve the weight lists of X(v) before rewiring (Algo. 2 line 7).
-        let ws: Vec<Option<Plf>> = bag.iter().map(|&u| self.out[v as usize].get(&u).cloned()).collect();
-        let wd: Vec<Option<Plf>> = bag.iter().map(|&u| self.out[u as usize].get(&v).cloned()).collect();
+        let ws: Vec<Option<Plf>> = bag
+            .iter()
+            .map(|&u| self.out[v as usize].get(&u).cloned())
+            .collect();
+        let wd: Vec<Option<Plf>> = bag
+            .iter()
+            .map(|&u| self.out[u as usize].get(&v).cloned())
+            .collect();
 
         // Algo. 1 lines 2-8: connect every ordered neighbour pair through v.
         // The undirected fill-in adjacency is inserted for *every* pair —
@@ -149,7 +155,9 @@ impl EliminationGraph {
                     continue;
                 }
                 let Some(w_iv) = w_iv.as_ref() else { continue };
-                let Some(w_vj) = ws[jj].as_ref() else { continue };
+                let Some(w_vj) = ws[jj].as_ref() else {
+                    continue;
+                };
                 // Candidate i → j through v, witness v.
                 let cand = w_iv.compound(w_vj, v);
                 self.stats.compounds += 1;
@@ -237,7 +245,10 @@ mod tests {
         let g = path_graph();
         let mut eg = EliminationGraph::new(&g);
         let first = eg.pop_min_degree().unwrap();
-        assert!(first == 0 || first == 2, "degree-1 endpoints first, got {first}");
+        assert!(
+            first == 0 || first == 2,
+            "degree-1 endpoints first, got {first}"
+        );
     }
 
     #[test]

@@ -67,7 +67,11 @@ impl LcaIndex {
             for i in 0..=(m - (1 << k)) {
                 let a = prev[i];
                 let b = prev[i + half];
-                row.push(if depth[a as usize] <= depth[b as usize] { a } else { b });
+                row.push(if depth[a as usize] <= depth[b as usize] {
+                    a
+                } else {
+                    b
+                });
             }
             sparse.push(row);
             k += 1;
@@ -131,11 +135,7 @@ mod tests {
             let td = TreeDecomposition::build(&g);
             for u in 0..50u32 {
                 for v in 0..50u32 {
-                    assert_eq!(
-                        td.lca(u, v),
-                        slow_lca(&td, u, v),
-                        "seed={seed} u={u} v={v}"
-                    );
+                    assert_eq!(td.lca(u, v), slow_lca(&td, u, v), "seed={seed} u={u} v={v}");
                 }
             }
         }

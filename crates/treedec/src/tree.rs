@@ -202,25 +202,41 @@ impl TreeDecomposition {
     /// The vertex cut separating `s` and `d` (Property 1): the LCA node's
     /// `{vertex} ∪ bag`.
     pub fn vertex_cut(&self, s: VertexId, d: VertexId) -> Vec<VertexId> {
+        let mut cut = Vec::new();
+        self.vertex_cut_into(s, d, &mut cut);
+        cut
+    }
+
+    /// Allocation-free [`TreeDecomposition::vertex_cut`]: fills `out` (after
+    /// clearing it) and returns the LCA vertex.
+    pub fn vertex_cut_into(&self, s: VertexId, d: VertexId, out: &mut Vec<VertexId>) -> VertexId {
         let x = self.lca(s, d);
         let node = self.node(x);
-        let mut cut = Vec::with_capacity(node.bag.len() + 1);
-        cut.push(x);
-        cut.extend_from_slice(&node.bag);
-        cut
+        out.clear();
+        out.reserve(node.bag.len() + 1);
+        out.push(x);
+        out.extend_from_slice(&node.bag);
+        x
     }
 
     /// Ancestor vertices of `X(v)` from the root down to the parent
     /// (Def. 6's list sorted by increasing height).
     pub fn ancestors_root_first(&self, v: VertexId) -> Vec<VertexId> {
         let mut anc = Vec::with_capacity(self.nodes[v as usize].depth as usize);
+        self.ancestors_root_first_into(v, &mut anc);
+        anc
+    }
+
+    /// Allocation-free [`TreeDecomposition::ancestors_root_first`]: fills
+    /// `out` (after clearing it).
+    pub fn ancestors_root_first_into(&self, v: VertexId, out: &mut Vec<VertexId>) {
+        out.clear();
         let mut cur = self.nodes[v as usize].parent;
         while let Some(p) = cur {
-            anc.push(p);
+            out.push(p);
             cur = self.nodes[p as usize].parent;
         }
-        anc.reverse();
-        anc
+        out.reverse();
     }
 
     /// Iterator over `v`'s ancestors walking *up* (parent first).
@@ -237,18 +253,8 @@ impl TreeDecomposition {
 
     /// Decomposition statistics (Def. 4).
     pub fn stats(&self) -> TreeStats {
-        let width = self
-            .nodes
-            .iter()
-            .map(|n| n.bag.len())
-            .max()
-            .unwrap_or(0);
-        let height = self
-            .nodes
-            .iter()
-            .map(|n| n.depth + 1)
-            .max()
-            .unwrap_or(0) as usize;
+        let width = self.nodes.iter().map(|n| n.bag.len()).max().unwrap_or(0);
+        let height = self.nodes.iter().map(|n| n.depth + 1).max().unwrap_or(0) as usize;
         let avg_depth =
             self.nodes.iter().map(|n| n.depth as f64).sum::<f64>() / self.nodes.len() as f64;
         let mut stored_points = 0usize;
@@ -319,7 +325,11 @@ mod tests {
         for e in g.edges() {
             let (u, v) = (e.from, e.to);
             // The earlier-eliminated endpoint's node contains the other.
-            let first = if td.order[u as usize] < td.order[v as usize] { u } else { v };
+            let first = if td.order[u as usize] < td.order[v as usize] {
+                u
+            } else {
+                v
+            };
             let other = if first == u { v } else { u };
             assert!(
                 td.node(first).bag.contains(&other),
@@ -434,7 +444,12 @@ mod tests {
         let st = td.stats();
         // A 3x3 grid has treewidth 3.
         assert!(st.width >= 2 && st.width <= 4, "width={}", st.width);
-        assert!(st.height >= st.width, "height={} width={}", st.height, st.width);
+        assert!(
+            st.height >= st.width,
+            "height={} width={}",
+            st.height,
+            st.width
+        );
         assert!(st.stored_points > 0);
         assert_eq!(st.reduction.max_bag, st.width + 1);
     }

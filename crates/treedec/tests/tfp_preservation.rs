@@ -123,6 +123,10 @@ fn road_like_networks_have_small_width() {
     let st = td.stats();
     // 576 vertices: a road-like partial grid must stay far below the full
     // grid's Θ(√n·…) width.
-    assert!(st.width <= 24, "width {} too large for a road-like graph", st.width);
+    assert!(
+        st.width <= 24,
+        "width {} too large for a road-like graph",
+        st.width
+    );
     assert!(st.height <= 200, "height {}", st.height);
 }

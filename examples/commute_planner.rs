@@ -10,24 +10,30 @@
 use td_road::prelude::*;
 
 fn hm(t: f64) -> String {
-    format!("{:02}:{:02}", (t / 3600.0) as u32, ((t % 3600.0) / 60.0) as u32)
+    format!(
+        "{:02}:{:02}",
+        (t / 3600.0) as u32,
+        ((t % 3600.0) / 60.0) as u32
+    )
 }
 
 fn main() {
     let graph = Dataset::Col.build(4, 0.1, 11);
     let n = graph.num_vertices() as u32;
     let budget = Dataset::Col.spec().budget_at(0.1) as u64;
-    let index = TdTreeIndex::build(
+    let index = build_index(
         graph,
-        IndexOptions {
-            strategy: SelectionStrategy::Greedy { budget },
+        Backend::TdAppro,
+        &IndexConfig {
+            budget,
             ..Default::default()
         },
     );
+    let mut session = QuerySession::new(index.as_ref());
 
     let home: VertexId = 3;
     let office: VertexId = n - 5;
-    let f = index.query_profile(home, office).expect("connected");
+    let f = session.query_profile(home, office).expect("connected");
     println!(
         "commute {home} -> {office}: cost function with {} interpolation points",
         f.len()
@@ -52,7 +58,12 @@ fn main() {
     );
     for t in [6.0, 7.0, 8.0, 9.0, 10.0] {
         let tt = t * 3600.0;
-        println!("  leave {} -> {:>5.0}s travel, arrive {}", hm(tt), f.eval(tt), hm(tt + f.eval(tt)));
+        println!(
+            "  leave {} -> {:>5.0}s travel, arrive {}",
+            hm(tt),
+            f.eval(tt),
+            hm(tt + f.eval(tt))
+        );
     }
 
     // Latest departure that still reaches the office by 9:00.
@@ -70,7 +81,7 @@ fn main() {
     // Sanity: the function agrees with scalar queries.
     for k in 0..24 {
         let t = k as f64 * 3600.0;
-        let scalar = index.query_cost(home, office, t).expect("connected");
+        let scalar = session.query_cost(home, office, t).expect("connected");
         assert!(
             (scalar - f.eval(t)).abs() < 1e-5,
             "profile and scalar disagree at {}",

@@ -14,6 +14,10 @@ fn main() {
     let graph = Dataset::Cal.build(3, 0.15, 5);
     let n = graph.num_vertices() as u32;
     let budget = Dataset::Cal.spec().budget_at(0.15) as u64;
+    // update_edges needs `&mut`, so this example keeps the concrete type and
+    // still talks to it through the unified traits: `RoutingIndex` for the
+    // accounting, `IncrementalIndex` for the repair, and statically
+    // dispatched `QuerySession`s for the queries.
     let mut index = TdTreeIndex::build(
         graph,
         IndexOptions {
@@ -24,15 +28,19 @@ fn main() {
     );
     println!(
         "index built in {:.2}s ({} shortcut pairs)",
-        index.build_stats.total_secs(),
-        index.build_stats.selected_pairs
+        RoutingIndex::build_stats(&index).construction_secs,
+        RoutingIndex::build_stats(&index).precomputed_pairs
     );
 
     let (s, d) = (1u32, n - 2);
     let depart = 8.0 * 3600.0;
-    let before = index.query_cost(s, d, depart).expect("connected");
-    let (_, path) = index.query_path(s, d, depart).expect("connected");
-    println!("before incident: {before:.0}s via {} vertices", path.vertices.len());
+    let mut session = index.session();
+    let before = session.query_cost(s, d, depart).expect("connected");
+    let (_, path) = session.query_path(s, d, depart).expect("connected");
+    println!(
+        "before incident: {before:.0}s via {} vertices",
+        path.vertices.len()
+    );
 
     // Accident: the first few segments of the current best route triple in
     // cost between 7:00 and 11:00.
@@ -53,7 +61,8 @@ fn main() {
         let jammed = Plf::new(pts).expect("valid incident profile");
         changes.push((w[0], w[1], jammed));
     }
-    let stats = index.update_edges(&changes);
+    drop(session); // release the borrow; updates need &mut
+    let stats = IncrementalIndex::update_edges(&mut index, &changes);
     println!(
         "applied incident to {} segments: replay {:.3}s ({} eliminations, {} nodes changed), shortcut rebuild {:.3}s ({} nodes)",
         stats.changed_edges,
@@ -64,8 +73,9 @@ fn main() {
         stats.rebuilt_subtree_nodes
     );
 
-    let after = index.query_cost(s, d, depart).expect("connected");
-    let (_, new_path) = index.query_path(s, d, depart).expect("connected");
+    let mut session = index.session();
+    let after = session.query_cost(s, d, depart).expect("connected");
+    let (_, new_path) = session.query_path(s, d, depart).expect("connected");
     println!(
         "after incident:  {after:.0}s via {} vertices {}",
         new_path.vertices.len(),
@@ -75,9 +85,12 @@ fn main() {
             "(rerouted!)"
         }
     );
-    assert!(after >= before - 1e-6, "congestion cannot make the trip faster");
+    assert!(
+        after >= before - 1e-6,
+        "congestion cannot make the trip faster"
+    );
 
     // Off-peak queries are unaffected by the 7-11am incident.
-    let night_before = index.query_cost(s, d, 2.0 * 3600.0).expect("connected");
+    let night_before = session.query_cost(s, d, 2.0 * 3600.0).expect("connected");
     println!("at 02:00 the trip still costs {night_before:.0}s (incident is time-bounded)");
 }

@@ -1,5 +1,6 @@
-//! Quickstart: build a time-dependent road network, index it with selected
-//! shortcuts, and run the three query types of the paper.
+//! Quickstart: build a time-dependent road network, index it behind the
+//! unified `RoutingIndex` trait, and run the three query types of the paper
+//! through an allocation-free `QuerySession`.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -16,34 +17,41 @@ fn main() {
     );
 
     // TD-appro: the paper's index with the 0.5-approximation shortcut
-    // selection under a budget of interpolation points.
+    // selection under a budget of interpolation points. Swap the backend for
+    // any of `Backend::ALL` (TdBasic, TdDp, TdH2h, TdGtree, Dijkstra) and
+    // the rest of this example runs unchanged.
     let budget = Dataset::Cal.spec().budget_at(0.25) as u64;
-    let index = TdTreeIndex::build(
+    let index = build_index(
         graph,
-        IndexOptions {
-            strategy: SelectionStrategy::Greedy { budget },
+        Backend::TdAppro,
+        &IndexConfig {
+            budget,
             ..Default::default()
         },
     );
-    let stats = index.tree_stats();
+    let stats = index.build_stats();
     println!(
-        "index: treeheight {}, treewidth {}, {} shortcut pairs ({} points), built in {:.2}s",
-        stats.height,
-        stats.width,
-        index.build_stats.selected_pairs,
-        index.build_stats.selected_weight,
-        index.build_stats.total_secs()
+        "index: {} — {} shortcut pairs, {} stored points, {}KB, built in {:.2}s",
+        index.backend_name(),
+        stats.precomputed_pairs,
+        stats.stored_points,
+        index.memory_bytes() / 1024,
+        stats.construction_secs
     );
+
+    // A session owns reusable scratch buffers: after warm-up, scalar queries
+    // perform no heap allocation.
+    let mut session = QuerySession::new(index.as_ref());
 
     let (s, d) = (0u32, 1200u32);
     let depart = 8.0 * 3600.0; // 8am — rush hour
 
     // 1. Travel cost query Q(s, d, t).
-    let cost = index.query_cost(s, d, depart).expect("connected network");
+    let cost = session.query_cost(s, d, depart).expect("connected network");
     println!("cost {s} -> {d} departing 08:00  = {cost:.1}s");
 
     // 2. Shortest travel cost function query f_{s,d}(t): the whole day.
-    let f = index.query_profile(s, d).expect("connected network");
+    let f = session.query_profile(s, d).expect("connected network");
     println!(
         "cost function: {} interpolation points; best {:.1}s, worst {:.1}s over the day",
         f.len(),
@@ -54,11 +62,20 @@ fn main() {
     println!("  at 03:00 the same trip costs {night:.1}s (vs {cost:.1}s at 08:00)");
 
     // 3. Shortest path recovery.
-    let (cost2, path) = index.query_path(s, d, depart).expect("connected network");
+    let (cost2, path) = session.query_path(s, d, depart).expect("connected network");
     assert!((cost - cost2).abs() < 1e-6);
     println!(
         "path: {} vertices, replayed cost {:.1}s",
         path.vertices.len(),
         path.cost(index.graph(), depart).unwrap()
     );
+
+    // 4. Batched costs amortise the session's buffer reuse.
+    let batch: Vec<_> = (0..8).map(|h| (s, d, h as f64 * 3.0 * 3600.0)).collect();
+    let costs = session.query_many(batch.iter().copied());
+    print!("every 3 hours:");
+    for c in costs.iter().flatten() {
+        print!(" {c:.0}s");
+    }
+    println!();
 }

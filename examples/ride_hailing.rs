@@ -11,23 +11,30 @@
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::time::Instant;
-use td_road::dijkstra::shortest_path_cost;
 use td_road::prelude::*;
 
 fn main() {
     let graph = Dataset::Sf.build(3, 0.1, 7);
     let n = graph.num_vertices();
-    println!("city: {} intersections, {} road segments", n, graph.num_edges());
-
-    let budget = Dataset::Sf.spec().budget_at(0.1) as u64;
-    let index = TdTreeIndex::build(
-        graph.clone(),
-        IndexOptions {
-            strategy: SelectionStrategy::Greedy { budget },
-            ..Default::default()
-        },
+    println!(
+        "city: {} intersections, {} road segments",
+        n,
+        graph.num_edges()
     );
-    println!("index built in {:.2}s", index.build_stats.total_secs());
+
+    // Both the paper's index and the TD-Dijkstra baseline sit behind the
+    // same trait, so one dispatch routine serves either.
+    let budget = Dataset::Sf.spec().budget_at(0.1) as u64;
+    let cfg = IndexConfig {
+        budget,
+        ..Default::default()
+    };
+    let index = build_index(graph.clone(), Backend::TdAppro, &cfg);
+    let baseline = build_index(graph, Backend::Dijkstra, &cfg);
+    println!(
+        "index built in {:.2}s",
+        index.build_stats().construction_secs
+    );
 
     // 40 drivers, 25 ride requests at 8:30am.
     let mut rng = StdRng::seed_from_u64(99);
@@ -35,26 +42,30 @@ fn main() {
     let riders: Vec<VertexId> = (0..25).map(|_| rng.gen_range(0..n) as u32).collect();
     let now = 8.5 * 3600.0;
 
-    // Dispatch with the index.
+    // One backend-agnostic dispatch routine: a session per backend keeps
+    // the per-query scratch warm across the whole driver x rider matrix.
+    let dispatch = |session: &mut QuerySession<'_, dyn RoutingIndex>| {
+        let mut assignments = Vec::new();
+        for &r in &riders {
+            let best = drivers
+                .iter()
+                .filter_map(|&dr| session.query_cost(dr, r, now).map(|eta| (dr, eta)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            assignments.push((r, best));
+        }
+        assignments
+    };
+
     let t0 = Instant::now();
-    let mut assignments = Vec::new();
-    for &r in &riders {
-        let best = drivers
-            .iter()
-            .filter_map(|&dr| index.query_cost(dr, r, now).map(|eta| (dr, eta)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
-        assignments.push((r, best));
-    }
+    let assignments = dispatch(&mut QuerySession::new(index.as_ref()));
     let indexed = t0.elapsed();
 
-    // Same dispatch with TD-Dijkstra.
     let t0 = Instant::now();
-    for (i, &r) in riders.iter().enumerate() {
-        let best = drivers
-            .iter()
-            .filter_map(|&dr| shortest_path_cost(&graph, dr, r, now).map(|eta| (dr, eta)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
-        match (&assignments[i].1, &best) {
+    let reference = dispatch(&mut QuerySession::new(baseline.as_ref()));
+    let dijkstra = t0.elapsed();
+
+    for ((r, a), (_, b)) in assignments.iter().zip(&reference) {
+        match (a, b) {
             (Some((d1, e1)), Some((d2, e2))) => {
                 assert!((e1 - e2).abs() < 1e-5, "ETA mismatch for rider {r}");
                 let _ = (d1, d2); // ties may pick different drivers with equal ETA
@@ -63,7 +74,6 @@ fn main() {
             _ => panic!("reachability mismatch for rider {r}"),
         }
     }
-    let dijkstra = t0.elapsed();
 
     let matches = riders.len() * drivers.len();
     println!(

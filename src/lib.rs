@@ -6,6 +6,9 @@
 //!
 //! This facade crate re-exports the workspace's public API:
 //!
+//! * [`api`] — the unified [`RoutingIndex`](api::RoutingIndex) trait,
+//!   [`Backend`](api::Backend) factory and allocation-free
+//!   [`QuerySession`](api::QuerySession) over every backend;
 //! * [`plf`] — piecewise-linear travel-cost functions (`Compound`, `min`);
 //! * [`graph`] — the time-dependent directed graph model;
 //! * [`gen`] — synthetic road networks, profiles, workloads and the paper's
@@ -18,29 +21,43 @@
 //!
 //! ## Quickstart
 //!
+//! Pick a [`Backend`](api::Backend), build it through the shared factory,
+//! and open a [`QuerySession`](api::QuerySession) — the same four lines work
+//! for every index family in the workspace:
+//!
 //! ```
 //! use td_road::prelude::*;
 //!
 //! // A small time-dependent road network (3 interpolation points per edge).
 //! let graph = Dataset::Cal.build(3, 0.002, 42);
 //!
-//! // Build the paper's index with greedily selected shortcuts.
-//! let index = TdTreeIndex::build(
+//! // The paper's index (TD-appro: greedily selected shortcuts), behind the
+//! // unified RoutingIndex trait. Swap `Backend::TdAppro` for any of
+//! // `Backend::ALL` — TdBasic, TdDp, TdH2h, TdGtree, Dijkstra — and
+//! // everything below runs unchanged.
+//! let index = build_index(
 //!     graph,
-//!     IndexOptions {
-//!         strategy: SelectionStrategy::Greedy { budget: 50_000 },
-//!         ..Default::default()
-//!     },
+//!     Backend::TdAppro,
+//!     &IndexConfig { budget: 50_000, ..Default::default() },
 //! );
 //!
+//! // A session owns reusable scratch buffers: repeated queries on the hot
+//! // path stop allocating after warm-up.
+//! let mut session = QuerySession::new(index.as_ref());
+//!
 //! // Travel cost at 8am, the full cost function, and the path.
-//! let cost = index.query_cost(0, 5, 8.0 * 3600.0);
-//! let profile = index.query_profile(0, 5);
-//! let path = index.query_path(0, 5, 8.0 * 3600.0);
+//! let cost = session.query_cost(0, 5, 8.0 * 3600.0);
+//! let profile = session.query_profile(0, 5);
+//! let path = session.query_path(0, 5, 8.0 * 3600.0);
 //! assert_eq!(cost.is_some(), profile.is_some());
 //! assert_eq!(cost.is_some(), path.is_some());
+//!
+//! // Batches amortise the session reuse across a workload.
+//! let costs = session.query_many([(0, 5, 0.0), (5, 0, 3600.0)]);
+//! assert_eq!(costs.len(), 2);
 //! ```
 
+pub use td_api as api;
 pub use td_core as core;
 pub use td_dijkstra as dijkstra;
 pub use td_gen as gen;
@@ -52,11 +69,15 @@ pub use td_treedec as treedec;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use td_api::{
+        build_index, Backend, DijkstraOracle, IncrementalIndex, IndexConfig, QuerySession,
+        RoutingIndex, RoutingIndexExt,
+    };
     pub use td_core::{IndexOptions, SelectionStrategy, TdTreeIndex};
     pub use td_gen::{Dataset, ProfileConfig, Query, Workload, WorkloadConfig};
     pub use td_graph::{GraphBuilder, Path, TdGraph, VertexId};
     pub use td_gtree::{GtreeConfig, TdGtree};
-    pub use td_h2h::TdH2h;
+    pub use td_h2h::{H2hConfig, TdH2h};
     pub use td_plf::{Plf, DAY};
     pub use td_treedec::TreeDecomposition;
 }

@@ -1,38 +1,35 @@
-//! End-to-end agreement: every index in the workspace (TD-basic, TD-dp,
-//! TD-appro, TD-H2H, TD-G-tree) must return the same travel costs as the
-//! TD-Dijkstra oracle, on both adversarial random graphs and road-like
-//! networks.
+//! End-to-end agreement: every backend in the workspace must return the same
+//! travel costs as the TD-Dijkstra oracle, on both adversarial random graphs
+//! and road-like networks.
+//!
+//! Since the `td-api` redesign this test is fully backend-generic: one loop
+//! over [`Backend::ALL`] builds each index through the shared factory and
+//! drives it through a [`QuerySession`] — no per-backend dispatch anywhere.
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
-use td_road::core::{IndexOptions, SelectionStrategy, TdTreeIndex};
+use td_road::api::{build_index, Backend, IndexConfig, QuerySession};
 use td_road::dijkstra::shortest_path_cost;
 use td_road::gen::random_graph::seeded_graph;
 use td_road::gen::Dataset;
 use td_road::graph::TdGraph;
-use td_road::gtree::{GtreeConfig, TdGtree};
-use td_road::h2h::TdH2h;
 use td_road::plf::DAY;
 
-fn check_all_indexes(g: &TdGraph, budget: u64, seed: u64, queries: usize) {
+fn check_all_backends(g: &TdGraph, budget: u64, seed: u64, queries: usize) {
     let n = g.num_vertices();
-    let basic = TdTreeIndex::build(g.clone(), IndexOptions::default());
-    let appro = TdTreeIndex::build(
-        g.clone(),
-        IndexOptions {
-            strategy: SelectionStrategy::Greedy { budget },
-            ..Default::default()
-        },
-    );
-    let dp = TdTreeIndex::build(
-        g.clone(),
-        IndexOptions {
-            strategy: SelectionStrategy::Dp { budget, weight_scale: 4 },
-            ..Default::default()
-        },
-    );
-    let h2h = TdH2h::build(g.clone(), 0);
-    let gtree = TdGtree::build(g.clone(), GtreeConfig { max_leaf: 16 });
+    let cfg = IndexConfig {
+        budget,
+        max_leaf: 16,
+        ..Default::default()
+    };
+    let indexes: Vec<_> = Backend::ALL
+        .iter()
+        .map(|&b| build_index(g.clone(), b, &cfg))
+        .collect();
+    let mut sessions: Vec<_> = indexes
+        .iter()
+        .map(|ix| QuerySession::new(ix.as_ref()))
+        .collect();
 
     let mut rng = StdRng::seed_from_u64(seed);
     for _ in 0..queries {
@@ -40,14 +37,9 @@ fn check_all_indexes(g: &TdGraph, budget: u64, seed: u64, queries: usize) {
         let d = rng.gen_range(0..n) as u32;
         let t = rng.gen_range(0.0..DAY);
         let want = shortest_path_cost(g, s, d, t);
-        let answers = [
-            ("TD-basic", basic.query_cost_basic(s, d, t)),
-            ("TD-appro", appro.query_cost(s, d, t)),
-            ("TD-dp", dp.query_cost(s, d, t)),
-            ("TD-H2H", h2h.query_cost(s, d, t)),
-            ("TD-G-tree", gtree.query_cost(s, d, t)),
-        ];
-        for (name, got) in answers {
+        for session in &mut sessions {
+            let name = session.index().backend_name();
+            let got = session.query_cost(s, d, t);
             match (want, got) {
                 (Some(a), Some(b)) => assert!(
                     (a - b).abs() < 1e-4,
@@ -64,48 +56,50 @@ fn check_all_indexes(g: &TdGraph, budget: u64, seed: u64, queries: usize) {
 fn agreement_on_random_graphs() {
     for seed in 0..3u64 {
         let g = seeded_graph(seed, 50, 35, 4);
-        check_all_indexes(&g, 3_000, seed, 30);
+        check_all_backends(&g, 3_000, seed, 30);
     }
 }
 
 #[test]
 fn agreement_on_road_like_network() {
     let g = Dataset::Cal.build(3, 0.02, 3); // ~200 vertices, road structure
-    check_all_indexes(&g, 20_000, 77, 40);
+    check_all_backends(&g, 20_000, 77, 40);
 }
 
 #[test]
-fn agreement_on_profiles_across_indexes() {
+fn agreement_on_profiles_across_backends() {
     let g = seeded_graph(9, 40, 25, 3);
-    let budget = 2_500u64;
-    let basic = TdTreeIndex::build(g.clone(), IndexOptions::default());
-    let appro = TdTreeIndex::build(
-        g.clone(),
-        IndexOptions {
-            strategy: SelectionStrategy::Greedy { budget },
-            ..Default::default()
-        },
-    );
-    let h2h = TdH2h::build(g.clone(), 0);
-    let gtree = TdGtree::build(g.clone(), GtreeConfig { max_leaf: 12 });
+    let cfg = IndexConfig {
+        budget: 2_500,
+        max_leaf: 12,
+        ..Default::default()
+    };
+    let indexes: Vec<_> = Backend::ALL
+        .iter()
+        .map(|&b| build_index(g.clone(), b, &cfg))
+        .collect();
+    let mut sessions: Vec<_> = indexes
+        .iter()
+        .map(|ix| QuerySession::new(ix.as_ref()))
+        .collect();
     let mut rng = StdRng::seed_from_u64(4242);
     for _ in 0..25 {
         let s = rng.gen_range(0..40) as u32;
         let d = rng.gen_range(0..40) as u32;
-        let fs = [
-            basic.query_profile_basic(s, d),
-            appro.query_profile(s, d),
-            h2h.query_profile(s, d),
-            gtree.query_profile(s, d),
-        ];
+        let fs: Vec<_> = sessions
+            .iter_mut()
+            .map(|sess| sess.query_profile(s, d))
+            .collect();
         for k in 0..10 {
             let t = k as f64 * DAY / 10.0 + 31.0;
             let vals: Vec<Option<f64>> = fs.iter().map(|f| f.as_ref().map(|f| f.eval(t))).collect();
-            for v in &vals[1..] {
+            for (i, v) in vals.iter().enumerate().skip(1) {
                 match (vals[0], v) {
-                    (Some(a), Some(b)) => {
-                        assert!((a - b).abs() < 1e-4, "s={s} d={d} t={t}: {vals:?}")
-                    }
+                    (Some(a), Some(b)) => assert!(
+                        (a - b).abs() < 1e-4,
+                        "{} s={s} d={d} t={t}: {vals:?}",
+                        Backend::ALL[i]
+                    ),
                     (None, None) => {}
                     _ => panic!("s={s} d={d}: reachability disagreement {vals:?}"),
                 }

@@ -48,7 +48,10 @@ fn structural_errors_are_rejected() {
         g.add_edge(0, 7, Plf::constant(1.0)),
         Err(GraphError::VertexOutOfRange(7))
     );
-    assert_eq!(g.add_edge(1, 1, Plf::constant(1.0)), Err(GraphError::SelfLoop(1)));
+    assert_eq!(
+        g.add_edge(1, 1, Plf::constant(1.0)),
+        Err(GraphError::SelfLoop(1))
+    );
     g.add_edge(0, 1, Plf::constant(1.0)).unwrap();
     assert_eq!(
         g.add_edge(0, 1, Plf::constant(2.0)),

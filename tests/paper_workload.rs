@@ -48,7 +48,11 @@ fn paper_workload_runs_consistently() {
     // Profile agrees with the scalar answers on each pair.
     for &(s, d) in wl.pairs().iter().take(25) {
         if let Some(f) = index.query_profile(s, d) {
-            for q in wl.queries.iter().filter(|q| q.source == s && q.destination == d) {
+            for q in wl
+                .queries
+                .iter()
+                .filter(|q| q.source == s && q.destination == d)
+            {
                 let scalar = index.query_cost(s, d, q.depart).expect("profile exists");
                 assert!(
                     (f.eval(q.depart) - scalar).abs() < 1e-5,
@@ -64,7 +68,10 @@ fn paper_workload_runs_consistently() {
         if let Some((cost, path)) = index.query_path(q.source, q.destination, q.depart) {
             assert!(path.is_valid(&g));
             let replay = path.cost(&g, q.depart).expect("valid path");
-            assert!((cost - replay).abs() < 1e-5, "path replay mismatch on {q:?}");
+            assert!(
+                (cost - replay).abs() < 1e-5,
+                "path replay mismatch on {q:?}"
+            );
         }
     }
 }

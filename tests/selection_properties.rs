@@ -13,7 +13,10 @@ fn budgets_are_respected_through_the_pipeline() {
     for budget in [50u64, 500, 5_000, 50_000] {
         for strategy in [
             SelectionStrategy::Greedy { budget },
-            SelectionStrategy::Dp { budget, weight_scale: 1 },
+            SelectionStrategy::Dp {
+                budget,
+                weight_scale: 1,
+            },
         ] {
             let ix = TdTreeIndex::build(
                 g.clone(),
@@ -52,7 +55,10 @@ fn theorem2_holds_through_the_pipeline() {
         let dp = TdTreeIndex::build(
             g.clone(),
             IndexOptions {
-                strategy: SelectionStrategy::Dp { budget, weight_scale: 1 },
+                strategy: SelectionStrategy::Dp {
+                    budget,
+                    weight_scale: 1,
+                },
                 ..Default::default()
             },
         );
@@ -61,7 +67,10 @@ fn theorem2_holds_through_the_pipeline() {
             dp.build_stats.selected_utility,
         );
         assert!(ud >= ug - 1e-9, "seed={seed}: DP {ud} below greedy {ug}");
-        assert!(ug >= 0.5 * ud - 1e-9, "seed={seed}: greedy {ug} < ½·OPT {ud}");
+        assert!(
+            ug >= 0.5 * ud - 1e-9,
+            "seed={seed}: greedy {ug} < ½·OPT {ud}"
+        );
     }
 }
 
@@ -74,7 +83,9 @@ fn fig11_monotonicity_memory_grows_with_budget() {
         let ix = TdTreeIndex::build(
             g.clone(),
             IndexOptions {
-                strategy: SelectionStrategy::Greedy { budget: 1_000 * mult },
+                strategy: SelectionStrategy::Greedy {
+                    budget: 1_000 * mult,
+                },
                 ..Default::default()
             },
         );
