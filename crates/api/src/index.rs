@@ -404,7 +404,7 @@ impl RoutingIndex for DijkstraOracle {
         t: f64,
     ) -> Option<f64> {
         let sc: &mut td_dijkstra::DijkstraScratch = scratch.get_or_default();
-        td_dijkstra::shortest_path_cost_with(sc, self.graph(), s, d, t)
+        td_dijkstra::shortest_path_cost_frozen_with(sc, self.frozen(), s, d, t)
     }
 
     fn query_path_in(
@@ -415,6 +415,6 @@ impl RoutingIndex for DijkstraOracle {
         t: f64,
     ) -> Option<(f64, Path)> {
         let sc: &mut td_dijkstra::DijkstraScratch = scratch.get_or_default();
-        td_dijkstra::shortest_path_with(sc, self.graph(), s, d, t)
+        td_dijkstra::shortest_path_frozen_with(sc, self.frozen(), s, d, t)
     }
 }

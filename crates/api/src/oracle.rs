@@ -1,7 +1,9 @@
 //! The non-index TD-Dijkstra baseline behind the [`RoutingIndex`] trait.
 
-use td_dijkstra::{profile_search_to, shortest_path, shortest_path_cost};
-use td_graph::{Path, TdGraph, VertexId};
+use td_dijkstra::{
+    profile_search_to, shortest_path_cost_frozen_with, shortest_path_frozen_with, DijkstraScratch,
+};
+use td_graph::{FrozenGraph, Path, TdGraph, VertexId};
 use td_plf::Plf;
 
 #[allow(unused_imports)] // rustdoc link
@@ -11,14 +13,21 @@ use crate::index::RoutingIndex;
 /// scratch on the input graph. This is the paper's non-index baseline and
 /// the workspace's correctness oracle; wrapping it behind [`RoutingIndex`]
 /// lets harnesses and conformance tests treat it like any other backend.
+///
+/// The graph is frozen into the CSR/arena layout at construction (the only
+/// "build" this backend has), so scalar queries run on flat adjacency and
+/// contiguous breakpoints with per-edge `min_cost` pruning.
 pub struct DijkstraOracle {
     graph: TdGraph,
+    frozen: FrozenGraph,
 }
 
 impl DijkstraOracle {
-    /// Wraps `graph`; there is nothing to build.
+    /// Wraps `graph`, freezing its CSR/arena query view (a single linear
+    /// copy; there is nothing else to build).
     pub fn new(graph: TdGraph) -> DijkstraOracle {
-        DijkstraOracle { graph }
+        let frozen = graph.freeze();
+        DijkstraOracle { graph, frozen }
     }
 
     /// The underlying graph.
@@ -26,9 +35,14 @@ impl DijkstraOracle {
         &self.graph
     }
 
-    /// Travel cost query by scalar TD-Dijkstra.
+    /// The frozen CSR/arena view scalar queries run on.
+    pub fn frozen(&self) -> &FrozenGraph {
+        &self.frozen
+    }
+
+    /// Travel cost query by scalar TD-Dijkstra on the frozen layout.
     pub fn query_cost(&self, s: VertexId, d: VertexId, t: f64) -> Option<f64> {
-        shortest_path_cost(&self.graph, s, d, t)
+        shortest_path_cost_frozen_with(&mut DijkstraScratch::default(), &self.frozen, s, d, t)
     }
 
     /// Cost function query by a full profile search from `s`.
@@ -41,13 +55,13 @@ impl DijkstraOracle {
 
     /// Travel cost and path by scalar TD-Dijkstra with parent tracking.
     pub fn query_path(&self, s: VertexId, d: VertexId, t: f64) -> Option<(f64, Path)> {
-        shortest_path(&self.graph, s, d, t)
+        shortest_path_frozen_with(&mut DijkstraScratch::default(), &self.frozen, s, d, t)
     }
 
-    /// The oracle stores no index structures; its only memory is the shared
-    /// input graph's weight functions, reported here so the uniform
-    /// `memory_bytes > 0` accounting holds for every backend.
+    /// The oracle stores no precomputed index structures; its working set is
+    /// the frozen CSR/arena view of the input graph, reported here so the
+    /// uniform `memory_bytes > 0` accounting holds for every backend.
     pub fn memory_bytes(&self) -> usize {
-        self.graph.weight_bytes()
+        self.frozen.heap_bytes()
     }
 }

@@ -1,0 +1,222 @@
+//! Old-vs-new layout micro-bench: the same algorithms on the pointer-chasing
+//! `Vec<Vec<..>>` + `Vec<Plf>` representation and on the frozen CSR/arena
+//! representation (`FrozenGraph` / `FrozenTd`), on td-gen networks.
+//!
+//! Timings are interleaved (one A rep, one B rep, repeat) so thermal and
+//! scheduler drift cancels instead of biasing whichever side runs second.
+//! Four comparisons, each printed as a speedup ratio before the criterion
+//! timings (the ratios are what CHANGES.md records):
+//!
+//! * scalar TD-Dijkstra `s → d` queries on the CAL-sized medium network, at
+//!   `c = 3` and `c = 6` points per edge;
+//! * profile search on a dense compound-heavy graph — the shape of
+//!   TD-G-tree's `all_pairs` matrix builder, where the min/max label bounds
+//!   prune hardest;
+//! * TD-tree scalar sweeps (`cost_basic`) through `QueryEngine` with and
+//!   without the frozen label view.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::time::Instant;
+use td_core::{FrozenTd, QueryEngine};
+use td_dijkstra::{
+    profile_search, profile_search_frozen, shortest_path_cost_frozen_with, shortest_path_cost_with,
+    DijkstraScratch,
+};
+use td_gen::random_graph::seeded_graph;
+use td_gen::Dataset;
+use td_plf::DAY;
+use td_treedec::TreeDecomposition;
+
+fn queries(n: usize, count: usize, seed: u64) -> Vec<(u32, u32, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            (
+                rng.gen_range(0..n) as u32,
+                rng.gen_range(0..n) as u32,
+                rng.gen_range(0.0..DAY),
+            )
+        })
+        .collect()
+}
+
+/// Interleaved A/B timing: mean ns per rep of each side after a warm-up rep.
+fn compare(mut a: impl FnMut(), mut b: impl FnMut(), budget_ms: u128) -> (f64, f64) {
+    a();
+    b();
+    let (mut ta, mut tb, mut reps) = (0u128, 0u128, 0u64);
+    let start = Instant::now();
+    while start.elapsed().as_millis() < budget_ms {
+        let s = Instant::now();
+        a();
+        ta += s.elapsed().as_nanos();
+        let s = Instant::now();
+        b();
+        tb += s.elapsed().as_nanos();
+        reps += 1;
+    }
+    (ta as f64 / reps as f64, tb as f64 / reps as f64)
+}
+
+fn bench_csr_layout(criterion: &mut Criterion) {
+    // ---- Scalar Dijkstra on the medium (CAL-sized) network ----
+    let mut dijkstra_ratios = Vec::new();
+    for c in [3usize, 6] {
+        let g = Dataset::Cal.spec().build_scaled(c, 1.0, 42); // ~5.2k vertices
+        let fg = g.freeze();
+        let n = g.num_vertices();
+        let qs = queries(n, 64, 7);
+        let mut sc_vec = DijkstraScratch::default();
+        let mut sc_csr = DijkstraScratch::default();
+        let (vec_ns, csr_ns) = compare(
+            || {
+                for &(s, d, t) in &qs {
+                    black_box(shortest_path_cost_with(&mut sc_vec, &g, s, d, t));
+                }
+            },
+            || {
+                for &(s, d, t) in &qs {
+                    black_box(shortest_path_cost_frozen_with(&mut sc_csr, &fg, s, d, t));
+                }
+            },
+            1500,
+        );
+        println!(
+            "scalar dijkstra (n={n}, c={c}): vec {:.0} ns/q, csr {:.0} ns/q, speedup {:.2}x",
+            vec_ns / qs.len() as f64,
+            csr_ns / qs.len() as f64,
+            vec_ns / csr_ns
+        );
+        dijkstra_ratios.push(vec_ns / csr_ns);
+    }
+
+    // ---- Profile search on a dense compound-heavy graph ----
+    let gd = seeded_graph(1, 80, 60, 4);
+    let fgd = gd.freeze();
+    let sources: Vec<u32> = (0..8).map(|i| i * 9).collect();
+    let (prof_vec_ns, prof_csr_ns) = compare(
+        || {
+            for &s in &sources {
+                black_box(profile_search(&gd, s));
+            }
+        },
+        || {
+            for &s in &sources {
+                black_box(profile_search_frozen(&gd, &fgd, s));
+            }
+        },
+        2000,
+    );
+    println!(
+        "profile search dense (n={}): vec {:.2} ms/src, csr {:.2} ms/src, speedup {:.2}x",
+        gd.num_vertices(),
+        prof_vec_ns / 1e6 / sources.len() as f64,
+        prof_csr_ns / 1e6 / sources.len() as f64,
+        prof_vec_ns / prof_csr_ns
+    );
+
+    // ---- TD-tree scalar sweeps: legacy TreeNode layout vs FrozenTd ----
+    let gt = Dataset::Cal.spec().build_scaled(3, 0.25, 42); // ~1.3k vertices
+    let nt = gt.num_vertices();
+    let td = TreeDecomposition::build(&gt);
+    let frozen = FrozenTd::build(&td);
+    let store = td_core::shortcut::ShortcutStore::empty(nt);
+    let legacy = QueryEngine::new(&td, &store);
+    let fast = QueryEngine::with_frozen(&td, &store, &frozen);
+    let qt = queries(nt, 128, 11);
+    let mut cs_vec = td_core::CostScratch::default();
+    let mut cs_csr = td_core::CostScratch::default();
+    let (tree_vec_ns, tree_csr_ns) = compare(
+        || {
+            for &(s, d, t) in &qt {
+                black_box(legacy.cost_basic_with(&mut cs_vec, s, d, t));
+            }
+        },
+        || {
+            for &(s, d, t) in &qt {
+                black_box(fast.cost_basic_with(&mut cs_csr, s, d, t));
+            }
+        },
+        1500,
+    );
+    let tree_ratio = tree_vec_ns / tree_csr_ns;
+    println!(
+        "td-tree scalar sweeps (n={nt}): vec {:.0} ns/q, frozen {:.0} ns/q, speedup {:.2}x",
+        tree_vec_ns / qt.len() as f64,
+        tree_csr_ns / qt.len() as f64,
+        tree_ratio
+    );
+
+    // Acceptance bar: the frozen layout should win where its layout matters
+    // most (the sweep loop is pure label evaluation) and at least break even
+    // on the heap-dominated Dijkstra workload. Timing on a shared machine is
+    // noisy, so a miss warns loudly by default; set CSR_LAYOUT_ASSERT=1 (as
+    // a quiet perf-regression gate) to make it fatal.
+    let healthy = tree_ratio > 1.0 && dijkstra_ratios.iter().all(|&r| r > 0.9);
+    if !healthy {
+        let msg = format!(
+            "csr_layout below the acceptance bar: td-tree {tree_ratio:.3}x, \
+             dijkstra {dijkstra_ratios:?} — rerun on an idle machine"
+        );
+        if std::env::var_os("CSR_LAYOUT_ASSERT").is_some() {
+            panic!("{msg}");
+        }
+        println!("WARNING: {msg}");
+    }
+
+    // ---- Criterion timings for the record ----
+    let g = Dataset::Cal.spec().build_scaled(3, 1.0, 42);
+    let fg = g.freeze();
+    let qs = queries(g.num_vertices(), 64, 7);
+    let mut group = criterion.benchmark_group("csr_layout");
+    {
+        let mut i = 0usize;
+        let mut sc = DijkstraScratch::default();
+        group.bench_function("dijkstra_vec_plf", |b| {
+            b.iter(|| {
+                i = (i + 1) % qs.len();
+                let (s, d, t) = qs[i];
+                black_box(shortest_path_cost_with(&mut sc, &g, s, d, t))
+            })
+        });
+    }
+    {
+        let mut i = 0usize;
+        let mut sc = DijkstraScratch::default();
+        group.bench_function("dijkstra_csr_arena", |b| {
+            b.iter(|| {
+                i = (i + 1) % qs.len();
+                let (s, d, t) = qs[i];
+                black_box(shortest_path_cost_frozen_with(&mut sc, &fg, s, d, t))
+            })
+        });
+    }
+    {
+        let mut i = 0usize;
+        let mut sc = td_core::CostScratch::default();
+        group.bench_function("tdtree_scalar_vec", |b| {
+            b.iter(|| {
+                i = (i + 1) % qt.len();
+                let (s, d, t) = qt[i];
+                black_box(legacy.cost_basic_with(&mut sc, s, d, t))
+            })
+        });
+    }
+    {
+        let mut i = 0usize;
+        let mut sc = td_core::CostScratch::default();
+        group.bench_function("tdtree_scalar_frozen", |b| {
+            b.iter(|| {
+                i = (i + 1) % qt.len();
+                let (s, d, t) = qt[i];
+                black_box(fast.cost_basic_with(&mut sc, s, d, t))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_csr_layout);
+criterion_main!(benches);

@@ -1,0 +1,278 @@
+//! [`FrozenTd`]: the flat, cache-friendly query-time view of a tree
+//! decomposition's weight labels.
+//!
+//! The scalar sweeps of Algo. 3/6 spend their time walking each root-path
+//! node's bag and evaluating the `Ws`/`Wd` functions towards it. In the
+//! [`TreeDecomposition`] those live as per-node `Vec<Option<Plf>>` — three
+//! pointer dereferences per relaxation (node → option vec → boxed points),
+//! plus a `node(u).depth` chase to map each bag vertex onto the root path.
+//! `FrozenTd` lays the same data out once, CSR-style:
+//!
+//! * `first[v]..first[v+1]` — `v`'s bag slots in the flat arrays;
+//! * `bag_depth` — the *depth* of each bag vertex, precomputed (the sweeps
+//!   index root-path tables by depth, never by vertex id);
+//! * `ws`/`wd` — arena ids of the slot's functions ([`NO_PLF`] = absent);
+//! * `arena` — every breakpoint of every label in contiguous SoA storage,
+//!   with per-function `min_cost`/`max_cost` bounds the sweeps use to skip
+//!   relaxations that provably cannot win.
+//!
+//! Built once by `TdTreeIndex::build` (and re-frozen after incremental
+//! updates); borrowed by [`crate::QueryEngine`].
+
+use td_plf::{PlfArena, PlfId, PlfSlice, NO_PLF};
+use td_treedec::TreeDecomposition;
+
+/// Flat CSR view of all `Ws`/`Wd` weight lists plus their breakpoint arena.
+#[derive(Clone, Debug)]
+pub struct FrozenTd {
+    /// `first[v]..first[v+1]` delimits `v`'s bag slots (len `n+1`).
+    first: Vec<u32>,
+    /// Depth of each bag vertex — the root-path index the sweeps relax.
+    bag_depth: Vec<u32>,
+    /// Arena id of `Ws` per slot (`NO_PLF` when the reduced graph had no
+    /// such directed edge).
+    ws: Vec<PlfId>,
+    /// Arena id of `Wd` per slot.
+    wd: Vec<PlfId>,
+    /// All label breakpoints, SoA, with precomputed min/max bounds.
+    arena: PlfArena,
+    /// Points belonging to superseded functions (see
+    /// [`FrozenTd::refresh_nodes`]): the arena is append-only, so in-place
+    /// node refreshes leave their old points behind until a compaction.
+    stale_points: usize,
+}
+
+impl FrozenTd {
+    /// A placeholder over no nodes (used to temporarily detach the view from
+    /// an index during an in-place refresh; never queried).
+    pub fn empty() -> FrozenTd {
+        FrozenTd {
+            first: vec![0],
+            bag_depth: Vec::new(),
+            ws: Vec::new(),
+            wd: Vec::new(),
+            arena: PlfArena::new(),
+            stale_points: 0,
+        }
+    }
+
+    /// Freezes `td`'s weight lists (a single linear copy).
+    pub fn build(td: &TreeDecomposition) -> FrozenTd {
+        let n = td.len();
+        let total_slots: usize = td.nodes.iter().map(|nd| nd.bag.len()).sum();
+        let total_points: usize = td
+            .nodes
+            .iter()
+            .flat_map(|nd| nd.ws.iter().chain(nd.wd.iter()))
+            .flatten()
+            .map(|f| f.len())
+            .sum();
+        let mut first = Vec::with_capacity(n + 1);
+        let mut bag_depth = Vec::with_capacity(total_slots);
+        let mut ws = Vec::with_capacity(total_slots);
+        let mut wd = Vec::with_capacity(total_slots);
+        let mut arena = PlfArena::with_capacity(2 * total_slots, total_points);
+        first.push(0);
+        for node in &td.nodes {
+            for (bi, &u) in node.bag.iter().enumerate() {
+                bag_depth.push(td.node(u).depth);
+                ws.push(match &node.ws[bi] {
+                    Some(f) => arena.push(f),
+                    None => NO_PLF,
+                });
+                wd.push(match &node.wd[bi] {
+                    Some(f) => arena.push(f),
+                    None => NO_PLF,
+                });
+            }
+            first.push(bag_depth.len() as u32);
+        }
+        FrozenTd {
+            first,
+            bag_depth,
+            ws,
+            wd,
+            arena,
+            stale_points: 0,
+        }
+    }
+
+    /// Refreshes the frozen slots of the given tree nodes after their
+    /// `Ws`/`Wd` lists changed (incremental updates change weights, never
+    /// bag shapes). New functions are appended to the arena and the slot ids
+    /// repointed — O(changed labels), not O(index). The superseded points
+    /// stay behind as garbage; once they outweigh the live ones the whole
+    /// view is compacted by a fresh [`FrozenTd::build`].
+    pub fn refresh_nodes(&mut self, td: &TreeDecomposition, nodes: &[td_graph::VertexId]) {
+        for &v in nodes {
+            let node = td.node(v);
+            let lo = self.first[v as usize] as usize;
+            debug_assert_eq!(
+                (self.first[v as usize + 1] - self.first[v as usize]) as usize,
+                node.bag.len(),
+                "updates must not change bag shapes"
+            );
+            for bi in 0..node.bag.len() {
+                let idx = lo + bi;
+                for (slot, fresh) in [
+                    (&mut self.ws[idx], &node.ws[bi]),
+                    (&mut self.wd[idx], &node.wd[bi]),
+                ] {
+                    if *slot != NO_PLF {
+                        self.stale_points += self.arena.points_of(*slot);
+                    }
+                    *slot = match fresh {
+                        Some(f) => self.arena.push(f),
+                        None => NO_PLF,
+                    };
+                }
+            }
+        }
+        if self.stale_points > self.arena.total_points() / 2 {
+            *self = FrozenTd::build(td);
+        }
+    }
+
+    /// Flat slot range of `v`'s bag.
+    #[inline]
+    pub fn range(&self, v: td_graph::VertexId) -> std::ops::Range<usize> {
+        self.first[v as usize] as usize..self.first[v as usize + 1] as usize
+    }
+
+    /// Depth of the bag vertex in slot `idx`.
+    #[inline]
+    pub fn bag_depth(&self, idx: usize) -> usize {
+        self.bag_depth[idx] as usize
+    }
+
+    /// Arena id of slot `idx`'s `Ws` (`NO_PLF` = absent).
+    #[inline]
+    pub fn ws_id(&self, idx: usize) -> PlfId {
+        self.ws[idx]
+    }
+
+    /// Arena id of slot `idx`'s `Wd` (`NO_PLF` = absent).
+    #[inline]
+    pub fn wd_id(&self, idx: usize) -> PlfId {
+        self.wd[idx]
+    }
+
+    /// The breakpoint arena.
+    #[inline]
+    pub fn arena(&self) -> &PlfArena {
+        &self.arena
+    }
+
+    /// Borrowed view of arena function `id`.
+    #[inline]
+    pub fn slice(&self, id: PlfId) -> PlfSlice<'_> {
+        self.arena.slice(id)
+    }
+
+    /// Minimum of slot `idx`'s `Ws` over all departure times
+    /// (`+∞` when absent) — O(1), precomputed at freeze time.
+    #[inline]
+    pub fn ws_min(&self, idx: usize) -> f64 {
+        let id = self.ws[idx];
+        if id == NO_PLF {
+            f64::INFINITY
+        } else {
+            self.arena.min_cost(id)
+        }
+    }
+
+    /// Minimum of slot `idx`'s `Wd` (`+∞` when absent).
+    #[inline]
+    pub fn wd_min(&self, idx: usize) -> f64 {
+        let id = self.wd[idx];
+        if id == NO_PLF {
+            f64::INFINITY
+        } else {
+            self.arena.min_cost(id)
+        }
+    }
+
+    /// Heap footprint in bytes — counted by `TdTreeIndex::memory_bytes`.
+    pub fn heap_bytes(&self) -> usize {
+        self.first.capacity() * std::mem::size_of::<u32>()
+            + self.bag_depth.capacity() * std::mem::size_of::<u32>()
+            + (self.ws.capacity() + self.wd.capacity()) * std::mem::size_of::<PlfId>()
+            + self.arena.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_gen::random_graph::seeded_graph;
+
+    #[test]
+    fn refresh_nodes_repoints_changed_slots_and_compacts() {
+        let g = seeded_graph(5, 30, 20, 3);
+        let td = TreeDecomposition::build(&g);
+        let mut fz = FrozenTd::build(&td);
+        let reference = FrozenTd::build(&td);
+        // Refresh every node several times (weights unchanged — the slots
+        // must keep mirroring the tree), crossing the compaction threshold.
+        let all: Vec<u32> = (0..td.len() as u32).collect();
+        for _ in 0..4 {
+            fz.refresh_nodes(&td, &all);
+        }
+        assert!(
+            fz.arena.total_points() <= 2 * reference.arena.total_points(),
+            "compaction must bound the garbage: {} vs live {}",
+            fz.arena.total_points(),
+            reference.arena.total_points()
+        );
+        for v in 0..td.len() as u32 {
+            let node = td.node(v);
+            for (bi, idx) in fz.range(v).enumerate() {
+                match &node.ws[bi] {
+                    Some(f) => {
+                        for t in [0.0, 20_000.0, 70_000.0] {
+                            assert!((fz.slice(fz.ws_id(idx)).eval(t) - f.eval(t)).abs() < 1e-12);
+                        }
+                    }
+                    None => assert_eq!(fz.ws_id(idx), NO_PLF),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_mirrors_the_tree_labels() {
+        let g = seeded_graph(3, 40, 25, 3);
+        let td = TreeDecomposition::build(&g);
+        let fz = FrozenTd::build(&td);
+        for v in 0..td.len() as u32 {
+            let node = td.node(v);
+            let range = fz.range(v);
+            assert_eq!(range.len(), node.bag.len(), "v={v}");
+            for (bi, idx) in range.enumerate() {
+                let u = node.bag[bi];
+                assert_eq!(fz.bag_depth(idx), td.node(u).depth as usize);
+                match &node.ws[bi] {
+                    Some(f) => {
+                        let s = fz.slice(fz.ws_id(idx));
+                        for t in [0.0, 1000.0, 40_000.0, 90_000.0] {
+                            assert!((s.eval(t) - f.eval(t)).abs() < 1e-12);
+                        }
+                        assert_eq!(fz.ws_min(idx), f.min_value());
+                    }
+                    None => assert_eq!(fz.ws_id(idx), NO_PLF),
+                }
+                match &node.wd[bi] {
+                    Some(f) => {
+                        let s = fz.slice(fz.wd_id(idx));
+                        for t in [0.0, 1000.0, 40_000.0, 90_000.0] {
+                            assert!((s.eval(t) - f.eval(t)).abs() < 1e-12);
+                        }
+                        assert_eq!(fz.wd_min(idx), f.min_value());
+                    }
+                    None => assert_eq!(fz.wd_id(idx), NO_PLF),
+                }
+            }
+        }
+        assert!(fz.heap_bytes() > 0);
+    }
+}

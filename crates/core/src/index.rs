@@ -1,5 +1,6 @@
 //! The [`TdTreeIndex`]: construction, configuration and accounting.
 
+use crate::frozen::FrozenTd;
 use crate::query::{CostScratch, ProfileScratch, QueryEngine};
 use crate::select::{select_dp, select_greedy, Candidate, Selection};
 use crate::shortcut::{build_all, build_selected, weigh_candidates, ShortcutStore};
@@ -84,6 +85,7 @@ impl BuildStats {
 pub struct TdTreeIndex {
     graph: TdGraph,
     td: TreeDecomposition,
+    frozen: FrozenTd,
     store: ShortcutStore,
     selected_per_node: Vec<Vec<VertexId>>,
     /// Options the index was built with.
@@ -140,9 +142,14 @@ impl TdTreeIndex {
             }
         };
 
+        // Freeze the tree labels into the flat CSR/arena layout the query
+        // sweeps run on (a single linear copy of the stored breakpoints).
+        let frozen = FrozenTd::build(&td);
+
         TdTreeIndex {
             graph,
             td,
+            frozen,
             store,
             selected_per_node,
             options,
@@ -185,9 +192,25 @@ impl TdTreeIndex {
         &self.selected_per_node
     }
 
-    /// A query engine borrowing this index.
+    /// A query engine borrowing this index (hot loops run on the frozen
+    /// CSR/arena label layout).
     pub fn engine(&self) -> QueryEngine<'_> {
-        QueryEngine::new(&self.td, &self.store)
+        QueryEngine::with_frozen(&self.td, &self.store, &self.frozen)
+    }
+
+    /// The frozen flat view of the tree labels.
+    pub fn frozen(&self) -> &FrozenTd {
+        &self.frozen
+    }
+
+    /// Refreshes the flat label view of the given tree nodes after their
+    /// weight lists changed (called by the incremental update path).
+    pub(crate) fn refresh_frozen_nodes(&mut self, nodes: &[VertexId]) {
+        // `frozen` is swapped out to appease the borrow checker (it needs
+        // `&self.td` while being mutated); the placeholder is never queried.
+        let mut frozen = std::mem::replace(&mut self.frozen, FrozenTd::empty());
+        frozen.refresh_nodes(&self.td, nodes);
+        self.frozen = frozen;
     }
 
     /// Travel cost query `Q(s, d, t)` (Algo. 6; Algo. 3 sweeps when no
@@ -275,10 +298,11 @@ impl TdTreeIndex {
         self.td.stats()
     }
 
-    /// Index memory: tree weight lists + selected shortcuts, bytes. (The
-    /// input graph is not counted — every compared method shares it.)
+    /// Index memory: tree weight lists + their frozen CSR/arena mirror +
+    /// selected shortcuts, bytes. (The input graph is not counted — every
+    /// compared method shares it.)
     pub fn memory_bytes(&self) -> usize {
-        self.td.stats().bytes + self.store.bytes()
+        self.td.stats().bytes + self.frozen.heap_bytes() + self.store.bytes()
     }
 }
 

@@ -26,9 +26,10 @@
 //! warm the buffers up to the tree's depth, a scalar query performs **no
 //! heap allocation at all**.
 
+use crate::frozen::FrozenTd;
 use crate::shortcut::ShortcutStore;
 use td_graph::VertexId;
-use td_plf::{ops::min_into, Plf};
+use td_plf::{ops::min_into, Plf, NO_PLF};
 use td_treedec::TreeDecomposition;
 
 /// Query engine borrowing the tree and the selected shortcuts.
@@ -37,6 +38,10 @@ pub struct QueryEngine<'a> {
     pub td: &'a TreeDecomposition,
     /// Selected shortcuts (empty for TD-basic).
     pub store: &'a ShortcutStore,
+    /// Frozen flat view of the tree labels (`None` = fall back to the
+    /// pointer-chasing `TreeNode` layout). `TdTreeIndex` always passes one;
+    /// bare engines built in tests may omit it.
+    frozen: Option<&'a FrozenTd>,
 }
 
 /// Reusable buffers for one scalar sweep direction.
@@ -107,9 +112,26 @@ pub struct ProfileScratch {
 }
 
 impl<'a> QueryEngine<'a> {
-    /// Creates an engine.
+    /// Creates an engine over the `TreeNode` layout (no frozen view).
     pub fn new(td: &'a TreeDecomposition, store: &'a ShortcutStore) -> Self {
-        QueryEngine { td, store }
+        QueryEngine {
+            td,
+            store,
+            frozen: None,
+        }
+    }
+
+    /// Creates an engine whose hot loops run on the frozen CSR/arena layout.
+    pub fn with_frozen(
+        td: &'a TreeDecomposition,
+        store: &'a ShortcutStore,
+        frozen: &'a FrozenTd,
+    ) -> Self {
+        QueryEngine {
+            td,
+            store,
+            frozen: Some(frozen),
+        }
     }
 
     fn root_path_into(&self, v: VertexId, out: &mut Vec<VertexId>) {
@@ -148,17 +170,44 @@ impl<'a> QueryEngine<'a> {
                     continue;
                 }
             }
-            let node = self.td.node(bufs.path[k]);
-            for (bi, &u) in node.bag.iter().enumerate() {
-                let Some(ws) = &node.ws[bi] else { continue };
-                let ku = self.td.node(u).depth as usize;
-                if bufs.fixed[ku] {
-                    continue;
+            if let Some(fz) = self.frozen {
+                // Frozen layout: flat slot walk, precomputed bag depths, and
+                // the arena's min-cost lower bound pruning evaluations that
+                // provably cannot improve the slot (or survive the NIL
+                // bound — any relaxation with `a + min - t > b` would only
+                // write a value NIL-ed at its own processing step).
+                for (bi, idx) in fz.range(bufs.path[k]).enumerate() {
+                    let sid = fz.ws_id(idx);
+                    if sid == NO_PLF {
+                        continue;
+                    }
+                    let ku = fz.bag_depth(idx);
+                    if bufs.fixed[ku] {
+                        continue;
+                    }
+                    let lb = a + fz.arena().min_cost(sid);
+                    if bufs.arr[ku].is_some_and(|x| lb >= x) || bound.is_some_and(|b| lb - t > b) {
+                        continue;
+                    }
+                    let cand = a + fz.slice(sid).eval(a);
+                    if bufs.arr[ku].is_none_or(|x| cand < x) {
+                        bufs.arr[ku] = Some(cand);
+                        bufs.pred[ku] = Some((k, bi));
+                    }
                 }
-                let cand = a + ws.eval(a);
-                if bufs.arr[ku].is_none_or(|x| cand < x) {
-                    bufs.arr[ku] = Some(cand);
-                    bufs.pred[ku] = Some((k, bi));
+            } else {
+                let node = self.td.node(bufs.path[k]);
+                for (bi, &u) in node.bag.iter().enumerate() {
+                    let Some(ws) = &node.ws[bi] else { continue };
+                    let ku = self.td.node(u).depth as usize;
+                    if bufs.fixed[ku] {
+                        continue;
+                    }
+                    let cand = a + ws.eval(a);
+                    if bufs.arr[ku].is_none_or(|x| cand < x) {
+                        bufs.arr[ku] = Some(cand);
+                        bufs.pred[ku] = Some((k, bi));
+                    }
                 }
             }
         }
@@ -188,17 +237,38 @@ impl<'a> QueryEngine<'a> {
             *slot = init.get(k).copied().flatten();
         }
         for k in 0..=dd {
-            let node = self.td.node(bufs.path[k]);
             let mut best: Option<f64> = bufs.arr[k]; // seeded up-sweep arrival
             let mut best_pred = None;
-            for (bi, &u) in node.bag.iter().enumerate() {
-                let Some(wd) = &node.wd[bi] else { continue };
-                let ku = self.td.node(u).depth as usize;
-                let Some(a) = bufs.arr[ku] else { continue };
-                let cand = a + wd.eval(a);
-                if best.is_none_or(|x| cand < x) {
-                    best = Some(cand);
-                    best_pred = Some((ku, bi));
+            if let Some(fz) = self.frozen {
+                for (bi, idx) in fz.range(bufs.path[k]).enumerate() {
+                    let wid = fz.wd_id(idx);
+                    if wid == NO_PLF {
+                        continue;
+                    }
+                    let ku = fz.bag_depth(idx);
+                    let Some(a) = bufs.arr[ku] else { continue };
+                    // Min-cost lower bound: skip the evaluation when it
+                    // cannot beat the running best.
+                    if best.is_some_and(|x| a + fz.arena().min_cost(wid) >= x) {
+                        continue;
+                    }
+                    let cand = a + fz.slice(wid).eval(a);
+                    if best.is_none_or(|x| cand < x) {
+                        best = Some(cand);
+                        best_pred = Some((ku, bi));
+                    }
+                }
+            } else {
+                let node = self.td.node(bufs.path[k]);
+                for (bi, &u) in node.bag.iter().enumerate() {
+                    let Some(wd) = &node.wd[bi] else { continue };
+                    let ku = self.td.node(u).depth as usize;
+                    let Some(a) = bufs.arr[ku] else { continue };
+                    let cand = a + wd.eval(a);
+                    if best.is_none_or(|x| cand < x) {
+                        best = Some(cand);
+                        best_pred = Some((ku, bi));
+                    }
                 }
             }
             if let (Some(b), Some(a)) = (bound, best) {
@@ -356,21 +426,40 @@ impl<'a> QueryEngine<'a> {
         for k in (0..=ds).rev() {
             // At processing time cost[k] is final: NIL-prune it (Algo. 6
             // line 20) when it can never beat the shortcut bound anywhere.
+            let mut cur_min = 0.0; // the endpoint's own label is the zero function
             if k != ds {
                 let Some(f) = &bufs.cost[k] else { continue };
+                let fmin = f.min_value();
                 if let Some(bm) = bound_max {
-                    if f.min_value() > bm {
+                    if fmin > bm {
                         bufs.cost[k] = None; // NIL
                         continue;
                     }
                 }
+                cur_min = fmin;
             }
             let node = self.td.node(bufs.path[k]);
+            let slot0 = self.frozen.map(|fz| fz.range(bufs.path[k]).start);
             for (bi, &u) in node.bag.iter().enumerate() {
                 let Some(ws) = &node.ws[bi] else { continue };
                 let ku = self.td.node(u).depth as usize;
                 if bufs.fixed[ku] {
                     continue;
+                }
+                // Edge-level prune (same argument as the slot NIL): the
+                // compound's minimum is ≥ min(cost[k]) + min(ws); when that
+                // clears the bound's maximum, every propagated value loses
+                // the final combination against the bound. The frozen arena
+                // serves the edge minimum in O(1); without it, scanning ws is
+                // still far cheaper than the compound it avoids.
+                if let Some(bm) = bound_max {
+                    let ws_min = match (self.frozen, slot0) {
+                        (Some(fz), Some(lo)) => fz.ws_min(lo + bi),
+                        _ => ws.min_value(),
+                    };
+                    if cur_min + ws_min > bm {
+                        continue;
+                    }
                 }
                 let cand = if k == ds {
                     ws.clone() // line 2: cost_s[u] ← X(s).Ws_u
@@ -403,21 +492,35 @@ impl<'a> QueryEngine<'a> {
         }
         let bound_max = bound.map(|b| b.max_value());
         for k in (0..=dd).rev() {
+            let mut cur_min = 0.0;
             if k != dd {
                 let Some(f) = &bufs.cost[k] else { continue };
+                let fmin = f.min_value();
                 if let Some(bm) = bound_max {
-                    if f.min_value() > bm {
+                    if fmin > bm {
                         bufs.cost[k] = None; // NIL
                         continue;
                     }
                 }
+                cur_min = fmin;
             }
             let node = self.td.node(bufs.path[k]);
+            let slot0 = self.frozen.map(|fz| fz.range(bufs.path[k]).start);
             for (bi, &u) in node.bag.iter().enumerate() {
                 let Some(wd) = &node.wd[bi] else { continue };
                 let ku = self.td.node(u).depth as usize;
                 if bufs.fixed[ku] {
                     continue;
+                }
+                // Mirror of the up-sweep's edge-level prune.
+                if let Some(bm) = bound_max {
+                    let wd_min = match (self.frozen, slot0) {
+                        (Some(fz), Some(lo)) => fz.wd_min(lo + bi),
+                        _ => wd.min_value(),
+                    };
+                    if cur_min + wd_min > bm {
+                        continue;
+                    }
                 }
                 let cand = if k == dd {
                     wd.clone()
@@ -743,6 +846,58 @@ mod tests {
                         }
                         (None, None) => {}
                         other => panic!("seed={seed} s={s} d={d}: {:?}", other.0.map(|_| ())),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_engine_matches_legacy_layout() {
+        // The frozen CSR/arena sweeps and the TreeNode-layout sweeps must
+        // answer identically, with and without shortcuts.
+        for seed in 0..4u64 {
+            let n = 32;
+            let g = seeded_graph(seed, n, 22, 3);
+            let td = TreeDecomposition::build(&g);
+            let frozen = crate::frozen::FrozenTd::build(&td);
+            let full = build_all(&td, 2);
+            let none = ShortcutStore::empty(n);
+            for store in [&none, &full] {
+                let legacy = QueryEngine::new(&td, store);
+                let fast = QueryEngine::with_frozen(&td, store, &frozen);
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xf00d);
+                for _ in 0..40 {
+                    let s = rng.gen_range(0..n) as u32;
+                    let d = rng.gen_range(0..n) as u32;
+                    let t = rng.gen_range(0.0..DAY);
+                    match (legacy.cost(s, d, t), fast.cost(s, d, t)) {
+                        (Some(a), Some(b)) => {
+                            assert!((a - b).abs() < 1e-9, "seed={seed} s={s} d={d} t={t}")
+                        }
+                        (None, None) => {}
+                        other => panic!("seed={seed} s={s} d={d} t={t}: {other:?}"),
+                    }
+                    match (legacy.cost_basic(s, d, t), fast.cost_basic(s, d, t)) {
+                        (Some(a), Some(b)) => {
+                            assert!((a - b).abs() < 1e-9, "seed={seed} s={s} d={d} t={t}")
+                        }
+                        (None, None) => {}
+                        other => panic!("seed={seed} s={s} d={d} t={t}: {other:?}"),
+                    }
+                    match (legacy.profile(s, d), fast.profile(s, d)) {
+                        (Some(a), Some(b)) => {
+                            for t in probe_times() {
+                                assert!(
+                                    (a.eval(t) - b.eval(t)).abs() < 1e-6,
+                                    "seed={seed} s={s} d={d} t={t}"
+                                );
+                            }
+                        }
+                        (None, None) => {}
+                        other => {
+                            panic!("seed={seed} s={s} d={d}: {:?}", other.0.map(|_| ()))
+                        }
                     }
                 }
             }

@@ -152,6 +152,13 @@ impl TdTreeIndex {
             }
             *self.shortcuts_mut() = merged;
         }
+        // The changed nodes' weight lists must be re-frozen so the query
+        // sweeps keep reading current functions — O(changed labels), not a
+        // full rebuild of the mirror.
+        if !changed_nodes.is_empty() {
+            let nodes: Vec<VertexId> = changed_nodes.iter().copied().collect();
+            self.refresh_frozen_nodes(&nodes);
+        }
         stats.rebuild_secs = t1.elapsed().as_secs_f64();
         stats
     }

@@ -19,8 +19,8 @@ pub mod scalar;
 
 pub use astar::{astar_cost, LowerBounds};
 pub use bidirectional::bidirectional_cost;
-pub use profile::{profile_search, profile_search_to, ProfileResult};
+pub use profile::{profile_search, profile_search_frozen, profile_search_to, ProfileResult};
 pub use scalar::{
-    one_to_all, shortest_path, shortest_path_cost, shortest_path_cost_with, shortest_path_with,
-    DijkstraScratch,
+    one_to_all, shortest_path, shortest_path_cost, shortest_path_cost_frozen_with,
+    shortest_path_cost_with, shortest_path_frozen_with, shortest_path_with, DijkstraScratch,
 };

@@ -14,7 +14,7 @@
 //! matrix builder inside TD-G-tree.
 
 use std::collections::VecDeque;
-use td_graph::{Path, TdGraph, VertexId};
+use td_graph::{FrozenGraph, Path, TdGraph, VertexId};
 use td_plf::Plf;
 
 /// Result of a profile search from a source vertex.
@@ -59,6 +59,98 @@ impl ProfileResult {
 /// Profile search from `s` over the whole graph.
 pub fn profile_search(g: &TdGraph, s: VertexId) -> ProfileResult {
     profile_search_impl(g, s, None)
+}
+
+/// [`profile_search`] over the frozen CSR/arena layout.
+///
+/// `fg` must be `g.freeze()` (same vertex/edge ids): adjacency walks and the
+/// per-edge `min_cost` bounds come from the frozen arrays, while the function
+/// algebra (compound/minimum) still runs on `g`'s owned [`Plf`]s. Tracks a
+/// lower bound on each label's minimum and an upper bound on its maximum so
+/// a relaxation is skipped — without touching any breakpoints — when
+/// `min(dist[u]) + min_cost(e) ≥ max(dist[v])`, i.e. when the candidate can
+/// never improve the existing label anywhere. On road networks this prunes
+/// most re-relaxations of already-tight labels, which is where the
+/// label-correcting search spends its time.
+pub fn profile_search_frozen(g: &TdGraph, fg: &FrozenGraph, s: VertexId) -> ProfileResult {
+    debug_assert_eq!(g.num_vertices(), fg.num_vertices());
+    debug_assert_eq!(g.num_edges(), fg.num_edges());
+    let n = g.num_vertices();
+    let mut dist: Vec<Option<Plf>> = vec![None; n];
+    // lab_min[v] ≤ min(dist[v]) and lab_max[v] ≥ max(dist[v]), maintained in
+    // O(1) per relaxation from the arena's per-edge bounds — never by
+    // scanning breakpoints: a compound's values lie within
+    // [min f + min g, max f + max g], and a pointwise minimum's within
+    // [min of mins, min of maxes].
+    let mut lab_min = vec![f64::INFINITY; n];
+    let mut lab_max = vec![f64::INFINITY; n];
+    let mut in_queue = vec![false; n];
+    let mut queue: VecDeque<VertexId> = VecDeque::new();
+    dist[s as usize] = Some(Plf::zero());
+    lab_min[s as usize] = 0.0;
+    lab_max[s as usize] = 0.0;
+    queue.push_back(s);
+    in_queue[s as usize] = true;
+
+    let mut pops = 0usize;
+    let pop_limit = 64 * n * n + 1024;
+    while let Some(u) = queue.pop_front() {
+        pops += 1;
+        assert!(
+            pops <= pop_limit,
+            "profile search failed to converge after {pops} relaxation rounds — \
+             the graph likely contains a (near-)zero-cost cycle"
+        );
+        in_queue[u as usize] = false;
+        let du = dist[u as usize]
+            .clone()
+            .expect("queued vertices have labels");
+        let du_min = lab_min[u as usize];
+        let (heads, edges, mins) = fg.out_slices_with_min(u);
+        for ((&v, &e), &emin) in heads.iter().zip(edges.iter()).zip(mins.iter()) {
+            // Admissible prune: every value of the candidate compound is
+            // ≥ min(du) + min(w_e); if that already clears the existing
+            // label's maximum, the candidate is nowhere below it. The bound
+            // streams in with the adjacency walk (no arena touch).
+            if dist[v as usize].is_some() && du_min + emin >= lab_max[v as usize] {
+                continue;
+            }
+            let cand = du.compound(g.weight(e), u);
+            // Exact bounds, one fused pass over the points the compound just
+            // wrote (still cache-hot). Exactness matters: the loose
+            // sum-of-maxes bound degrades multiplicatively along paths and
+            // stops the prune from ever firing on compound-heavy graphs.
+            let (cand_min, cand_max) = cand.value_bounds();
+            let improved = match &dist[v as usize] {
+                None => true,
+                Some(old) => {
+                    let merged = old.minimum(&cand);
+                    if merged.approx_eq(old, 1e-7) {
+                        false
+                    } else {
+                        dist[v as usize] = Some(merged);
+                        lab_min[v as usize] = lab_min[v as usize].min(cand_min);
+                        lab_max[v as usize] = lab_max[v as usize].min(cand_max);
+                        if !in_queue[v as usize] {
+                            in_queue[v as usize] = true;
+                            queue.push_back(v);
+                        }
+                        continue;
+                    }
+                }
+            };
+            if improved {
+                dist[v as usize] = Some(cand);
+                lab_min[v as usize] = cand_min;
+                lab_max[v as usize] = cand_max;
+                if !in_queue[v as usize] {
+                    in_queue[v as usize] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    ProfileResult { source: s, dist }
 }
 
 /// Profile search from `s`, restricted to vertices for which `keep` returns
@@ -198,6 +290,27 @@ mod tests {
             let p = prof.path(3, t).unwrap();
             let c = prof.cost(3, t).unwrap();
             assert!((p.cost(&g, t).unwrap() - c).abs() < 1e-6, "t={t}");
+        }
+    }
+
+    #[test]
+    fn frozen_profile_matches_vec_layout() {
+        let g = fig1_subnetwork();
+        let fg = g.freeze();
+        for s in 0..4u32 {
+            let want = profile_search(&g, s);
+            let got = profile_search_frozen(&g, &fg, s);
+            for d in 0..4u32 {
+                match (&want.dist[d as usize], &got.dist[d as usize]) {
+                    (Some(a), Some(b)) => {
+                        for t in [0.0, 10.0, 25.0, 40.0, 60.0, 80.0] {
+                            assert!((a.eval(t) - b.eval(t)).abs() < 1e-9, "s={s} d={d} t={t}");
+                        }
+                    }
+                    (None, None) => {}
+                    other => panic!("s={s} d={d}: {:?}", other.1.as_ref().map(|_| ())),
+                }
+            }
         }
     }
 

@@ -7,7 +7,7 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use td_graph::{Path, TdGraph, VertexId};
+use td_graph::{FrozenGraph, Path, TdGraph, VertexId};
 
 /// Max-heap entry ordered by *smallest* arrival time.
 #[derive(Copy, Clone, Debug)]
@@ -106,6 +106,113 @@ pub fn one_to_all(g: &TdGraph, s: VertexId, t: f64) -> Vec<f64> {
         .iter()
         .map(|a| a.map(|x| x - t).unwrap_or(f64::INFINITY))
         .collect()
+}
+
+/// [`shortest_path_cost_with`] over the frozen CSR/arena representation —
+/// the hot path: flat adjacency walks, SoA breakpoint evaluation, and
+/// per-edge `min_cost` lower bounds pruning relaxations that provably cannot
+/// improve the tentative target arrival.
+pub fn shortest_path_cost_frozen_with(
+    scratch: &mut DijkstraScratch,
+    fg: &FrozenGraph,
+    s: VertexId,
+    d: VertexId,
+    t: f64,
+) -> Option<f64> {
+    run_frozen(scratch, fg, s, Some(d), t);
+    scratch.arrival[d as usize].map(|a| a - t)
+}
+
+/// [`shortest_path_with`] over the frozen representation.
+pub fn shortest_path_frozen_with(
+    scratch: &mut DijkstraScratch,
+    fg: &FrozenGraph,
+    s: VertexId,
+    d: VertexId,
+    t: f64,
+) -> Option<(f64, Path)> {
+    run_frozen(scratch, fg, s, Some(d), t);
+    let arr = scratch.arrival[d as usize]?;
+    let mut vertices = vec![d];
+    let mut cur = d;
+    while cur != s {
+        let p = scratch.parent[cur as usize];
+        debug_assert_ne!(p, u32::MAX, "settled vertex must have a parent");
+        vertices.push(p);
+        cur = p;
+    }
+    vertices.reverse();
+    Some((arr - t, Path::new(vertices)))
+}
+
+fn run_frozen(
+    scratch: &mut DijkstraScratch,
+    fg: &FrozenGraph,
+    s: VertexId,
+    target: Option<VertexId>,
+    t: f64,
+) {
+    let n = fg.num_vertices();
+    let DijkstraScratch {
+        arrival,
+        best,
+        parent,
+        heap,
+    } = scratch;
+    arrival.clear();
+    arrival.resize(n, None);
+    best.clear();
+    best.resize(n, f64::INFINITY);
+    parent.clear();
+    parent.resize(n, u32::MAX);
+    heap.clear();
+    best[s as usize] = t;
+    heap.push(HeapEntry {
+        arrival: t,
+        vertex: s,
+    });
+    // Tentative arrival at the target: any relaxation whose lower bound
+    // cannot beat it is useless for the s → d answer (edge costs are
+    // non-negative, so the bound is admissible).
+    let mut target_best = f64::INFINITY;
+    while let Some(HeapEntry {
+        arrival: a,
+        vertex: u,
+    }) = heap.pop()
+    {
+        if arrival[u as usize].is_some() {
+            continue; // stale entry
+        }
+        arrival[u as usize] = Some(a);
+        if target == Some(u) {
+            break;
+        }
+        let (heads, edges, mins) = fg.out_slices_with_min(u);
+        for ((&v, &e), &min) in heads.iter().zip(edges.iter()).zip(mins.iter()) {
+            if arrival[v as usize].is_some() {
+                continue;
+            }
+            // Lower-bound prune before touching the breakpoints: the true
+            // candidate is ≥ a + min_cost(e), and the bound streams in with
+            // the adjacency walk itself.
+            let lb = a + min;
+            if lb >= best[v as usize] || (target.is_some() && lb >= target_best) {
+                continue;
+            }
+            let cand = a + fg.weight(e).eval(a);
+            if cand < best[v as usize] {
+                best[v as usize] = cand;
+                parent[v as usize] = u;
+                if target == Some(v) {
+                    target_best = cand;
+                }
+                heap.push(HeapEntry {
+                    arrival: cand,
+                    vertex: v,
+                });
+            }
+        }
+    }
 }
 
 fn run(scratch: &mut DijkstraScratch, g: &TdGraph, s: VertexId, target: Option<VertexId>, t: f64) {
@@ -236,6 +343,41 @@ mod tests {
         let early = shortest_path_cost(&g, 0, 3, 0.0).unwrap();
         let late = shortest_path_cost(&g, 0, 3, 60.0).unwrap();
         assert!(late > early);
+    }
+
+    #[test]
+    fn frozen_path_matches_vec_layout() {
+        let g = fig1_subnetwork();
+        let fg = g.freeze();
+        let mut scratch = DijkstraScratch::default();
+        for t in [0.0, 10.0, 25.0, 40.0, 55.0, 70.0] {
+            for s in 0..4u32 {
+                for d in 0..4u32 {
+                    let want = shortest_path_cost(&g, s, d, t);
+                    let got = shortest_path_cost_frozen_with(&mut scratch, &fg, s, d, t);
+                    match (want, got) {
+                        (Some(a), Some(b)) => {
+                            assert!((a - b).abs() < 1e-12, "s={s} d={d} t={t}: {a} vs {b}")
+                        }
+                        (None, None) => {}
+                        other => panic!("s={s} d={d} t={t}: {other:?}"),
+                    }
+                    let wp = shortest_path(&g, s, d, t);
+                    let gp = shortest_path_frozen_with(&mut scratch, &fg, s, d, t);
+                    match (wp, gp) {
+                        (Some((wc, wpath)), Some((gc, gpath))) => {
+                            assert!((wc - gc).abs() < 1e-12);
+                            // Both paths must replay to the same cost (tie
+                            // breaks may pick different equal-cost paths).
+                            assert!((gpath.cost(&g, t).unwrap() - gc).abs() < 1e-9);
+                            assert!((wpath.cost(&g, t).unwrap() - wc).abs() < 1e-9);
+                        }
+                        (None, None) => {}
+                        other => panic!("s={s} d={d} t={t}: {:?}", other.0.map(|_| ())),
+                    }
+                }
+            }
+        }
     }
 
     #[test]

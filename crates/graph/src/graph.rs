@@ -171,26 +171,31 @@ impl TdGraph {
     /// neighbour once) of `v` — the quantity the min-degree elimination
     /// heuristic orders by.
     pub fn undirected_degree(&self, v: VertexId) -> usize {
-        let mut nbrs: Vec<VertexId> = self.out[v as usize]
-            .iter()
-            .map(|&(u, _)| u)
-            .chain(self.inn[v as usize].iter().map(|&(u, _)| u))
-            .collect();
-        nbrs.sort_unstable();
-        nbrs.dedup();
-        nbrs.len()
+        self.undirected_neighbors_iter(v).count()
     }
 
     /// Undirected neighbour set of `v` (sorted, deduplicated).
     pub fn undirected_neighbors(&self, v: VertexId) -> Vec<VertexId> {
-        let mut nbrs: Vec<VertexId> = self.out[v as usize]
-            .iter()
-            .map(|&(u, _)| u)
-            .chain(self.inn[v as usize].iter().map(|&(u, _)| u))
-            .collect();
+        let mut nbrs: Vec<VertexId> = self.undirected_neighbors_iter(v).collect();
         nbrs.sort_unstable();
-        nbrs.dedup();
         nbrs
+    }
+
+    /// Allocation-free iterator over `v`'s undirected neighbours: every
+    /// out-neighbour, then every in-neighbour that is not also an
+    /// out-neighbour (each neighbour yielded exactly once, in no particular
+    /// order). The dedup check scans `out(v)`, which is O(1) amortised on
+    /// road networks (degrees are tiny constants) and avoids the per-call
+    /// `Vec` + sort of [`TdGraph::undirected_neighbors`].
+    #[inline]
+    pub fn undirected_neighbors_iter(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        let out = &self.out[v as usize];
+        out.iter().map(|&(u, _)| u).chain(
+            self.inn[v as usize]
+                .iter()
+                .map(|&(u, _)| u)
+                .filter(move |&u| !out.iter().any(|&(w, _)| w == u)),
+        )
     }
 
     /// True iff the underlying undirected graph is connected (empty and

@@ -7,6 +7,9 @@
 //! The crate provides:
 //! * [`TdGraph`] — adjacency-list storage with both out- and in-edges (the
 //!   reduction operator and reverse searches need predecessors);
+//! * [`CsrGraph`] / [`FrozenGraph`] — the frozen query-time view: flat
+//!   compressed-sparse-row adjacency plus a contiguous weight-function arena
+//!   with per-edge min/max cost bounds (build once, query forever);
 //! * [`GraphBuilder`] — incremental construction with validation;
 //! * [`Path`] — a vertex sequence with cost evaluation against the graph,
 //!   used to verify recovered shortest paths;
@@ -15,12 +18,14 @@
 //!   in where the synthetic ones are used.
 
 pub mod builder;
+pub mod csr;
 pub mod graph;
 pub mod io;
 pub mod path;
 pub mod stats;
 
 pub use builder::GraphBuilder;
+pub use csr::{CsrGraph, FrozenGraph};
 pub use graph::{Edge, EdgeId, GraphError, TdGraph, VertexId};
 pub use path::Path;
 pub use stats::GraphStats;

@@ -3,9 +3,9 @@
 use crate::partition::PartitionTree;
 use std::collections::HashMap;
 use std::time::Instant;
-use td_dijkstra::{profile_search, shortest_path};
+use td_dijkstra::{profile_search_frozen, shortest_path};
 use td_graph::{GraphBuilder, Path, TdGraph, VertexId};
-use td_plf::{ops::min_into, Plf};
+use td_plf::{ops::min_into, Plf, PlfArena, PlfId, PlfSlice, NO_PLF};
 
 /// Reusable scratch for TD-G-tree scalar queries: the stage plan, the two
 /// partition-tree paths and the two arrival hash maps are recycled across
@@ -34,6 +34,13 @@ impl Default for GtreeConfig {
 }
 
 /// All-pairs travel-cost-function matrix over one node's anchor set.
+///
+/// The `mat` of owned [`Plf`]s is the *build/profile* representation (the
+/// assembly passes min-merge and compound entries, and profile queries need
+/// whole functions). After construction, [`NodeMatrix::freeze`] lays every
+/// entry out in a contiguous [`PlfArena`]; the scalar query loops then walk
+/// `ids`/arena slices with precomputed `min_cost` bounds instead of chasing
+/// per-entry `Vec<Pt>` pointers.
 #[derive(Clone, Debug, Default)]
 struct NodeMatrix {
     /// Anchor vertices: all vertices for leaves, union of children borders
@@ -43,6 +50,11 @@ struct NodeMatrix {
     pos: HashMap<VertexId, usize>,
     /// Row-major `anchors² → Option<Plf>` (direction `i → j`).
     mat: Vec<Option<Plf>>,
+    /// Row-major arena ids mirroring `mat` (`NO_PLF` = absent); filled by
+    /// [`NodeMatrix::freeze`].
+    ids: Vec<PlfId>,
+    /// Frozen breakpoints of every stored entry.
+    arena: PlfArena,
 }
 
 impl NodeMatrix {
@@ -50,6 +62,34 @@ impl NodeMatrix {
         let i = *self.pos.get(&from)?;
         let j = *self.pos.get(&to)?;
         self.mat[i * self.anchors.len() + j].as_ref()
+    }
+
+    /// Frozen entry `from → to`: `(breakpoint slice, min cost bound)`.
+    #[inline]
+    fn entry_frozen(&self, from: VertexId, to: VertexId) -> Option<(PlfSlice<'_>, f64)> {
+        let i = *self.pos.get(&from)?;
+        let j = *self.pos.get(&to)?;
+        let id = self.ids[i * self.anchors.len() + j];
+        if id == NO_PLF {
+            return None;
+        }
+        Some((self.arena.slice(id), self.arena.min_cost(id)))
+    }
+
+    /// Copies every stored entry into the contiguous arena (idempotent:
+    /// rebuilds from the current `mat`).
+    fn freeze(&mut self) {
+        let total: usize = self.mat.iter().flatten().map(|f| f.len()).sum();
+        let mut arena = PlfArena::with_capacity(self.mat.len(), total);
+        self.ids = self
+            .mat
+            .iter()
+            .map(|slot| match slot {
+                Some(f) => arena.push(f),
+                None => NO_PLF,
+            })
+            .collect();
+        self.arena = arena;
     }
 
     fn points(&self) -> usize {
@@ -63,6 +103,8 @@ impl NodeMatrix {
             .map(|f| f.heap_bytes())
             .sum::<usize>()
             + self.mat.capacity() * std::mem::size_of::<Option<Plf>>()
+            + self.ids.capacity() * std::mem::size_of::<PlfId>()
+            + self.arena.heap_bytes()
     }
 }
 
@@ -105,6 +147,12 @@ impl TdGtree {
             let outside: Vec<(VertexId, VertexId, Plf)> = border_pairs(&pt, &mats, idx, parent);
             let local = supergraph(&graph, &pt, &mats, idx, &anchors, Some(&outside));
             mats[idx] = all_pairs(&local, anchors);
+        }
+
+        // Freeze every refined matrix into its contiguous arena: the scalar
+        // query loops run exclusively on the frozen layout.
+        for m in &mut mats {
+            m.freeze();
         }
 
         TdGtree {
@@ -169,7 +217,7 @@ impl TdGtree {
         let ld = self.pt.leaf_of[d as usize];
         if ls == ld {
             // Same-leaf: the refined leaf matrix is globally exact.
-            return self.mats[ls].entry(s, d).map(|f| f.eval(t));
+            return self.mats[ls].entry_frozen(s, d).map(|(f, _)| f.eval(t));
         }
         let GtreeScratch {
             plan,
@@ -183,7 +231,7 @@ impl TdGtree {
         // Upward: arrivals at the source leaf's border set.
         cur.clear();
         for &b in &self.pt.nodes[ls].borders {
-            if let Some(f) = self.mats[ls].entry(s, b) {
+            if let Some((f, _)) = self.mats[ls].entry_frozen(s, b) {
                 let a = t + f.eval(t);
                 cur.entry(b).and_modify(|x| *x = x.min(a)).or_insert(a);
             }
@@ -196,7 +244,11 @@ impl TdGtree {
         // Into d.
         let mut best: Option<f64> = None;
         for (&b, &a) in cur.iter() {
-            if let Some(f) = self.mats[ld].entry(b, d) {
+            if let Some((f, min)) = self.mats[ld].entry_frozen(b, d) {
+                // Lower-bound prune: the final hop costs at least `min`.
+                if best.is_some_and(|x| a + min >= x) {
+                    continue;
+                }
                 let total = a + f.eval(a);
                 if best.is_none_or(|x| total < x) {
                     best = Some(total);
@@ -490,12 +542,15 @@ fn border_pairs(
 }
 
 /// All-pairs profile search over the local supergraph (one search per
-/// anchor, parallelised across rows).
+/// anchor, parallelised across rows). The local graph is frozen once into
+/// the CSR/arena layout and shared read-only by all workers, so every row's
+/// search walks flat adjacency with per-edge min-cost pruning.
 fn all_pairs(
     local: &(TdGraph, HashMap<VertexId, u32>, Vec<VertexId>),
     anchors: Vec<VertexId>,
 ) -> NodeMatrix {
     let (g, _, order) = local;
+    let fg = g.freeze();
     let k = anchors.len();
     let threads = std::thread::available_parallelism()
         .map_or(1, |p| p.get())
@@ -510,7 +565,7 @@ fn all_pairs(
                 if i >= k {
                     break;
                 }
-                let prof = profile_search(g, i as u32);
+                let prof = profile_search_frozen(g, &fg, i as u32);
                 *rows[i].lock().expect("no poisoning") = prof.dist;
             });
         }
@@ -524,11 +579,19 @@ fn all_pairs(
         pos.insert(v, i);
     }
     debug_assert_eq!(&anchors, order);
-    NodeMatrix { anchors, pos, mat }
+    NodeMatrix {
+        anchors,
+        pos,
+        mat,
+        ids: Vec::new(),
+        arena: PlfArena::new(),
+    }
 }
 
 /// Scalar relaxation through a node matrix into `out` (cleared first):
-/// earliest arrivals at `targets`.
+/// earliest arrivals at `targets`. Runs on the frozen arena layout, skipping
+/// the breakpoint evaluation whenever `arrival + min_cost` already fails to
+/// beat the running best (the min bound is admissible, so the skip is exact).
 fn relax_scalar_into(
     m: &NodeMatrix,
     arr: &HashMap<VertexId, f64>,
@@ -542,7 +605,10 @@ fn relax_scalar_into(
             if b1 == b2 {
                 continue;
             }
-            if let Some(f) = m.entry(b1, b2) {
+            if let Some((f, min)) = m.entry_frozen(b1, b2) {
+                if best.is_some_and(|x| a + min >= x) {
+                    continue;
+                }
                 let cand = a + f.eval(a);
                 if best.is_none_or(|x| cand < x) {
                     best = Some(cand);
@@ -570,7 +636,10 @@ fn relax_pred(
             if b1 == b2 {
                 continue;
             }
-            if let Some(f) = m.entry(b1, b2) {
+            if let Some((f, min)) = m.entry_frozen(b1, b2) {
+                if best.is_some_and(|(x, _)| a + min >= x) {
+                    continue;
+                }
                 let cand = a + f.eval(a);
                 if best.is_none_or(|(x, _)| cand < x) {
                     best = Some((cand, b1));

@@ -70,7 +70,7 @@ pub fn bisect(g: &TdGraph, vertices: &[VertexId]) -> (Vec<VertexId>, Vec<VertexI
             }
             while let Some(v) = frontiers[s].pop_front() {
                 let mut grew = false;
-                for &(u, _) in g.out_edges(v).iter().chain(g.in_edges(v).iter()) {
+                for u in g.undirected_neighbors_iter(v) {
                     if member.contains(&u) && !side.contains_key(&u) {
                         side.insert(u, s as u8);
                         counts[s] += 1;
@@ -133,7 +133,7 @@ fn farthest(
     let mut last = None;
     while let Some(v) = queue.pop_front() {
         last = Some(v);
-        for &(u, _) in g.out_edges(v).iter().chain(g.in_edges(v).iter()) {
+        for u in g.undirected_neighbors_iter(v) {
             if member.contains(&u) && seen.insert(u) {
                 queue.push_back(u);
             }
@@ -212,10 +212,8 @@ impl PartitionTree {
                 .iter()
                 .copied()
                 .filter(|&v| {
-                    g.out_edges(v)
-                        .iter()
-                        .chain(g.in_edges(v).iter())
-                        .any(|&(u, _)| !inside(u, idx, &nodes))
+                    g.undirected_neighbors_iter(v)
+                        .any(|u| !inside(u, idx, &nodes))
                 })
                 .collect();
             borders.sort_unstable();

@@ -44,6 +44,7 @@
 //! full shortest paths (see `td-core::paths`).
 
 pub mod approx;
+pub mod arena;
 pub mod arrival;
 pub mod compound;
 pub mod minimum;
@@ -52,6 +53,7 @@ pub mod plf;
 pub mod simplify;
 
 pub use approx::{feq, fle, flt, EPS_COST, EPS_TIME};
+pub use arena::{PlfArena, PlfId, PlfSlice, NO_PLF};
 pub use plf::{Plf, PlfError, Pt, Via, NO_VIA};
 
 /// The canonical time domain used by the paper's evaluation: one day, in seconds.

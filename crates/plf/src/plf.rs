@@ -170,13 +170,22 @@ impl Plf {
         if t < self.pts[0].t {
             return None;
         }
-        // partition_point returns the count of points with p.t <= t.
+        // partition_point returns the count of points with p.t <= t; it is
+        // ≥ 1 here because pts[0].t ≤ t, so the subtraction cannot wrap.
         let n = self.pts.partition_point(|p| p.t <= t);
+        debug_assert!(n >= 1 && n <= self.pts.len());
         Some(n - 1)
     }
 
     /// Evaluates the function at departure time `t` per Eq. (1): clamped below
     /// `t_1` and above `t_k`, linear in between.
+    ///
+    /// All indexing below is provably in range (`segment_index` returns
+    /// `i < len`, and the `i + 1` arm is guarded), but the safe accesses are
+    /// kept: after inlining, LLVM elides the bounds checks against the slice
+    /// length already loaded for `partition_point`, so `unsafe` would buy
+    /// nothing measurable here.
+    #[inline]
     pub fn eval(&self, t: f64) -> f64 {
         match self.segment_index(t) {
             None => self.pts[0].v,
@@ -190,6 +199,7 @@ impl Plf {
     }
 
     /// Evaluates the function and returns the witness of the segment serving `t`.
+    #[inline]
     pub fn eval_with_via(&self, t: f64) -> (f64, Via) {
         match self.segment_index(t) {
             None => (self.pts[0].v, self.pts[0].via),
@@ -219,6 +229,18 @@ impl Plf {
             .iter()
             .map(|p| p.v)
             .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// `(min_value, max_value)` in a single pass — for callers that need
+    /// both bounds of a freshly built function while its points are hot.
+    pub fn value_bounds(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for p in &self.pts {
+            lo = lo.min(p.v);
+            hi = hi.max(p.v);
+        }
+        (lo, hi)
     }
 
     /// True iff the FIFO (non-overtaking) property holds: every segment slope

@@ -55,11 +55,15 @@ impl EliminationGraph {
     /// Initialises the reduced graph, optionally recording support lists.
     pub fn with_supports(g: &TdGraph, track_supports: bool) -> Self {
         let n = g.num_vertices();
-        let mut nbrs: Vec<FxHashSet<VertexId>> = vec![FxHashSet::default(); n];
+        let mut nbrs: Vec<FxHashSet<VertexId>> = Vec::with_capacity(n);
+        for v in 0..n as u32 {
+            // The dedup is free here: the iterator yields each undirected
+            // neighbour exactly once, so the sets are built without the
+            // insert-twice churn of scanning the edge list.
+            nbrs.push(g.undirected_neighbors_iter(v).collect());
+        }
         let mut out: Vec<FxHashMap<VertexId, Plf>> = vec![FxHashMap::default(); n];
         for e in g.edges() {
-            nbrs[e.from as usize].insert(e.to);
-            nbrs[e.to as usize].insert(e.from);
             out[e.from as usize].insert(e.to, e.weight.clone());
         }
         let mut heap = BinaryHeap::with_capacity(n);
