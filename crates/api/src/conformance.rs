@@ -11,12 +11,15 @@
 //! 4. `memory_bytes() > 0` and `build_stats()` is sane;
 //! 5. a reused [`QuerySession`] answers identically to per-call fresh
 //!    sessions, for all three query kinds;
-//! 6. `query_many` matches one-at-a-time `query_cost`.
+//! 6. `query_many` matches one-at-a-time `query_cost`;
+//! 7. concurrent agreement: the same batch answered on 1 worker and on N
+//!    worker threads (shared index, pooled scratch) is **bit-identical**
+//!    ([`check_concurrent_agreement`]).
 //!
 //! The suite is instantiated for every backend in this crate's tests and is
 //! public so downstream crates can run it against new backends.
 
-use crate::{build_index, Backend, IndexConfig, QuerySession};
+use crate::{build_index, Backend, IndexConfig, ParallelExecutor, QuerySession, RoutingIndex};
 use td_graph::{TdGraph, VertexId};
 
 /// Absolute tolerance for cost comparisons. TD-G-tree assembles answers
@@ -116,5 +119,31 @@ pub fn check_backend(
     for (&(s, d, t), got) in queries.iter().zip(&batch) {
         let single = index.query_cost(s, d, t);
         assert_opt_close(name, &format!("batch s={s} d={d} t={t}"), single, *got);
+    }
+
+    // 7. Concurrent agreement across thread counts.
+    check_concurrent_agreement(index.as_ref(), queries);
+}
+
+/// Conformance step 7: the same seeded query batch answered by one worker
+/// and by N workers sharing `index` must produce **bit-identical** results
+/// — not merely within tolerance. Queries read only frozen state, so thread
+/// count and work-stealing order must be unobservable in the answers.
+pub fn check_concurrent_agreement(index: &dyn RoutingIndex, queries: &[(VertexId, VertexId, f64)]) {
+    let name = index.backend_name();
+    let bits =
+        |r: &[Option<f64>]| -> Vec<Option<u64>> { r.iter().map(|c| c.map(f64::to_bits)).collect() };
+    let single = ParallelExecutor::new(index, 1).query_batch(queries);
+    for threads in [2, 4] {
+        let mut exec = ParallelExecutor::new(index, threads);
+        for round in 0..2 {
+            // Round 1 reruns on warmed scratches: reuse must not change bits.
+            let parallel = exec.query_batch(queries);
+            assert_eq!(
+                bits(&single),
+                bits(&parallel),
+                "{name}: {threads}-thread batch (round {round}) diverges from single-thread"
+            );
+        }
     }
 }

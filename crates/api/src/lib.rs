@@ -16,6 +16,10 @@
 //! * [`IncrementalIndex`] — the optional `update_edges` extension
 //!   (implemented by the TD-tree family when built with
 //!   [`IndexConfig::track_supports`]);
+//! * [`ParallelExecutor`] + [`LiveIndex`] — the concurrent serving layer:
+//!   session-pooled parallel query batches over one shared index, and the
+//!   epoch/double-buffer live-update mode where readers query immutable
+//!   snapshots while a writer repairs a second copy;
 //! * [`conformance`] — a backend-generic test suite instantiated for every
 //!   [`Backend`] in this crate's tests.
 //!
@@ -38,9 +42,11 @@ mod backend;
 pub mod conformance;
 mod index;
 mod oracle;
+mod parallel;
 mod session;
 
 pub use backend::{build_index, Backend, IndexConfig};
 pub use index::{IncrementalIndex, IndexStats, RoutingIndex, RoutingIndexExt};
 pub use oracle::DijkstraOracle;
+pub use parallel::{CostQuery, LiveIndex, ParallelExecutor};
 pub use session::{QuerySession, SessionScratch};

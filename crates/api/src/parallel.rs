@@ -1,0 +1,374 @@
+//! Concurrent serving: [`ParallelExecutor`] and the epoch/double-buffer
+//! [`LiveIndex`].
+//!
+//! Every built index is immutable at query time and `Send + Sync` (a
+//! supertrait obligation of [`RoutingIndex`]), so one index — typically an
+//! `Arc<dyn RoutingIndex>` — can be shared across any number of threads.
+//! What each thread needs privately is scratch space. [`ParallelExecutor`]
+//! packages that pattern: a pool of per-worker [`SessionScratch`] states,
+//! reused across batches, driven over a query slice by an atomic cursor
+//! under [`std::thread::scope`]. No work-stealing deques are needed — the
+//! cursor hands out small contiguous chunks, so fast workers naturally take
+//! more of the slice and per-query results land at their input positions.
+//!
+//! [`LiveIndex`] adds the writer side: two identical copies of an
+//! [`IncrementalIndex`]. Readers clone an [`Arc`] snapshot of the *active*
+//! copy and query it lock-free; [`LiveIndex::apply`] repairs the *standby*
+//! copy with [`IncrementalIndex::update_edges`], swaps it in atomically
+//! (bumping the epoch), then brings the retired copy level once the readers
+//! still holding it drain. Queries never observe a half-updated index and
+//! never block on the repair.
+
+use crate::index::{IncrementalIndex, RoutingIndex};
+use crate::session::SessionScratch;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use td_core::UpdateStats;
+use td_graph::{Path, VertexId};
+use td_plf::Plf;
+
+/// A `(source, destination, departure)` travel-cost query.
+pub type CostQuery = (VertexId, VertexId, f64);
+
+/// Shared write access to disjoint result slots. The atomic cursor in
+/// [`ParallelExecutor::run`] hands each index to exactly one worker, so
+/// writes never alias; the wrapper only exists to move the raw pointer
+/// across the scoped-thread boundary.
+struct ResultSlots<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+// SAFETY: workers write disjoint indices (enforced by the fetch_add cursor)
+// into an initialised slice that outlives the scope; `T: Send` values move
+// to the writing thread.
+unsafe impl<T: Send> Sync for ResultSlots<T> {}
+
+impl<T> ResultSlots<T> {
+    fn new(slice: &mut [T]) -> ResultSlots<T> {
+        ResultSlots {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+        }
+    }
+
+    /// # Safety
+    /// `i` must be handed out by the batch cursor to this worker only.
+    unsafe fn write(&self, i: usize, value: T) {
+        debug_assert!(i < self.len);
+        *self.ptr.add(i) = value;
+    }
+}
+
+/// A pool of reusable [`QuerySession`](crate::QuerySession)-style scratch
+/// states answering query batches on `N` threads.
+///
+/// The executor owns one [`SessionScratch`] per worker; batches are striped
+/// over the workers by an atomic cursor, so a slow query (long-range, cold
+/// cache) does not stall the rest of the slice. Scratches persist across
+/// [`ParallelExecutor::query_batch`] calls — after the first few batches the
+/// cost path performs **zero heap allocations per query in every worker**,
+/// exactly like a warmed single-threaded session.
+///
+/// ```
+/// # use td_api::{build_index, Backend, IndexConfig, ParallelExecutor};
+/// # let mut g = td_graph::TdGraph::with_vertices(2);
+/// # g.add_edge(0, 1, td_plf::Plf::constant(60.0)).unwrap();
+/// # g.add_edge(1, 0, td_plf::Plf::constant(45.0)).unwrap();
+/// let index = build_index(g, Backend::TdBasic, &IndexConfig::default());
+/// let mut exec = ParallelExecutor::new(index.as_ref(), 4);
+/// let costs = exec.query_batch(&[(0, 1, 0.0), (1, 0, 3600.0)]);
+/// assert_eq!(costs, vec![Some(60.0), Some(45.0)]);
+/// ```
+pub struct ParallelExecutor<'a, I: RoutingIndex + ?Sized> {
+    index: &'a I,
+    workers: Vec<SessionScratch>,
+}
+
+impl<'a, I: RoutingIndex + ?Sized> ParallelExecutor<'a, I> {
+    /// An executor over `index` with `threads` workers (0 = all cores).
+    pub fn new(index: &'a I, threads: usize) -> ParallelExecutor<'a, I> {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            threads
+        };
+        ParallelExecutor {
+            index,
+            workers: (0..threads).map(|_| index.new_scratch()).collect(),
+        }
+    }
+
+    /// The shared index.
+    pub fn index(&self) -> &'a I {
+        self.index
+    }
+
+    /// Number of pooled workers.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `f(scratch, i)` for every `i in 0..n`, fanned out over the
+    /// worker pool, writing each result to `out[i]`.
+    fn run<T, F>(&mut self, n: usize, out: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(&mut SessionScratch, usize) -> T + Sync,
+    {
+        debug_assert_eq!(out.len(), n);
+        if self.workers.len() <= 1 || n <= 1 {
+            // Inline fast path: no reason to pay a thread spawn.
+            let scratch = &mut self.workers[0];
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = f(scratch, i);
+            }
+            return;
+        }
+        // Chunked atomic cursor: coarse enough to keep contention off the
+        // hot path, fine enough that stragglers rebalance.
+        let chunk = (n / (self.workers.len() * 8)).clamp(1, 64);
+        let cursor = AtomicUsize::new(0);
+        let slots = ResultSlots::new(out);
+        let (cursor, slots, f) = (&cursor, &slots, &f);
+        std::thread::scope(|scope| {
+            for scratch in self.workers.iter_mut() {
+                scope.spawn(move || loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    for i in start..(start + chunk).min(n) {
+                        // SAFETY: the cursor hands [start, start+chunk) to
+                        // this worker alone; `i` is written exactly once.
+                        unsafe { slots.write(i, f(scratch, i)) };
+                    }
+                });
+            }
+        });
+    }
+
+    /// Answers a batch of travel-cost queries on all workers. Results are in
+    /// input order and bit-identical to a single-threaded
+    /// [`QuerySession`](crate::QuerySession) run.
+    pub fn query_batch(&mut self, queries: &[CostQuery]) -> Vec<Option<f64>> {
+        let mut out = Vec::new();
+        self.query_batch_into(queries, &mut out);
+        out
+    }
+
+    /// [`ParallelExecutor::query_batch`] writing into a caller-owned buffer,
+    /// so steady-state serving with a constant batch size allocates nothing.
+    pub fn query_batch_into(&mut self, queries: &[CostQuery], out: &mut Vec<Option<f64>>) {
+        out.clear();
+        out.resize(queries.len(), None);
+        let index = self.index;
+        self.run(queries.len(), out, |scratch, i| {
+            let (s, d, t) = queries[i];
+            index.query_cost_in(scratch, s, d, t)
+        });
+    }
+
+    /// Answers a batch of cost-function (profile) queries on all workers.
+    pub fn profile_batch(&mut self, pairs: &[(VertexId, VertexId)]) -> Vec<Option<Plf>> {
+        let mut out = vec![None; pairs.len()];
+        let index = self.index;
+        self.run(pairs.len(), &mut out, |scratch, i| {
+            let (s, d) = pairs[i];
+            index.query_profile_in(scratch, s, d)
+        });
+        out
+    }
+
+    /// Answers a batch of path queries on all workers.
+    pub fn path_batch(&mut self, queries: &[CostQuery]) -> Vec<Option<(f64, Path)>> {
+        let mut out = vec![None; queries.len()];
+        let index = self.index;
+        self.run(queries.len(), &mut out, |scratch, i| {
+            let (s, d, t) = queries[i];
+            index.query_path_in(scratch, s, d, t)
+        });
+        out
+    }
+}
+
+/// An incrementally-updatable index served live: readers query immutable
+/// snapshots while a writer repairs a second copy, swapped in atomically
+/// between update batches.
+///
+/// The double buffer holds two independent, identical copies of the index.
+/// [`LiveIndex::snapshot`] hands readers an [`Arc`] of the **active** copy —
+/// a lock is held only for the clone of the `Arc`, never across a query.
+/// [`LiveIndex::apply`]:
+///
+/// 1. repairs the **standby** copy with [`IncrementalIndex::update_edges`]
+///    (readers are unaffected — they hold the active copy);
+/// 2. swaps standby and active and bumps the epoch (atomic with respect to
+///    [`LiveIndex::snapshot_with_epoch`]);
+/// 3. levels the retired copy for the next batch: if no reader still holds
+///    it, the same changes are replayed onto it (cheap — edge-weight
+///    changes are absolute functions, so replaying the batch onto the copy
+///    that is exactly one batch behind makes the copies identical);
+///    otherwise the retired copy is abandoned to its readers and replaced
+///    by a clone of the just-published active copy.
+///
+/// Writers are serialised by the standby lock. Writers never block readers,
+/// and readers never block writers — a snapshot held forever (even by the
+/// writer's own thread, across `apply`) costs one index clone, not a stall.
+pub struct LiveIndex<I> {
+    active: Mutex<Arc<I>>,
+    standby: Mutex<Arc<I>>,
+    epoch: AtomicU64,
+}
+
+impl<I: Clone> LiveIndex<I> {
+    /// Wraps `index`, cloning it once for the standby buffer. Epoch 0 is the
+    /// as-built state.
+    pub fn new(index: I) -> LiveIndex<I> {
+        LiveIndex {
+            standby: Mutex::new(Arc::new(index.clone())),
+            active: Mutex::new(Arc::new(index)),
+            epoch: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<I> LiveIndex<I> {
+    /// The current epoch: the number of applied update batches.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// An immutable snapshot of the active index. The snapshot stays valid —
+    /// and frozen at its epoch's edge weights — for as long as the `Arc` is
+    /// held, across any number of concurrent [`LiveIndex::apply`] calls.
+    pub fn snapshot(&self) -> Arc<I> {
+        self.active.lock().expect("reader lock").clone()
+    }
+
+    /// [`LiveIndex::snapshot`] paired with the epoch it belongs to. The two
+    /// are read under one lock, so a concurrent swap cannot tear the pair.
+    pub fn snapshot_with_epoch(&self) -> (u64, Arc<I>) {
+        let guard = self.active.lock().expect("reader lock");
+        (self.epoch.load(Ordering::Acquire), guard.clone())
+    }
+}
+
+impl<I: IncrementalIndex + Clone> LiveIndex<I> {
+    /// Applies one batch of absolute edge-weight changes, making them
+    /// visible to new snapshots atomically. Returns the standby repair's
+    /// statistics (levelling the retired copy is not double-counted).
+    pub fn apply(&self, changes: &[(VertexId, VertexId, Plf)]) -> UpdateStats {
+        let mut standby = self.standby.lock().expect("writer lock");
+        // The standby copy is always unique: readers clone only the active
+        // Arc, and the tail of the previous `apply` left this slot with
+        // either a drained retired copy or a fresh clone.
+        let stats = Arc::get_mut(&mut standby)
+            .expect("standby is never shared")
+            .update_edges(changes);
+        let published = {
+            let mut active = self.active.lock().expect("reader lock");
+            std::mem::swap(&mut *active, &mut *standby);
+            self.epoch.fetch_add(1, Ordering::Release);
+            active.clone()
+        };
+        // Level the retired copy for the next batch. No reference can
+        // *appear* between the check and the mutation: this slot is
+        // unreachable from `snapshot`, so the strong count only falls.
+        match Arc::get_mut(&mut standby) {
+            Some(retired) => {
+                retired.update_edges(changes);
+            }
+            None => {
+                // In-flight readers still hold the retired epoch; leave it
+                // to them and start the next double buffer from the state
+                // just published.
+                *standby = Arc::new((*published).clone());
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_index, Backend, IndexConfig, QuerySession};
+    use td_graph::TdGraph;
+
+    fn tiny_graph() -> TdGraph {
+        let mut g = TdGraph::with_vertices(4);
+        for (u, v, w) in [
+            (0u32, 1u32, 60.0),
+            (1, 2, 30.0),
+            (2, 3, 45.0),
+            (3, 0, 90.0),
+            (1, 0, 60.0),
+            (2, 1, 30.0),
+            (3, 2, 45.0),
+            (0, 3, 90.0),
+        ] {
+            g.add_edge(u, v, Plf::constant(w)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn executor_matches_session_on_every_worker_count() {
+        let index = build_index(tiny_graph(), Backend::TdBasic, &IndexConfig::default());
+        let queries: Vec<CostQuery> = (0..4)
+            .flat_map(|s| (0..4).map(move |d| (s, d, 3600.0 * (s + d) as f64)))
+            .collect();
+        let mut session = QuerySession::new(index.as_ref());
+        let want = session.query_many(queries.iter().copied());
+        for threads in [1, 2, 3, 8] {
+            let mut exec = ParallelExecutor::new(index.as_ref(), threads);
+            assert_eq!(exec.num_workers(), threads);
+            // Twice: the second batch runs on warmed scratches.
+            assert_eq!(exec.query_batch(&queries), want, "{threads} threads");
+            assert_eq!(exec.query_batch(&queries), want, "{threads} threads warm");
+        }
+    }
+
+    #[test]
+    fn executor_handles_empty_and_unit_batches() {
+        let index = build_index(tiny_graph(), Backend::TdBasic, &IndexConfig::default());
+        let mut exec = ParallelExecutor::new(index.as_ref(), 4);
+        assert_eq!(exec.query_batch(&[]), Vec::<Option<f64>>::new());
+        assert_eq!(exec.query_batch(&[(0, 2, 0.0)]), vec![Some(90.0)]);
+    }
+
+    #[test]
+    fn live_index_snapshots_are_stable_across_apply() {
+        use td_core::{IndexOptions, SelectionStrategy, TdTreeIndex};
+        let g = tiny_graph();
+        let index = TdTreeIndex::build(
+            g,
+            IndexOptions {
+                strategy: SelectionStrategy::Greedy { budget: 500 },
+                track_supports: true,
+                ..Default::default()
+            },
+        );
+        let live = LiveIndex::new(index);
+        let (e0, before) = live.snapshot_with_epoch();
+        assert_eq!(e0, 0);
+        let old_cost = before.query_cost(0, 2, 0.0).unwrap();
+
+        live.apply(&[(0, 1, Plf::constant(600.0))]);
+        assert_eq!(live.epoch(), 1);
+        // The held snapshot still answers with pre-update weights...
+        assert_eq!(before.query_cost(0, 2, 0.0).unwrap(), old_cost);
+        // ...while a fresh snapshot sees the jam (0->1->2 got slower; the
+        // alternative 0->3->2 now wins at 90+45).
+        let after = live.snapshot();
+        let new_cost = after.query_cost(0, 2, 0.0).unwrap();
+        assert!(new_cost > old_cost);
+        assert!((new_cost - 135.0).abs() < 1e-9);
+
+        // A second batch exercises the levelled retired copy.
+        live.apply(&[(0, 1, Plf::constant(60.0))]);
+        assert_eq!(live.epoch(), 2);
+        assert_eq!(live.snapshot().query_cost(0, 2, 0.0).unwrap(), old_cost);
+    }
+}

@@ -1,0 +1,51 @@
+//! Compile-time thread-safety pinning.
+//!
+//! The concurrent query engine shares one built index across worker threads
+//! (`Arc<dyn RoutingIndex>`, `ParallelExecutor`, `LiveIndex`) and moves
+//! per-worker scratch into scoped threads. These assertions pin every link
+//! of that chain as `Send + Sync` (or `Send` for the per-thread state), so
+//! a future `Rc`/`Cell`/raw-pointer regression anywhere in the stack fails
+//! to *compile* rather than failing — or worse, racing — at runtime.
+
+use std::sync::Arc;
+use td_api::{
+    DijkstraOracle, LiveIndex, ParallelExecutor, QuerySession, RoutingIndex, SessionScratch,
+};
+use td_core::{FrozenTd, TdTreeIndex};
+
+fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+fn assert_send<T: Send + ?Sized>() {}
+
+#[test]
+fn frozen_views_are_send_sync() {
+    // The immutable query-time mirrors every backend reads from.
+    assert_send_sync::<td_plf::PlfArena>();
+    assert_send_sync::<td_graph::CsrGraph>();
+    assert_send_sync::<td_graph::FrozenGraph>();
+    assert_send_sync::<FrozenTd>();
+}
+
+#[test]
+fn every_backend_is_send_sync() {
+    // Concrete index types...
+    assert_send_sync::<TdTreeIndex>();
+    assert_send_sync::<td_h2h::TdH2h>();
+    assert_send_sync::<td_gtree::TdGtree>();
+    assert_send_sync::<DijkstraOracle>();
+    // ...and the trait-object forms every harness actually shares. The
+    // `Send + Sync` supertraits on `RoutingIndex` make these hold for any
+    // future backend by construction.
+    assert_send_sync::<dyn RoutingIndex>();
+    assert_send_sync::<Box<dyn RoutingIndex>>();
+    assert_send_sync::<Arc<dyn RoutingIndex>>();
+}
+
+#[test]
+fn serving_layer_is_thread_safe() {
+    // LiveIndex is shared by reference between the writer and all readers.
+    assert_send_sync::<LiveIndex<TdTreeIndex>>();
+    // Scratch and the session/executor wrappers move to worker threads.
+    assert_send::<SessionScratch>();
+    assert_send::<QuerySession<dyn RoutingIndex>>();
+    assert_send::<ParallelExecutor<dyn RoutingIndex>>();
+}

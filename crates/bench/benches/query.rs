@@ -1,10 +1,12 @@
 //! Query benchmarks (Fig. 8 family, micro scale): scalar travel-cost and
 //! cost-function queries per index on a small CAL analogue, plus the
-//! TD-Dijkstra non-index baseline.
+//! TD-Dijkstra non-index baseline — and the same cost workload served as
+//! multi-threaded batches through `ParallelExecutor`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::prelude::*;
 use rand::rngs::StdRng;
+use td_api::{ParallelExecutor, QuerySession};
 use td_core::{IndexOptions, SelectionStrategy, TdTreeIndex};
 use td_dijkstra::shortest_path_cost;
 use td_gen::Dataset;
@@ -101,6 +103,33 @@ fn bench_queries(criterion: &mut Criterion) {
             black_box(gtree.query_profile(s, d))
         })
     });
+    group.finish();
+
+    // The same 256-query cost workload served as one batch: a warmed
+    // single-thread session versus the session-pooled parallel executor.
+    // Each iteration is a whole batch, so the lines are directly comparable
+    // to each other (not to the per-query lines above).
+    let mut group = criterion.benchmark_group("cost_query_batch");
+    {
+        let mut session = QuerySession::new(&appro);
+        let mut out = Vec::new();
+        group.bench_function("td_appro_session", |b| {
+            b.iter(|| {
+                session.query_many_into(queries.iter().copied(), &mut out);
+                black_box(out.len())
+            })
+        });
+    }
+    for threads in [2usize, 4] {
+        let mut exec = ParallelExecutor::new(&appro, threads);
+        let mut out = Vec::new();
+        group.bench_function(format!("td_appro_parallel_{threads}"), |b| {
+            b.iter(|| {
+                exec.query_batch_into(&queries, &mut out);
+                black_box(out.len())
+            })
+        });
+    }
     group.finish();
 }
 

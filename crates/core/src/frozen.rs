@@ -201,6 +201,13 @@ impl FrozenTd {
     }
 }
 
+// Compile-time pin: the frozen label view is shared read-only across query
+// threads. A future `Rc`/`Cell` field fails this line instead of a test.
+const _: () = {
+    const fn shared_across_threads<T: Send + Sync>() {}
+    shared_across_threads::<FrozenTd>()
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

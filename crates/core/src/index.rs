@@ -82,6 +82,11 @@ impl BuildStats {
 }
 
 /// The paper's index: TFP tree decomposition + selected shortcuts.
+///
+/// `Clone` produces an independent, equally-answering copy — the
+/// double-buffer building block behind `td-api`'s live-update mode, where a
+/// writer repairs one copy while readers keep querying the other.
+#[derive(Clone)]
 pub struct TdTreeIndex {
     graph: TdGraph,
     td: TreeDecomposition,

@@ -264,6 +264,13 @@ fn run(scratch: &mut DijkstraScratch, g: &TdGraph, s: VertexId, target: Option<V
     }
 }
 
+// Compile-time pin: per-worker scratch moves to its thread. A future
+// `Rc`/`Cell` field fails this line instead of a test.
+const _: () = {
+    const fn moves_to_worker<T: Send>() {}
+    moves_to_worker::<DijkstraScratch>()
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

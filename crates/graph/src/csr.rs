@@ -230,6 +230,14 @@ impl TdGraph {
     }
 }
 
+// Compile-time pin: frozen CSR views are shared read-only across query
+// threads. A future `Rc`/`Cell` field fails this line instead of a test.
+const _: () = {
+    const fn shared_across_threads<T: Send + Sync>() {}
+    shared_across_threads::<CsrGraph>();
+    shared_across_threads::<FrozenGraph>()
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

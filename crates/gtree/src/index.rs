@@ -677,6 +677,16 @@ fn relax_profile(
     out
 }
 
+// Compile-time pin: built indexes are shared read-only across query threads
+// and scratches move to worker threads. A future `Rc`/`Cell` field fails
+// this line instead of a test.
+const _: () = {
+    const fn shared_across_threads<T: Send + Sync>() {}
+    const fn moves_to_worker<T: Send>() {}
+    shared_across_threads::<TdGtree>();
+    moves_to_worker::<GtreeScratch>()
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

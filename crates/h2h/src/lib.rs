@@ -129,6 +129,13 @@ impl TdH2h {
     }
 }
 
+// Compile-time pin: built indexes are shared read-only across query
+// threads. A future `Rc`/`Cell` field fails this line instead of a test.
+const _: () = {
+    const fn shared_across_threads<T: Send + Sync>() {}
+    shared_across_threads::<TdH2h>()
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -340,6 +340,13 @@ impl<'a> PlfSlice<'a> {
     }
 }
 
+// Compile-time pin: frozen arenas are shared read-only across query
+// threads. A future `Rc`/`Cell` field fails this line instead of a test.
+const _: () = {
+    const fn shared_across_threads<T: Send + Sync>() {}
+    shared_across_threads::<PlfArena>()
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

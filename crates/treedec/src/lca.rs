@@ -8,6 +8,7 @@ use crate::tree::TreeNode;
 use td_graph::VertexId;
 
 /// Euler-tour sparse-table LCA index.
+#[derive(Clone)]
 pub struct LcaIndex {
     /// Euler tour of vertices (2n-1 entries).
     euler: Vec<VertexId>,

@@ -49,6 +49,7 @@ pub struct TreeStats {
 }
 
 /// A travel-function-preserved tree decomposition `T_G` (Algo. 2).
+#[derive(Clone)]
 pub struct TreeDecomposition {
     /// Tree nodes indexed by vertex id (one-to-one correspondence, §3.1).
     pub nodes: Vec<TreeNode>,

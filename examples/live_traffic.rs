@@ -1,12 +1,16 @@
-//! Live traffic updates: §5.2's index-update scenario.
+//! Live traffic updates under load: §5.2's index-update scenario, served
+//! concurrently.
 //!
 //! An accident multiplies travel times on a handful of road segments during
-//! the morning; the index is repaired incrementally (support-list replay +
-//! top-down shortcut rebuild) instead of being rebuilt, and queries
-//! immediately reflect the new costs.
+//! the morning. The index lives inside a `LiveIndex` double buffer: reader
+//! threads keep answering query batches from immutable snapshots the whole
+//! time, while the incident is repaired incrementally (support-list replay +
+//! top-down shortcut rebuild) on the writer copy and swapped in atomically.
+//! No reader ever blocks on the repair or observes a half-updated index.
 //!
 //! Run with: `cargo run --release --example live_traffic`
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use td_plf::Pt;
 use td_road::prelude::*;
 
@@ -14,11 +18,7 @@ fn main() {
     let graph = Dataset::Cal.build(3, 0.15, 5);
     let n = graph.num_vertices() as u32;
     let budget = Dataset::Cal.spec().budget_at(0.15) as u64;
-    // update_edges needs `&mut`, so this example keeps the concrete type and
-    // still talks to it through the unified traits: `RoutingIndex` for the
-    // accounting, `IncrementalIndex` for the repair, and statically
-    // dispatched `QuerySession`s for the queries.
-    let mut index = TdTreeIndex::build(
+    let index = TdTreeIndex::build(
         graph,
         IndexOptions {
             strategy: SelectionStrategy::Greedy { budget },
@@ -34,9 +34,13 @@ fn main() {
 
     let (s, d) = (1u32, n - 2);
     let depart = 8.0 * 3600.0;
-    let mut session = index.session();
-    let before = session.query_cost(s, d, depart).expect("connected");
-    let (_, path) = session.query_path(s, d, depart).expect("connected");
+    // The double buffer clones the index once; from here on readers see
+    // atomically-swapped snapshots while updates repair the other copy.
+    let live = LiveIndex::new(index);
+
+    let snap = live.snapshot();
+    let before = snap.session().query_cost(s, d, depart).expect("connected");
+    let (_, path) = snap.session().query_path(s, d, depart).expect("connected");
     println!(
         "before incident: {before:.0}s via {} vertices",
         path.vertices.len()
@@ -46,8 +50,8 @@ fn main() {
     // cost between 7:00 and 11:00.
     let mut changes = Vec::new();
     for w in path.vertices.windows(2).take(4) {
-        let e = index.graph().find_edge(w[0], w[1]).expect("path edge");
-        let old = index.graph().weight(e).clone();
+        let e = snap.graph().find_edge(w[0], w[1]).expect("path edge");
+        let old = snap.graph().weight(e).clone();
         let mut pts: Vec<Pt> = Vec::new();
         for &(t, mult) in &[
             (0.0, 1.0),
@@ -61,19 +65,64 @@ fn main() {
         let jammed = Plf::new(pts).expect("valid incident profile");
         changes.push((w[0], w[1], jammed));
     }
-    drop(session); // release the borrow; updates need &mut
-    let stats = IncrementalIndex::update_edges(&mut index, &changes);
-    println!(
-        "applied incident to {} segments: replay {:.3}s ({} eliminations, {} nodes changed), shortcut rebuild {:.3}s ({} nodes)",
-        stats.changed_edges,
-        stats.replay_secs,
-        stats.replayed_eliminations,
-        stats.changed_nodes,
-        stats.rebuild_secs,
-        stats.rebuilt_subtree_nodes
-    );
+    drop(snap);
 
-    let mut session = index.session();
+    // Serve a steady query load on two reader threads while the incident is
+    // applied: each batch comes from whatever snapshot is active when the
+    // batch starts, tagged with its epoch.
+    let queries: Vec<(u32, u32, f64)> = (0..512u32)
+        .map(|i| (i * 37 % n, (i * 53 + 11) % n, (f64::from(i) * 97.0) % DAY))
+        .collect();
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let (live, done, queries) = (&live, &done, &queries);
+                scope.spawn(move || {
+                    let (mut batches, mut answered, mut epochs_seen) = (0u64, 0u64, [false; 2]);
+                    let mut out = Vec::new();
+                    while !done.load(Ordering::Acquire) {
+                        let (epoch, snap) = live.snapshot_with_epoch();
+                        let mut exec = ParallelExecutor::new(snap.as_ref(), 2);
+                        epochs_seen[(epoch as usize).min(1)] = true;
+                        // Serve from this snapshot until the epoch advances,
+                        // so the executor's workers stay warmed (zero allocs
+                        // per query) across steady-state batches.
+                        while !done.load(Ordering::Acquire) && live.epoch() == epoch {
+                            exec.query_batch_into(queries, &mut out);
+                            batches += 1;
+                            answered += out.iter().flatten().count() as u64;
+                        }
+                    }
+                    (batches, answered, epochs_seen)
+                })
+            })
+            .collect();
+
+        let stats = live.apply(&changes);
+        println!(
+            "applied incident to {} segments: replay {:.3}s ({} eliminations, {} nodes changed), shortcut rebuild {:.3}s ({} nodes)",
+            stats.changed_edges,
+            stats.replay_secs,
+            stats.replayed_eliminations,
+            stats.changed_nodes,
+            stats.rebuild_secs,
+            stats.rebuilt_subtree_nodes
+        );
+
+        done.store(true, Ordering::Release);
+        for (r, h) in readers.into_iter().enumerate() {
+            let (batches, answered, epochs_seen) = h.join().expect("reader");
+            println!(
+                "reader {r}: {batches} batches, {answered} answers, served epochs {}{}",
+                if epochs_seen[0] { "0 " } else { "" },
+                if epochs_seen[1] { "1" } else { "" },
+            );
+        }
+    });
+
+    let snap = live.snapshot();
+    let mut session = snap.session();
     let after = session.query_cost(s, d, depart).expect("connected");
     let (_, new_path) = session.query_path(s, d, depart).expect("connected");
     println!(

@@ -70,8 +70,8 @@ pub use td_treedec as treedec;
 /// The most common imports in one place.
 pub mod prelude {
     pub use td_api::{
-        build_index, Backend, DijkstraOracle, IncrementalIndex, IndexConfig, QuerySession,
-        RoutingIndex, RoutingIndexExt,
+        build_index, Backend, DijkstraOracle, IncrementalIndex, IndexConfig, LiveIndex,
+        ParallelExecutor, QuerySession, RoutingIndex, RoutingIndexExt,
     };
     pub use td_core::{IndexOptions, SelectionStrategy, TdTreeIndex};
     pub use td_gen::{Dataset, ProfileConfig, Query, Workload, WorkloadConfig};
