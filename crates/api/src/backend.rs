@@ -118,7 +118,7 @@ impl FromStr for Backend {
 /// Backend-agnostic construction options. Each backend reads the knobs that
 /// apply to it and ignores the rest, so one config drives a whole
 /// multi-backend comparison.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct IndexConfig {
     /// Shortcut budget `N` in interpolation points (TD-appro / TD-dp).
     pub budget: u64,
@@ -132,6 +132,20 @@ pub struct IndexConfig {
     pub track_supports: bool,
     /// Maximum vertices per leaf partition (TD-G-tree's τ).
     pub max_leaf: usize,
+    /// Build-or-load snapshot caching: when set, [`build_index`] first
+    /// tries to load a `.tdx` snapshot of the requested backend from this
+    /// path, and on a miss builds from scratch and writes the snapshot for
+    /// the next run. A hit must match the requested backend **and** the
+    /// passed graph's vertex/edge counts (a snapshot carries its own graph;
+    /// shape disagreement means a stale cache and triggers a rebuild).
+    /// Construction knobs that change the index but not the graph — the
+    /// budget, `track_supports`, `max_leaf` — are *not* cross-checked:
+    /// encode them into the path (as the bench harness does with its cell
+    /// keys) when caching across configurations. A corrupt, truncated or
+    /// mismatched snapshot is reported on stderr and treated as a miss
+    /// (the cache never compromises correctness); use [`crate::load_index`]
+    /// directly when load failures must be surfaced as errors instead.
+    pub snapshot_path: Option<std::path::PathBuf>,
 }
 
 impl Default for IndexConfig {
@@ -142,6 +156,7 @@ impl Default for IndexConfig {
             threads: 0,
             track_supports: false,
             max_leaf: 32,
+            snapshot_path: None,
         }
     }
 }
@@ -160,6 +175,48 @@ impl IndexConfig {
 
 /// Builds `backend`'s index over `graph` — the workspace's uniform entry
 /// point.
+///
+/// With [`IndexConfig::snapshot_path`] set, this becomes **build-or-load**:
+/// an existing snapshot of the same backend is loaded (milliseconds — a
+/// linear copy of flat arrays) instead of rebuilding (potentially minutes
+/// of elimination/selection/partitioning), and a fresh build is saved back
+/// to the path so every later run hits the fast path.
 pub fn build_index(graph: TdGraph, backend: Backend, cfg: &IndexConfig) -> Box<dyn RoutingIndex> {
-    backend.build(graph, cfg)
+    let Some(path) = &cfg.snapshot_path else {
+        return backend.build(graph, cfg);
+    };
+    if path.exists() {
+        match crate::snapshot::load_index(path) {
+            // The snapshot must hold the requested backend over the same
+            // graph shape; anything else is a stale cache entry and gets
+            // rebuilt. (Construction knobs like the budget are the
+            // caller's responsibility to encode into the path — see the
+            // `snapshot_path` docs.)
+            Ok(index)
+                if index.backend_name() == backend.name()
+                    && index.graph().num_vertices() == graph.num_vertices()
+                    && index.graph().num_edges() == graph.num_edges() =>
+            {
+                return index
+            }
+            Ok(index) => eprintln!(
+                "td-api: snapshot {} holds {} over {} vertices but {} over {} was requested; \
+                 rebuilding",
+                path.display(),
+                index.backend_name(),
+                index.graph().num_vertices(),
+                backend.name(),
+                graph.num_vertices()
+            ),
+            Err(e) => eprintln!(
+                "td-api: could not load snapshot {}: {e}; rebuilding",
+                path.display()
+            ),
+        }
+    }
+    let index = backend.build(graph, cfg);
+    if let Err(e) = crate::snapshot::save_index(index.as_ref(), path) {
+        eprintln!("td-api: could not save snapshot {}: {e}", path.display());
+    }
+    index
 }

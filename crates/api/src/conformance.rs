@@ -14,7 +14,10 @@
 //! 6. `query_many` matches one-at-a-time `query_cost`;
 //! 7. concurrent agreement: the same batch answered on 1 worker and on N
 //!    worker threads (shared index, pooled scratch) is **bit-identical**
-//!    ([`check_concurrent_agreement`]).
+//!    ([`check_concurrent_agreement`]);
+//! 8. snapshot round-trip: saving the index as a `.tdx` stream and loading
+//!    it back yields an index answering cost, profile and path queries
+//!    **bit-identically** ([`check_snapshot_roundtrip`]).
 //!
 //! The suite is instantiated for every backend in this crate's tests and is
 //! public so downstream crates can run it against new backends.
@@ -123,6 +126,74 @@ pub fn check_backend(
 
     // 7. Concurrent agreement across thread counts.
     check_concurrent_agreement(index.as_ref(), queries);
+
+    // 8. Snapshot round-trip is bit-identical.
+    check_snapshot_roundtrip(index.as_ref(), queries);
+}
+
+/// Conformance step 8: `load(save(index))` must answer the whole workload
+/// **bit-identically** — not merely within tolerance. The snapshot carries
+/// the exact frozen arrays the query loops walk, so a loaded index's float
+/// operations replay the fresh index's instruction-for-instruction; any
+/// divergence means the format dropped or reordered state.
+pub fn check_snapshot_roundtrip(index: &dyn RoutingIndex, queries: &[(VertexId, VertexId, f64)]) {
+    let name = index.backend_name();
+    let mut buf = Vec::new();
+    crate::save_index_to(index, &mut buf)
+        .unwrap_or_else(|e| panic!("{name}: snapshot save failed: {e}"));
+    let (_, loaded) = crate::load_index_from(&mut buf.as_slice())
+        .unwrap_or_else(|e| panic!("{name}: snapshot load failed: {e}"));
+    assert_eq!(loaded.backend_name(), name, "snapshot changed the backend");
+    assert_eq!(
+        loaded.build_stats(),
+        index.build_stats(),
+        "{name}: snapshot changed the build statistics"
+    );
+    assert!(loaded.memory_bytes() > 0);
+    assert_eq!(
+        loaded.graph().num_edges(),
+        index.graph().num_edges(),
+        "{name}: snapshot changed the graph"
+    );
+    let mut session = QuerySession::new(loaded.as_ref());
+    for &(s, d, t) in queries {
+        let ctx = format!("s={s} d={d} t={t}");
+        assert_eq!(
+            index.query_cost(s, d, t).map(f64::to_bits),
+            loaded.query_cost(s, d, t).map(f64::to_bits),
+            "{name} {ctx}: loaded cost diverges"
+        );
+        assert_eq!(
+            index.query_profile(s, d),
+            loaded.query_profile(s, d),
+            "{name} {ctx}: loaded profile diverges"
+        );
+        match (index.query_path(s, d, t), loaded.query_path(s, d, t)) {
+            (Some((c1, p1)), Some((c2, p2))) => {
+                assert_eq!(
+                    c1.to_bits(),
+                    c2.to_bits(),
+                    "{name} {ctx}: loaded path cost diverges"
+                );
+                assert_eq!(
+                    p1.vertices, p2.vertices,
+                    "{name} {ctx}: loaded path diverges"
+                );
+            }
+            (None, None) => {}
+            other => panic!(
+                "{name} {ctx}: path reachability diverges after reload (fresh={}, loaded={})",
+                other.0.is_some(),
+                other.1.is_some()
+            ),
+        }
+        // The loaded index works through sessions/scratch too.
+        assert_eq!(
+            loaded.query_cost(s, d, t).map(f64::to_bits),
+            session.query_cost(s, d, t).map(f64::to_bits),
+            "{name} {ctx}: loaded session diverges"
+        );
+    }
 }
 
 /// Conformance step 7: the same seeded query batch answered by one worker

@@ -94,6 +94,19 @@ pub trait RoutingIndex: Send + Sync {
         let _ = scratch;
         self.query_path(s, d, t)
     }
+
+    /// Writes this index as a complete `.tdx` snapshot stream — header
+    /// (with this backend's tag), body sections, end marker — such that
+    /// [`crate::load_index_from`] reconstructs a query-identical index.
+    /// Every in-workspace backend overrides this; the default rejects the
+    /// operation so exotic third-party implementors are not forced to
+    /// invent a format.
+    fn write_snapshot(&self, w: &mut dyn std::io::Write) -> Result<(), td_store::StoreError> {
+        let _ = w;
+        Err(td_store::StoreError::Unsupported(
+            "this backend does not implement snapshot persistence",
+        ))
+    }
 }
 
 /// Extension methods that need `Self: Sized` (use [`QuerySession::new`]
@@ -224,6 +237,10 @@ impl RoutingIndex for TdTreeIndex {
         let sc: &mut TdTreeScratch = scratch.get_or_default();
         self.query_path_with(&mut sc.cost, s, d, t)
     }
+
+    fn write_snapshot(&self, mut w: &mut dyn std::io::Write) -> Result<(), td_store::StoreError> {
+        td_store::write_snapshot(self, crate::snapshot::tree_tag(self), &mut w)
+    }
 }
 
 impl IncrementalIndex for TdTreeIndex {
@@ -304,6 +321,10 @@ impl RoutingIndex for TdH2h {
         let sc: &mut TdTreeScratch = scratch.get_or_default();
         self.query_path_with(&mut sc.cost, s, d, t)
     }
+
+    fn write_snapshot(&self, mut w: &mut dyn std::io::Write) -> Result<(), td_store::StoreError> {
+        td_store::write_snapshot(self, td_store::BackendTag::TdH2h, &mut w)
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -356,6 +377,10 @@ impl RoutingIndex for TdGtree {
     ) -> Option<f64> {
         let sc: &mut GtreeScratch = scratch.get_or_default();
         self.query_cost_with(sc, s, d, t)
+    }
+
+    fn write_snapshot(&self, mut w: &mut dyn std::io::Write) -> Result<(), td_store::StoreError> {
+        td_store::write_snapshot(self, td_store::BackendTag::TdGtree, &mut w)
     }
 }
 
@@ -416,5 +441,9 @@ impl RoutingIndex for DijkstraOracle {
     ) -> Option<(f64, Path)> {
         let sc: &mut td_dijkstra::DijkstraScratch = scratch.get_or_default();
         td_dijkstra::shortest_path_frozen_with(sc, self.frozen(), s, d, t)
+    }
+
+    fn write_snapshot(&self, mut w: &mut dyn std::io::Write) -> Result<(), td_store::StoreError> {
+        td_store::write_snapshot(self, td_store::BackendTag::Dijkstra, &mut w)
     }
 }

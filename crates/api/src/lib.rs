@@ -44,9 +44,12 @@ mod index;
 mod oracle;
 mod parallel;
 mod session;
+mod snapshot;
 
 pub use backend::{build_index, Backend, IndexConfig};
 pub use index::{IncrementalIndex, IndexStats, RoutingIndex, RoutingIndexExt};
 pub use oracle::DijkstraOracle;
 pub use parallel::{CostQuery, LiveIndex, ParallelExecutor};
 pub use session::{QuerySession, SessionScratch};
+pub use snapshot::{load_index, load_index_from, load_tree_index, save_index, save_index_to};
+pub use td_store::{BackendTag, StoreError};

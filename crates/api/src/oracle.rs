@@ -65,3 +65,18 @@ impl DijkstraOracle {
         self.frozen.heap_bytes()
     }
 }
+
+/// Snapshot persistence: the oracle's only independent state is the input
+/// graph. The frozen CSR/arena view is always exactly `graph.freeze()` and
+/// never mutated, so it is **not** persisted — loading re-runs the same
+/// deterministic linear copy, which halves the snapshot and leaves no
+/// derived data in the file for a CRC-valid edit to desynchronise.
+impl td_store::Persist for DijkstraOracle {
+    fn write_into<W: std::io::Write>(&self, w: &mut W) -> Result<(), td_store::StoreError> {
+        self.graph.write_into(w)
+    }
+
+    fn read_from<R: std::io::Read>(r: &mut R) -> Result<DijkstraOracle, td_store::StoreError> {
+        Ok(DijkstraOracle::new(TdGraph::read_from(r)?))
+    }
+}

@@ -1,0 +1,132 @@
+//! Saving and loading built indexes as `.tdx` snapshots.
+//!
+//! The paper's preprocessing is the expensive phase; queries are cheap. A
+//! production router therefore restarts from a snapshot, not a rebuild:
+//! [`save_index`] writes any [`RoutingIndex`] trait object as a versioned,
+//! checksummed `.tdx` file, and [`load_index`] reconstructs the same backend
+//! — dispatching on the header's backend tag — answering every query
+//! **bit-identically** to the freshly built index, in a load that is a
+//! linear copy of flat arrays rather than a re-run of elimination,
+//! selection or partitioning.
+//!
+//! The in-memory variants ([`save_index_to`] / [`load_index_from`]) work
+//! over any `io::Write`/`io::Read`, which the conformance suite and the
+//! corruption tests use to round-trip through plain byte buffers.
+
+use crate::backend::Backend;
+use crate::index::RoutingIndex;
+use crate::oracle::DijkstraOracle;
+use std::io::{Read, Write};
+use std::path::Path;
+use td_core::TdTreeIndex;
+use td_gtree::TdGtree;
+use td_h2h::TdH2h;
+use td_store::{format, section, BackendTag, Persist, StoreError};
+
+impl Backend {
+    /// The snapshot backend tag of this backend.
+    pub fn snapshot_tag(&self) -> BackendTag {
+        match self {
+            Backend::TdBasic => BackendTag::TdBasic,
+            Backend::TdAppro => BackendTag::TdAppro,
+            Backend::TdDp => BackendTag::TdDp,
+            Backend::TdH2h => BackendTag::TdH2h,
+            Backend::TdGtree => BackendTag::TdGtree,
+            Backend::Dijkstra => BackendTag::Dijkstra,
+        }
+    }
+
+    /// The backend named by a snapshot tag.
+    pub fn from_snapshot_tag(tag: BackendTag) -> Backend {
+        match tag {
+            BackendTag::TdBasic => Backend::TdBasic,
+            BackendTag::TdAppro => Backend::TdAppro,
+            BackendTag::TdDp => Backend::TdDp,
+            BackendTag::TdH2h => Backend::TdH2h,
+            BackendTag::TdGtree => Backend::TdGtree,
+            BackendTag::Dijkstra => Backend::Dijkstra,
+        }
+    }
+}
+
+/// The tag a TD-tree index snapshots under, derived from its strategy.
+pub(crate) fn tree_tag(index: &TdTreeIndex) -> BackendTag {
+    use td_core::SelectionStrategy::*;
+    match index.options.strategy {
+        Basic => BackendTag::TdBasic,
+        Greedy { .. } => BackendTag::TdAppro,
+        Dp { .. } => BackendTag::TdDp,
+        All => BackendTag::TdH2h,
+    }
+}
+
+/// Writes `index` as a complete snapshot stream (header + body + end
+/// marker) into `w`.
+pub fn save_index_to(index: &dyn RoutingIndex, w: &mut dyn Write) -> Result<(), StoreError> {
+    index.write_snapshot(w)
+}
+
+/// Saves `index` as a `.tdx` file at `path`.
+pub fn save_index(index: &dyn RoutingIndex, path: impl AsRef<Path>) -> Result<(), StoreError> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    save_index_to(index, &mut f)?;
+    f.flush()?;
+    Ok(())
+}
+
+/// Loads an index snapshot from a stream, dispatching on the header's
+/// backend tag. Returns the backend together with the reconstructed index.
+pub fn load_index_from(
+    mut r: &mut dyn Read,
+) -> Result<(Backend, Box<dyn RoutingIndex>), StoreError> {
+    let header = format::read_header(&mut r)?;
+    let index: Box<dyn RoutingIndex> = match header.backend {
+        BackendTag::TdBasic | BackendTag::TdAppro | BackendTag::TdDp => {
+            let index = TdTreeIndex::read_from(&mut r)?;
+            if tree_tag(&index) != header.backend {
+                return Err(StoreError::invalid(
+                    "selection strategy disagrees with the header's backend tag",
+                ));
+            }
+            Box::new(index)
+        }
+        BackendTag::TdH2h => Box::new(TdH2h::read_from(&mut r)?),
+        BackendTag::TdGtree => Box::new(TdGtree::read_from(&mut r)?),
+        BackendTag::Dijkstra => Box::new(DijkstraOracle::read_from(&mut r)?),
+    };
+    section::read_end(&mut r)?;
+    Ok((Backend::from_snapshot_tag(header.backend), index))
+}
+
+/// Loads a `.tdx` snapshot from `path`, reconstructing whichever backend it
+/// holds behind the uniform [`RoutingIndex`] trait.
+pub fn load_index(path: impl AsRef<Path>) -> Result<Box<dyn RoutingIndex>, StoreError> {
+    let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+    load_index_from(&mut f).map(|(_, index)| index)
+}
+
+/// Loads a TD-tree-family snapshot (`TD-basic` / `TD-appro` / `TD-dp`) as a
+/// concrete [`TdTreeIndex`] — the form the [`crate::LiveIndex`] double
+/// buffer needs (it requires `IncrementalIndex + Clone`, which the trait
+/// object cannot provide).
+pub fn load_tree_index(path: impl AsRef<Path>) -> Result<TdTreeIndex, StoreError> {
+    let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+    let header = format::read_header(&mut f)?;
+    match header.backend {
+        BackendTag::TdBasic | BackendTag::TdAppro | BackendTag::TdDp => {}
+        other => {
+            return Err(StoreError::invalid(format!(
+                "snapshot holds {other}, not a TD-tree-family index \
+                 (TD-basic / TD-appro / TD-dp)"
+            )))
+        }
+    }
+    let index = TdTreeIndex::read_from(&mut f)?;
+    if tree_tag(&index) != header.backend {
+        return Err(StoreError::invalid(
+            "selection strategy disagrees with the header's backend tag",
+        ));
+    }
+    section::read_end(&mut f)?;
+    Ok(index)
+}

@@ -69,6 +69,7 @@ fn main() {
                     cost_queries,
                     profile_queries,
                     true,
+                    args.snapshot_file(&format!("{}_c{}_{}", dataset.name(), c, m.name())),
                 );
                 println!(
                     "{:>2} {:<10} {:>16.4} {:>20.3} {:>15.1} {:>12}",

@@ -41,6 +41,7 @@ fn main() {
                     0,
                     0,
                     false,
+                    args.snapshot_file(&format!("{}_c{}_{}", dataset.name(), c, m.name())),
                 );
                 println!(
                     "{:>2} {:<10} {:>16.1} {:>12}",

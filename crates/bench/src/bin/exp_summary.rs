@@ -2,7 +2,12 @@
 //! construction-time gap (paper: TD-dp takes 0.01–0.2 h more) and query-time
 //! gap (paper: TD-dp is slightly faster, by no more than 30 ms).
 //!
-//! Usage: `cargo run --release -p td-bench --bin exp_summary [--scale X]`
+//! Usage: `cargo run --release -p td-bench --bin exp_summary [--scale X]
+//!          [--save DIR | --load DIR]`
+//!
+//! `--load DIR` reuses one built index per cell across repeated runs
+//! (build-or-load `.tdx` snapshots); `--save DIR` forces a fresh build and
+//! rewrites the snapshots.
 
 use td_api::Backend;
 use td_bench::sweep::run_cell;
@@ -38,6 +43,7 @@ fn main() {
                 300,
                 150,
                 true,
+                args.snapshot_file(&format!("{}_c3_{}", dataset.name(), m.name())),
             );
             println!(
                 "{:<6} {:<10} {:>15.4} {:>19.3} {:>16.1} {:>12}",

@@ -1,13 +1,26 @@
 //! Calibration probe: construction cost of each index at a given scale.
+//!
+//! Usage: `probe [SCALE] [--save PATH] [--load PATH]`
+//!
+//! `--save PATH` writes the TD-appro index as a `.tdx` snapshot after
+//! building it; `--load PATH` skips that build entirely and times the
+//! snapshot load instead — the restart path a deployment actually takes.
 use td_bench::timed;
 use td_core::{IndexOptions, SelectionStrategy, TdTreeIndex};
 use td_gen::Dataset;
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.25);
+    let mut scale: f64 = 0.25;
+    let mut save: Option<String> = None;
+    let mut load: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--save" => save = Some(args.next().expect("--save PATH")),
+            "--load" => load = Some(args.next().expect("--load PATH")),
+            s => scale = s.parse().expect("probe [SCALE] [--save P] [--load P]"),
+        }
+    }
     let d = Dataset::Cal;
     let spec = d.spec();
     let g = spec.build_scaled(3, scale, 42);
@@ -27,21 +40,37 @@ fn main() {
     );
     drop(td);
     let budget = spec.budget_at(scale);
-    let (idx, secs) = timed(|| {
-        TdTreeIndex::build(
-            g.clone(),
-            IndexOptions {
-                strategy: SelectionStrategy::Greedy {
-                    budget: budget as u64,
+    let idx = if let Some(path) = &load {
+        let (idx, secs) = timed(|| td_api::load_tree_index(path).expect("load snapshot"));
+        println!(
+            "TD-appro load: {secs:.3}s from {path} ({} selected pairs)",
+            idx.build_stats.selected_pairs
+        );
+        idx
+    } else {
+        let (idx, secs) = timed(|| {
+            TdTreeIndex::build(
+                g.clone(),
+                IndexOptions {
+                    strategy: SelectionStrategy::Greedy {
+                        budget: budget as u64,
+                    },
+                    threads: 0,
+                    track_supports: false,
                 },
-                threads: 0,
-                track_supports: false,
-            },
-        )
-    });
-    println!("TD-appro build: {secs:.2}s (weigh {:.2}s select {:.2}s build {:.2}s) candidates={} selected={} budget={}",
-        idx.build_stats.weigh_secs, idx.build_stats.select_secs, idx.build_stats.build_secs,
-        idx.build_stats.candidates, idx.build_stats.selected_pairs, budget);
+            )
+        });
+        println!("TD-appro build: {secs:.2}s (weigh {:.2}s select {:.2}s build {:.2}s) candidates={} selected={} budget={}",
+            idx.build_stats.weigh_secs, idx.build_stats.select_secs, idx.build_stats.build_secs,
+            idx.build_stats.candidates, idx.build_stats.selected_pairs, budget);
+        idx
+    };
+    if let Some(path) = &save {
+        let (_, secs) = timed(|| td_api::save_index(&idx, path).expect("save snapshot"));
+        let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        println!("TD-appro save: {secs:.3}s -> {path} ({bytes} bytes)");
+    }
+    drop(idx);
     let (h2h, secs) = timed(|| td_h2h::TdH2h::build(g.clone(), td_h2h::H2hConfig::default()));
     println!(
         "TD-H2H build: {secs:.2}s labels={} mem={}MB",

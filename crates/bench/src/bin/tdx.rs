@@ -1,0 +1,243 @@
+//! `tdx` — the snapshot tool: build a `.tdx` index snapshot from a named
+//! dataset, inspect its section table, or verify its integrity end to end.
+//!
+//! ```text
+//! tdx build --dataset CAL --backend td-h2h --out cal-h2h.tdx [--scale 0.25]
+//!           [--seed 42] [--c 3] [--threads 0] [--budget N] [--max-leaf 32]
+//!           [--track-supports]
+//! tdx inspect <path.tdx>
+//! tdx verify <path.tdx> [--queries 200] [--seed 42]
+//! ```
+//!
+//! `verify` walks every section checksum, fully reloads the index, and
+//! (with `--queries N`) replays a seeded workload against a fresh
+//! TD-Dijkstra oracle over the snapshot's own graph — the same agreement
+//! the conformance suite demands.
+
+use std::time::Instant;
+use td_api::{build_index, load_index, save_index, Backend, IndexConfig, QuerySession};
+use td_gen::Dataset;
+use td_store::error::tag_name;
+use td_store::section::{elem, walk_sections};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  tdx build --dataset <CAL|SF|COL|FLA|W-USA> --backend <name> --out <path> \\\n            [--scale X] [--seed N] [--c N] [--threads N] [--budget N] [--max-leaf N] [--track-supports]\n  tdx inspect <path.tdx>\n  tdx verify <path.tdx> [--queries N] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("tdx: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("build") => cmd_build(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn parse_dataset(name: &str) -> Dataset {
+    Dataset::ALL
+        .into_iter()
+        .find(|d| d.name().eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| fail(format!("unknown dataset `{name}`")))
+}
+
+fn cmd_build(args: &[String]) {
+    let mut dataset = None;
+    let mut backend = None;
+    let mut out = None;
+    let mut scale = 0.25f64;
+    let mut seed = 42u64;
+    let mut c = 3usize;
+    let mut threads = 0usize;
+    let mut budget = None;
+    let mut max_leaf = 32usize;
+    let mut track_supports = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| fail(format!("{arg} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--dataset" => dataset = Some(parse_dataset(&val())),
+            "--backend" => {
+                backend = Some(val().parse::<Backend>().unwrap_or_else(|e| fail(e)));
+            }
+            "--out" => out = Some(val()),
+            "--scale" => scale = val().parse().unwrap_or_else(|_| fail("bad --scale")),
+            "--seed" => seed = val().parse().unwrap_or_else(|_| fail("bad --seed")),
+            "--c" => c = val().parse().unwrap_or_else(|_| fail("bad --c")),
+            "--threads" => threads = val().parse().unwrap_or_else(|_| fail("bad --threads")),
+            "--budget" => budget = Some(val().parse().unwrap_or_else(|_| fail("bad --budget"))),
+            "--max-leaf" => max_leaf = val().parse().unwrap_or_else(|_| fail("bad --max-leaf")),
+            "--track-supports" => track_supports = true,
+            other => fail(format!("unknown flag `{other}`")),
+        }
+    }
+    let (Some(dataset), Some(backend), Some(out)) = (dataset, backend, out) else {
+        usage();
+    };
+
+    let spec = dataset.spec();
+    let t0 = Instant::now();
+    let graph = spec.build_scaled(c, scale, seed);
+    println!(
+        "{}: |V|={} |E|={} (scale {scale}, c={c}, seed {seed}) generated in {:.2}s",
+        dataset.name(),
+        graph.num_vertices(),
+        graph.num_edges(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let cfg = IndexConfig {
+        budget: budget.unwrap_or(spec.budget_at(scale) as u64),
+        threads,
+        track_supports,
+        max_leaf,
+        ..Default::default()
+    };
+    let t1 = Instant::now();
+    let index = build_index(graph, backend, &cfg);
+    let build_secs = t1.elapsed().as_secs_f64();
+    println!(
+        "{} built in {build_secs:.2}s ({} pairs, {} points, {})",
+        index.backend_name(),
+        index.build_stats().precomputed_pairs,
+        index.build_stats().stored_points,
+        td_bench::fmt_bytes(index.memory_bytes())
+    );
+
+    let t2 = Instant::now();
+    save_index(index.as_ref(), &out).unwrap_or_else(|e| fail(e));
+    let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "wrote {out}: {} in {:.3}s",
+        td_bench::fmt_bytes(bytes as usize),
+        t2.elapsed().as_secs_f64()
+    );
+}
+
+fn elem_name(code: u8) -> &'static str {
+    match code {
+        elem::END => "end",
+        elem::U8 => "u8",
+        elem::U32 => "u32",
+        elem::U64 => "u64",
+        elem::F64 => "f64",
+        _ => "?",
+    }
+}
+
+/// Opens a snapshot, prints its header, and returns the CRC-verified
+/// section list.
+fn walk(path: &str) -> Vec<td_store::section::SectionInfo> {
+    let mut f = std::io::BufReader::new(std::fs::File::open(path).unwrap_or_else(|e| fail(e)));
+    let header = td_store::format::read_header(&mut f).unwrap_or_else(|e| fail(e));
+    println!(
+        "{path}: format v{}, backend {}",
+        header.version, header.backend
+    );
+    walk_sections(&mut f).unwrap_or_else(|e| fail(e))
+}
+
+fn cmd_inspect(args: &[String]) {
+    let [path] = args else { usage() };
+    let infos = walk(path);
+    println!(
+        "{:<8} {:<5} {:>12} {:>14} {:>10}",
+        "section", "type", "count", "bytes", "crc32"
+    );
+    td_bench::rule(54);
+    let mut total = 0u64;
+    for s in &infos {
+        println!(
+            "{:<8} {:<5} {:>12} {:>14} {:>10x}",
+            tag_name(s.tag),
+            elem_name(s.type_code),
+            s.count,
+            s.bytes,
+            s.crc
+        );
+        total += s.bytes;
+    }
+    td_bench::rule(54);
+    println!(
+        "{} sections, {} payload (all checksums OK)",
+        infos.len(),
+        td_bench::fmt_bytes(total as usize)
+    );
+}
+
+fn cmd_verify(args: &[String]) {
+    let Some(path) = args.first() else { usage() };
+    let mut queries = 0usize;
+    let mut seed = 42u64;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| fail(format!("{arg} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--queries" => queries = val().parse().unwrap_or_else(|_| fail("bad --queries")),
+            "--seed" => seed = val().parse().unwrap_or_else(|_| fail("bad --seed")),
+            other => fail(format!("unknown flag `{other}`")),
+        }
+    }
+
+    // 1. Structural walk: every section checksum.
+    let infos = walk(path);
+    println!("checksums: {} sections OK", infos.len());
+
+    // 2. Full reload through the typed path (validates every invariant).
+    let t0 = Instant::now();
+    let index = load_index(path).unwrap_or_else(|e| fail(e));
+    println!(
+        "reload: {} ({}) in {:.3}s",
+        index.backend_name(),
+        td_bench::fmt_bytes(index.memory_bytes()),
+        t0.elapsed().as_secs_f64()
+    );
+
+    // 3. Optional oracle agreement over the snapshot's own graph.
+    if queries > 0 && index.graph().num_vertices() == 0 {
+        println!("oracle agreement: skipped (snapshot holds an empty graph)");
+    } else if queries > 0 {
+        let graph = index.graph().clone();
+        let oracle = td_api::DijkstraOracle::new(graph);
+        let n = index.graph().num_vertices() as u64;
+        let mut session = QuerySession::new(index.as_ref());
+        let mut checked = 0usize;
+        for i in 0..queries as u64 {
+            // Deterministic splitmix-style probe points.
+            let mut x = seed ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            let s = (x % n) as u32;
+            let d = ((x >> 20) % n) as u32;
+            let t = ((x >> 13) % 86_400) as f64;
+            let want = oracle.query_cost(s, d, t);
+            let got = session.query_cost(s, d, t);
+            match (want, got) {
+                (Some(a), Some(b)) if (a - b).abs() < 1e-4 => checked += 1,
+                (None, None) => checked += 1,
+                other => fail(format!(
+                    "oracle disagreement at s={s} d={d} t={t}: {other:?}"
+                )),
+            }
+        }
+        println!("oracle agreement: {checked}/{queries} queries OK");
+    }
+    println!("verify: OK");
+}

@@ -22,6 +22,12 @@ pub struct ExpArgs {
     pub threads: usize,
     /// Number of query pairs (paper: 1000).
     pub pairs: usize,
+    /// `--load DIR`: reuse `.tdx` index snapshots from this directory
+    /// (build-or-load: missing cells are built once and saved there).
+    pub snapshot_load: Option<PathBuf>,
+    /// `--save DIR`: force a fresh build of every cell and (re)write its
+    /// snapshot into this directory.
+    pub snapshot_save: Option<PathBuf>,
 }
 
 impl Default for ExpArgs {
@@ -31,6 +37,8 @@ impl Default for ExpArgs {
             seed: 42,
             threads: 0,
             pairs: 1000,
+            snapshot_load: None,
+            snapshot_save: None,
         }
     }
 }
@@ -51,6 +59,8 @@ impl ExpArgs {
                         .expect("--threads N")
                 }
                 "--pairs" => a.pairs = args.next().and_then(|v| v.parse().ok()).expect("--pairs N"),
+                "--save" => a.snapshot_save = Some(args.next().expect("--save DIR").into()),
+                "--load" => a.snapshot_load = Some(args.next().expect("--load DIR").into()),
                 "--quick" => {
                     a.scale = 0.25;
                     a.pairs = 200;
@@ -62,6 +72,31 @@ impl ExpArgs {
             }
         }
         a
+    }
+
+    /// The snapshot file for one experiment cell, honouring `--save`
+    /// (force-refresh: an existing snapshot is removed so the cell
+    /// rebuilds) and `--load` (build-or-load). `None` when neither flag
+    /// was given.
+    ///
+    /// The scale and seed are baked into the file name alongside the
+    /// caller's cell key: a snapshot is only ever reused for the exact
+    /// input graph it was built from — a `--load` run at a different
+    /// scale or seed builds its own cells instead of serving answers
+    /// about the wrong graph.
+    pub fn snapshot_file(&self, cell: &str) -> Option<PathBuf> {
+        let (dir, refresh) = match (&self.snapshot_save, &self.snapshot_load) {
+            (Some(dir), _) => (dir, true),
+            (None, Some(dir)) => (dir, false),
+            (None, None) => return None,
+        };
+        std::fs::create_dir_all(dir).expect("create snapshot dir");
+        let scale = format!("{}", self.scale).replace('.', "p");
+        let path = dir.join(format!("{cell}_s{scale}_r{}.tdx", self.seed));
+        if refresh {
+            let _ = std::fs::remove_file(&path);
+        }
+        Some(path)
     }
 }
 

@@ -30,6 +30,11 @@ pub struct SweepRow {
 }
 
 /// Builds and measures one (dataset, c, backend) cell.
+///
+/// With `snapshot` set, construction runs build-or-load through
+/// [`IndexConfig::snapshot_path`]: the first run builds and saves, repeated
+/// runs load in milliseconds — `construction_s` then reports the load time,
+/// which is the number a snapshot-restarting deployment actually pays.
 #[allow(clippy::too_many_arguments)] // experiment-grid parameters, used by binaries only
 pub fn run_cell(
     dataset: Dataset,
@@ -41,6 +46,7 @@ pub fn run_cell(
     cost_queries: usize,
     profile_queries: usize,
     measure_queries: bool,
+    snapshot: Option<std::path::PathBuf>,
 ) -> SweepRow {
     let spec = dataset.spec();
     let g = spec.build_scaled(c, scale, seed);
@@ -58,6 +64,7 @@ pub fn run_cell(
     let cfg = IndexConfig {
         budget: spec.budget_at(scale) as u64,
         threads,
+        snapshot_path: snapshot,
         ..Default::default()
     };
 

@@ -1,0 +1,116 @@
+//! Acceptance check for the snapshot subsystem's whole reason to exist:
+//! restarting from a CAL snapshot must be far cheaper than rebuilding.
+//!
+//! Two configurations, deliberately different in character:
+//!
+//! * **TD-appro** (the paper's index): construction runs the full
+//!   `O(n·h)` candidate weigh pass — every pair's exact travel-cost
+//!   function is computed — then stores only the budget-bounded selection,
+//!   so the build is compute-bound while the snapshot stays small. Loading
+//!   must be **≥ 10×** faster than building; in practice it is 50–100×.
+//! * **TD-H2H** (the full-label baseline): at this synthetic scale the
+//!   builder streams out labels at memory bandwidth (~output-bound), and a
+//!   checksummed load moves the same hundreds of megabytes back in, so the
+//!   wall-clock gap narrows toward the machine's bandwidth ratio. The
+//!   snapshot must still answer **bit-identically** and load measurably
+//!   faster than the build (a conservative ≥ 1.5× is asserted; the real
+//!   ratio is printed).
+//!
+//! Meaningful timings need optimized code, so the assertions only run in
+//! release builds (`cargo test --release -p td-bench --test snapshot_speed`,
+//! as the CI snapshot job does); a debug run skips early instead of
+//! reporting a meaningless ratio.
+
+use td_api::{build_index, load_index, save_index, Backend, IndexConfig, RoutingIndex};
+use td_bench::timed;
+use td_gen::Dataset;
+
+struct Measured {
+    build_secs: f64,
+    load_secs: f64,
+}
+
+fn measure(backend: Backend, scale: f64) -> Measured {
+    let spec = Dataset::Cal.spec();
+    let graph = spec.build_scaled(3, scale, 42);
+    let n = graph.num_vertices();
+
+    let cfg = IndexConfig {
+        budget: spec.budget_at(scale) as u64,
+        ..Default::default()
+    };
+    let (index, build_secs) = timed(|| build_index(graph, backend, &cfg));
+
+    let dir = std::env::temp_dir().join("td-road-snapshot-speed");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("cal-{backend}-{}.tdx", std::process::id()));
+    let (_, save_secs) = timed(|| save_index(index.as_ref(), &path).expect("save"));
+
+    // Best of three loads (the second+ hit the warm page cache, like any
+    // restarting service re-reading a recently written snapshot).
+    let mut load_secs = f64::INFINITY;
+    let mut loaded: Option<Box<dyn RoutingIndex>> = None;
+    for _ in 0..3 {
+        let (l, s) = timed(|| load_index(&path).expect("load"));
+        load_secs = load_secs.min(s);
+        loaded = Some(l);
+    }
+    let loaded = loaded.expect("three loads ran");
+    std::fs::remove_file(&path).ok();
+
+    // The loaded index answers bit-identically.
+    for (s, d, t) in [
+        (0u32, (n - 1) as u32, 8.0 * 3600.0),
+        (3, (n / 2) as u32, 100.0),
+        ((n - 5) as u32, 7, 70_000.0),
+    ] {
+        assert_eq!(
+            index.query_cost(s, d, t).map(f64::to_bits),
+            loaded.query_cost(s, d, t).map(f64::to_bits),
+            "{backend} s={s} d={d} t={t}"
+        );
+    }
+
+    eprintln!(
+        "CAL {backend} (|V|={n}): build {build_secs:.3}s, save {save_secs:.3}s, \
+         load {load_secs:.4}s — {:.0}x",
+        build_secs / load_secs
+    );
+    Measured {
+        build_secs,
+        load_secs,
+    }
+}
+
+#[test]
+fn loading_cal_td_appro_is_10x_faster_than_building() {
+    if cfg!(debug_assertions) {
+        eprintln!("snapshot_speed: skipped in debug builds (timing assertion needs --release)");
+        return;
+    }
+    let m = measure(Backend::TdAppro, 1.0);
+    assert!(
+        m.build_secs >= 10.0 * m.load_secs,
+        "load must be >= 10x faster than build: build {:.3}s vs load {:.4}s ({:.1}x)",
+        m.build_secs,
+        m.load_secs,
+        m.build_secs / m.load_secs
+    );
+}
+
+#[test]
+fn loading_cal_td_h2h_beats_building_bit_identically() {
+    if cfg!(debug_assertions) {
+        eprintln!("snapshot_speed: skipped in debug builds (timing assertion needs --release)");
+        return;
+    }
+    let m = measure(Backend::TdH2h, 0.5);
+    assert!(
+        m.build_secs >= 1.5 * m.load_secs,
+        "load must beat the (bandwidth-bound) full-label build: build {:.3}s vs load {:.4}s \
+         ({:.1}x)",
+        m.build_secs,
+        m.load_secs,
+        m.build_secs / m.load_secs
+    );
+}

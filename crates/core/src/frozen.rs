@@ -26,20 +26,20 @@ use td_treedec::TreeDecomposition;
 #[derive(Clone, Debug)]
 pub struct FrozenTd {
     /// `first[v]..first[v+1]` delimits `v`'s bag slots (len `n+1`).
-    first: Vec<u32>,
+    pub(crate) first: Vec<u32>,
     /// Depth of each bag vertex — the root-path index the sweeps relax.
-    bag_depth: Vec<u32>,
+    pub(crate) bag_depth: Vec<u32>,
     /// Arena id of `Ws` per slot (`NO_PLF` when the reduced graph had no
     /// such directed edge).
-    ws: Vec<PlfId>,
+    pub(crate) ws: Vec<PlfId>,
     /// Arena id of `Wd` per slot.
-    wd: Vec<PlfId>,
+    pub(crate) wd: Vec<PlfId>,
     /// All label breakpoints, SoA, with precomputed min/max bounds.
-    arena: PlfArena,
+    pub(crate) arena: PlfArena,
     /// Points belonging to superseded functions (see
     /// [`FrozenTd::refresh_nodes`]): the arena is append-only, so in-place
     /// node refreshes leave their old points behind until a compaction.
-    stale_points: usize,
+    pub(crate) stale_points: usize,
 }
 
 impl FrozenTd {

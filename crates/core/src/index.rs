@@ -88,11 +88,11 @@ impl BuildStats {
 /// writer repairs one copy while readers keep querying the other.
 #[derive(Clone)]
 pub struct TdTreeIndex {
-    graph: TdGraph,
-    td: TreeDecomposition,
-    frozen: FrozenTd,
-    store: ShortcutStore,
-    selected_per_node: Vec<Vec<VertexId>>,
+    pub(crate) graph: TdGraph,
+    pub(crate) td: TreeDecomposition,
+    pub(crate) frozen: FrozenTd,
+    pub(crate) store: ShortcutStore,
+    pub(crate) selected_per_node: Vec<Vec<VertexId>>,
     /// Options the index was built with.
     pub options: IndexOptions,
     /// Construction statistics.

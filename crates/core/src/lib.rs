@@ -23,6 +23,7 @@
 pub mod frozen;
 pub mod index;
 pub mod paths;
+pub mod persist;
 pub mod query;
 pub mod select;
 pub mod shortcut;

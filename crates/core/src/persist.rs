@@ -1,0 +1,444 @@
+//! Snapshot persistence ([`td_store::Persist`]) for the TD-tree index and
+//! its owned components: [`ShortcutStore`] and [`FrozenTd`].
+//!
+//! A [`TdTreeIndex`] snapshot is the complete build product — graph, tree
+//! decomposition, selected shortcuts, selection bookkeeping and the frozen
+//! label mirror — so loading reconstructs a query-identical index without
+//! re-running elimination, candidate weighing, selection or the shortcut
+//! DFS. The [`FrozenTd`] mirror is persisted **verbatim**, including its
+//! append-only arena layout and stale-point counter after `update_edges`
+//! refreshes, so a live-updated index round-trips its exact in-memory state
+//! (and keeps accepting further updates via the persisted support lists).
+
+use crate::frozen::FrozenTd;
+use crate::index::{BuildStats, IndexOptions, SelectionStrategy, TdTreeIndex};
+use crate::shortcut::ShortcutStore;
+use std::io::{Read, Write};
+use td_graph::{TdGraph, VertexId};
+use td_plf::persist::{read_plf_list, write_plf_list};
+use td_plf::{PlfArena, NO_PLF};
+use td_store::section::{
+    check_offsets, read_f64s, read_u32s, read_u64, read_u64s, tag4, write_f64s, write_u32s,
+    write_u64, write_u64s,
+};
+use td_store::{Persist, StoreError};
+use td_treedec::TreeDecomposition;
+
+const TAG_S_FIRST: u32 = tag4(*b"Sfst");
+const TAG_S_ANC: u32 = tag4(*b"Sanc");
+
+const TAG_Z_FIRST: u32 = tag4(*b"Zfst");
+const TAG_Z_BAG_DEPTH: u32 = tag4(*b"Zbdp");
+const TAG_Z_WS: u32 = tag4(*b"Zws ");
+const TAG_Z_WD: u32 = tag4(*b"Zwd ");
+const TAG_Z_STALE: u32 = tag4(*b"Zstl");
+
+const TAG_I_OPTIONS: u32 = tag4(*b"Iopt");
+const TAG_I_STATS_F: u32 = tag4(*b"Ibsf");
+const TAG_I_STATS_U: u32 = tag4(*b"Ibsu");
+const TAG_I_SEL_FIRST: u32 = tag4(*b"Isel");
+const TAG_I_SEL: u32 = tag4(*b"Isev");
+
+impl Persist for ShortcutStore {
+    fn write_into<W: Write>(&self, w: &mut W) -> Result<(), StoreError> {
+        let mut first = Vec::with_capacity(self.per_node.len() + 1);
+        let mut anc = Vec::new();
+        first.push(0u32);
+        for row in &self.per_node {
+            anc.extend(row.iter().map(|e| e.0));
+            first.push(anc.len() as u32);
+        }
+        write_u32s(w, TAG_S_FIRST, &first)?;
+        write_u32s(w, TAG_S_ANC, &anc)?;
+        write_plf_list(
+            w,
+            self.per_node
+                .iter()
+                .flat_map(|row| row.iter().map(|e| e.1.as_ref())),
+        )?;
+        write_plf_list(
+            w,
+            self.per_node
+                .iter()
+                .flat_map(|row| row.iter().map(|e| e.2.as_ref())),
+        )
+    }
+
+    fn read_from<R: Read>(r: &mut R) -> Result<ShortcutStore, StoreError> {
+        let first = read_u32s(r, TAG_S_FIRST)?;
+        let anc = read_u32s(r, TAG_S_ANC)?;
+        let ups = read_plf_list(r)?;
+        let downs = read_plf_list(r)?;
+        check_offsets(&first, anc.len(), "shortcut rows")?;
+        let n = first.len() - 1;
+        if ups.len() != anc.len() || downs.len() != anc.len() {
+            return Err(StoreError::invalid(
+                "shortcut function lists disagree with pair count",
+            ));
+        }
+        if anc.iter().any(|&a| a as usize >= n) {
+            return Err(StoreError::invalid("shortcut ancestor out of range"));
+        }
+        let mut ups = ups.into_iter();
+        let mut downs = downs.into_iter();
+        let mut per_node = Vec::with_capacity(n);
+        for v in 0..n {
+            let row_anc = &anc[first[v] as usize..first[v + 1] as usize];
+            // Rows must stay sorted by ancestor (lookup is a binary search).
+            if row_anc.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(StoreError::invalid("shortcut row not sorted by ancestor"));
+            }
+            per_node.push(
+                row_anc
+                    .iter()
+                    .map(|&a| {
+                        (
+                            a,
+                            ups.next().expect("length checked"),
+                            downs.next().expect("length checked"),
+                        )
+                    })
+                    .collect(),
+            );
+        }
+        Ok(ShortcutStore { per_node })
+    }
+}
+
+impl Persist for FrozenTd {
+    fn write_into<W: Write>(&self, w: &mut W) -> Result<(), StoreError> {
+        write_u32s(w, TAG_Z_FIRST, &self.first)?;
+        write_u32s(w, TAG_Z_BAG_DEPTH, &self.bag_depth)?;
+        write_u32s(w, TAG_Z_WS, &self.ws)?;
+        write_u32s(w, TAG_Z_WD, &self.wd)?;
+        self.arena.write_into(w)?;
+        write_u64(w, TAG_Z_STALE, self.stale_points as u64)
+    }
+
+    fn read_from<R: Read>(r: &mut R) -> Result<FrozenTd, StoreError> {
+        let first = read_u32s(r, TAG_Z_FIRST)?;
+        let bag_depth = read_u32s(r, TAG_Z_BAG_DEPTH)?;
+        let ws = read_u32s(r, TAG_Z_WS)?;
+        let wd = read_u32s(r, TAG_Z_WD)?;
+        let arena = PlfArena::read_from(r)?;
+        let stale = read_u64(r, TAG_Z_STALE)?;
+        check_offsets(&first, bag_depth.len(), "frozen labels")?;
+        if ws.len() != bag_depth.len() || wd.len() != bag_depth.len() {
+            return Err(StoreError::invalid("frozen label arrays disagree"));
+        }
+        let funcs = arena.len() as u32;
+        if ws
+            .iter()
+            .chain(wd.iter())
+            .any(|&id| id != NO_PLF && id >= funcs)
+        {
+            return Err(StoreError::invalid("frozen label id out of arena range"));
+        }
+        if stale > arena.total_points() as u64 {
+            return Err(StoreError::invalid("stale point counter out of range"));
+        }
+        Ok(FrozenTd {
+            first,
+            bag_depth,
+            ws,
+            wd,
+            arena,
+            stale_points: stale as usize,
+        })
+    }
+}
+
+fn strategy_code(s: SelectionStrategy) -> (u64, u64, u64) {
+    match s {
+        SelectionStrategy::Basic => (0, 0, 0),
+        SelectionStrategy::Greedy { budget } => (1, budget, 0),
+        SelectionStrategy::Dp {
+            budget,
+            weight_scale,
+        } => (2, budget, weight_scale as u64),
+        SelectionStrategy::All => (3, 0, 0),
+    }
+}
+
+fn strategy_from_code(code: u64, budget: u64, scale: u64) -> Result<SelectionStrategy, StoreError> {
+    Ok(match code {
+        0 => SelectionStrategy::Basic,
+        1 => SelectionStrategy::Greedy { budget },
+        2 => SelectionStrategy::Dp {
+            budget,
+            weight_scale: u32::try_from(scale)
+                .map_err(|_| StoreError::invalid("weight scale out of range"))?,
+        },
+        3 => SelectionStrategy::All,
+        other => {
+            return Err(StoreError::invalid(format!(
+                "unknown selection strategy code {other}"
+            )))
+        }
+    })
+}
+
+impl Persist for TdTreeIndex {
+    fn write_into<W: Write>(&self, w: &mut W) -> Result<(), StoreError> {
+        let (code, budget, scale) = strategy_code(self.options.strategy);
+        write_u64s(
+            w,
+            TAG_I_OPTIONS,
+            &[
+                code,
+                budget,
+                scale,
+                self.options.threads as u64,
+                u64::from(self.options.track_supports),
+            ],
+        )?;
+        let st = &self.build_stats;
+        write_f64s(
+            w,
+            TAG_I_STATS_F,
+            &[
+                st.decompose_secs,
+                st.weigh_secs,
+                st.select_secs,
+                st.build_secs,
+                st.selected_utility,
+            ],
+        )?;
+        write_u64s(
+            w,
+            TAG_I_STATS_U,
+            &[
+                st.candidates as u64,
+                st.selected_pairs as u64,
+                st.selected_weight,
+            ],
+        )?;
+        self.graph.write_into(w)?;
+        self.td.write_into(w)?;
+        self.frozen.write_into(w)?;
+        self.store.write_into(w)?;
+        let mut sel_first = Vec::with_capacity(self.selected_per_node.len() + 1);
+        let mut sel = Vec::new();
+        sel_first.push(0u32);
+        for row in &self.selected_per_node {
+            sel.extend_from_slice(row);
+            sel_first.push(sel.len() as u32);
+        }
+        write_u32s(w, TAG_I_SEL_FIRST, &sel_first)?;
+        write_u32s(w, TAG_I_SEL, &sel)
+    }
+
+    fn read_from<R: Read>(r: &mut R) -> Result<TdTreeIndex, StoreError> {
+        let opts = read_u64s(r, TAG_I_OPTIONS)?;
+        if opts.len() != 5 {
+            return Err(StoreError::invalid("options section must hold 5 values"));
+        }
+        let strategy = strategy_from_code(opts[0], opts[1], opts[2])?;
+        let options = IndexOptions {
+            strategy,
+            threads: opts[3] as usize,
+            track_supports: opts[4] != 0,
+        };
+        let sf = read_f64s(r, TAG_I_STATS_F)?;
+        let su = read_u64s(r, TAG_I_STATS_U)?;
+        if sf.len() != 5 || su.len() != 3 {
+            return Err(StoreError::invalid("build stats sections malformed"));
+        }
+        let build_stats = BuildStats {
+            decompose_secs: sf[0],
+            weigh_secs: sf[1],
+            select_secs: sf[2],
+            build_secs: sf[3],
+            selected_utility: sf[4],
+            candidates: su[0] as usize,
+            selected_pairs: su[1] as usize,
+            selected_weight: su[2],
+        };
+
+        let graph = TdGraph::read_from(r)?;
+        let td = TreeDecomposition::read_from(r)?;
+        let frozen = FrozenTd::read_from(r)?;
+        let store = ShortcutStore::read_from(r)?;
+        let sel_first = read_u32s(r, TAG_I_SEL_FIRST)?;
+        let sel = read_u32s(r, TAG_I_SEL)?;
+
+        let n = td.len();
+        if graph.num_vertices() != n {
+            return Err(StoreError::invalid(
+                "graph and tree disagree on vertex count",
+            ));
+        }
+        if options.track_supports != td.supports.is_some() {
+            return Err(StoreError::invalid(
+                "support tracking flag disagrees with stored supports",
+            ));
+        }
+        if store.per_node.len() != n {
+            return Err(StoreError::invalid("shortcut store row count mismatch"));
+        }
+        // Every stored ancestor must actually be an ancestor slot reachable
+        // by the query engine; cheap sanity: id < n (validated) suffices —
+        // wrong pairs can only make queries miss shortcuts, which engine
+        // code treats as "no shortcut". Still, the frozen mirror must match
+        // the tree shape exactly (the sweeps index by it).
+        if frozen.first.len() != n + 1 {
+            return Err(StoreError::invalid("frozen mirror row count mismatch"));
+        }
+        for v in 0..n as u32 {
+            let node = td.node(v);
+            let range = frozen.range(v);
+            if range.len() != node.bag.len() {
+                return Err(StoreError::invalid("frozen mirror bag width mismatch"));
+            }
+            for (bi, idx) in range.enumerate() {
+                if frozen.bag_depth(idx) != td.node(node.bag[bi]).depth as usize {
+                    return Err(StoreError::invalid("frozen bag depth mismatch"));
+                }
+            }
+        }
+        if sel_first.len() != n + 1 {
+            return Err(StoreError::invalid("selection offsets inconsistent"));
+        }
+        check_offsets(&sel_first, sel.len(), "selected ancestors")?;
+        if sel.iter().any(|&a| a as usize >= n) {
+            return Err(StoreError::invalid("selected ancestor out of range"));
+        }
+        let selected_per_node: Vec<Vec<VertexId>> = (0..n)
+            .map(|v| sel[sel_first[v] as usize..sel_first[v + 1] as usize].to_vec())
+            .collect();
+
+        Ok(TdTreeIndex {
+            graph,
+            td,
+            frozen,
+            store,
+            selected_per_node,
+            options,
+            build_stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+    use td_gen::random_graph::{random_profile, seeded_graph};
+    use td_plf::DAY;
+
+    fn roundtrip(index: &TdTreeIndex) -> TdTreeIndex {
+        let mut buf = Vec::new();
+        index.write_into(&mut buf).unwrap();
+        let mut r = buf.as_slice();
+        let back = TdTreeIndex::read_from(&mut r).unwrap();
+        assert!(r.is_empty(), "trailing bytes after index read");
+        back
+    }
+
+    fn assert_bit_identical(a: &TdTreeIndex, b: &TdTreeIndex, seed: u64) {
+        let n = a.graph().num_vertices();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..60 {
+            let s = rng.gen_range(0..n) as u32;
+            let d = rng.gen_range(0..n) as u32;
+            let t = rng.gen_range(0.0..DAY);
+            let x = a.query_cost(s, d, t).map(f64::to_bits);
+            let y = b.query_cost(s, d, t).map(f64::to_bits);
+            assert_eq!(x, y, "cost s={s} d={d} t={t}");
+            assert_eq!(
+                a.query_profile(s, d),
+                b.query_profile(s, d),
+                "profile s={s} d={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_strategy_round_trips_bit_identically() {
+        let g = seeded_graph(11, 30, 20, 3);
+        for strategy in [
+            SelectionStrategy::Basic,
+            SelectionStrategy::Greedy { budget: 800 },
+            SelectionStrategy::Dp {
+                budget: 800,
+                weight_scale: 1,
+            },
+            SelectionStrategy::All,
+        ] {
+            let index = TdTreeIndex::build(
+                g.clone(),
+                IndexOptions {
+                    strategy,
+                    threads: 2,
+                    track_supports: false,
+                },
+            );
+            let back = roundtrip(&index);
+            assert_eq!(back.options.strategy, index.options.strategy);
+            // Byte accounting is capacity-based, so only the logical sizes
+            // are expected to match exactly.
+            assert_eq!(
+                back.tree_stats().stored_points,
+                index.tree_stats().stored_points
+            );
+            assert_eq!(
+                back.shortcuts().total_points(),
+                index.shortcuts().total_points()
+            );
+            assert!(back.memory_bytes() > 0);
+            assert_eq!(back.shortcuts().num_pairs(), index.shortcuts().num_pairs());
+            assert_bit_identical(&index, &back, 0xfeed);
+        }
+    }
+
+    #[test]
+    fn updated_index_round_trips_with_stale_state_and_stays_updatable() {
+        let g = seeded_graph(4, 25, 15, 3);
+        let mut index = TdTreeIndex::build(
+            g,
+            IndexOptions {
+                strategy: SelectionStrategy::Greedy { budget: 1_500 },
+                threads: 1,
+                track_supports: true,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(77);
+        let m = index.graph().num_edges();
+        let changes: Vec<_> = (0..5)
+            .map(|_| {
+                let e = rng.gen_range(0..m) as u32;
+                let edge = index.graph().edge(e);
+                (edge.from, edge.to, random_profile(&mut rng, 4, 5.0, 500.0))
+            })
+            .collect();
+        index.update_edges(&changes);
+
+        let mut back = roundtrip(&index);
+        assert_bit_identical(&index, &back, 0xabcd);
+
+        // The loaded index accepts further updates (supports round-trip),
+        // and both copies evolve identically.
+        let more: Vec<_> = (0..3)
+            .map(|_| {
+                let e = rng.gen_range(0..m) as u32;
+                let edge = index.graph().edge(e);
+                (edge.from, edge.to, random_profile(&mut rng, 3, 10.0, 400.0))
+            })
+            .collect();
+        index.update_edges(&more);
+        back.update_edges(&more);
+        assert_bit_identical(&index, &back, 0x1234);
+    }
+
+    #[test]
+    fn truncated_index_stream_errors_out() {
+        let g = seeded_graph(2, 15, 10, 3);
+        let index = TdTreeIndex::build(g, IndexOptions::default());
+        let mut buf = Vec::new();
+        index.write_into(&mut buf).unwrap();
+        for cut in (0..buf.len()).step_by(211) {
+            assert!(TdTreeIndex::read_from(&mut &buf[..cut]).is_err());
+        }
+    }
+}

@@ -95,13 +95,13 @@ pub fn compute_vectors(td: &TreeDecomposition, v: VertexId, stack: &[NodeVectors
 }
 
 /// One stored pair: `(ancestor, up function, down function)`.
-type StoredPair = (VertexId, Option<Plf>, Option<Plf>);
+pub(crate) type StoredPair = (VertexId, Option<Plf>, Option<Plf>);
 
 /// The stored, selected shortcuts.
 #[derive(Clone, Debug, Default)]
 pub struct ShortcutStore {
     /// Per vertex: `(ancestor, up, down)` entries sorted by ancestor id.
-    per_node: Vec<Vec<StoredPair>>,
+    pub(crate) per_node: Vec<Vec<StoredPair>>,
 }
 
 impl ShortcutStore {

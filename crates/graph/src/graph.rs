@@ -73,6 +73,23 @@ impl TdGraph {
         }
     }
 
+    /// Fallible [`TdGraph::with_vertices`] for untrusted vertex counts (the
+    /// persistence module): an absurd `n` from a corrupt snapshot becomes
+    /// `None` instead of an allocation-failure abort.
+    pub(crate) fn try_with_vertices(n: usize) -> Option<Self> {
+        let mut out: Vec<Vec<(VertexId, EdgeId)>> = Vec::new();
+        out.try_reserve_exact(n).ok()?;
+        out.resize_with(n, Vec::new);
+        let mut inn: Vec<Vec<(VertexId, EdgeId)>> = Vec::new();
+        inn.try_reserve_exact(n).ok()?;
+        inn.resize_with(n, Vec::new);
+        Some(TdGraph {
+            out,
+            inn,
+            edges: Vec::new(),
+        })
+    }
+
     /// Number of vertices `n = |V|`.
     #[inline]
     pub fn num_vertices(&self) -> usize {

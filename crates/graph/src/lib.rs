@@ -22,6 +22,7 @@ pub mod csr;
 pub mod graph;
 pub mod io;
 pub mod path;
+pub mod persist;
 pub mod stats;
 
 pub use builder::GraphBuilder;

@@ -42,19 +42,19 @@ impl Default for GtreeConfig {
 /// `ids`/arena slices with precomputed `min_cost` bounds instead of chasing
 /// per-entry `Vec<Pt>` pointers.
 #[derive(Clone, Debug, Default)]
-struct NodeMatrix {
+pub(crate) struct NodeMatrix {
     /// Anchor vertices: all vertices for leaves, union of children borders
     /// for internal nodes.
-    anchors: Vec<VertexId>,
+    pub(crate) anchors: Vec<VertexId>,
     /// Anchor id lookup.
-    pos: HashMap<VertexId, usize>,
+    pub(crate) pos: HashMap<VertexId, usize>,
     /// Row-major `anchors² → Option<Plf>` (direction `i → j`).
-    mat: Vec<Option<Plf>>,
+    pub(crate) mat: Vec<Option<Plf>>,
     /// Row-major arena ids mirroring `mat` (`NO_PLF` = absent); filled by
     /// [`NodeMatrix::freeze`].
-    ids: Vec<PlfId>,
+    pub(crate) ids: Vec<PlfId>,
     /// Frozen breakpoints of every stored entry.
-    arena: PlfArena,
+    pub(crate) arena: PlfArena,
 }
 
 impl NodeMatrix {
@@ -78,7 +78,7 @@ impl NodeMatrix {
 
     /// Copies every stored entry into the contiguous arena (idempotent:
     /// rebuilds from the current `mat`).
-    fn freeze(&mut self) {
+    pub(crate) fn freeze(&mut self) {
         let total: usize = self.mat.iter().flatten().map(|f| f.len()).sum();
         let mut arena = PlfArena::with_capacity(self.mat.len(), total);
         self.ids = self
@@ -110,9 +110,9 @@ impl NodeMatrix {
 
 /// The TD-G-tree index.
 pub struct TdGtree {
-    graph: TdGraph,
-    pt: PartitionTree,
-    mats: Vec<NodeMatrix>,
+    pub(crate) graph: TdGraph,
+    pub(crate) pt: PartitionTree,
+    pub(crate) mats: Vec<NodeMatrix>,
     /// Construction wall time, seconds.
     pub build_secs: f64,
 }
@@ -326,7 +326,10 @@ impl TdGtree {
         // Into d: pick the best final border.
         let last = layers.last().expect("seeded above");
         let mut best: Option<(f64, VertexId)> = None;
-        for (&b, &(a, _)) in last {
+        let mut finals: Vec<VertexId> = last.keys().copied().collect();
+        finals.sort_unstable();
+        for b in finals {
+            let (a, _) = last[&b];
             if let Some(f) = self.mats[ld].entry(b, d) {
                 let total = a + f.eval(a);
                 if best.is_none_or(|(x, _)| total < x) {
@@ -391,9 +394,11 @@ impl TdGtree {
             cost = relax_profile(&self.mats[n], &cost, &next_down);
         }
         let mut best: Option<Plf> = None;
-        for (&b, f1) in &cost {
+        let mut sources: Vec<VertexId> = cost.keys().copied().collect();
+        sources.sort_unstable();
+        for b in sources {
             if let Some(f2) = self.mats[ld].entry(b, d) {
-                min_into(&mut best, f1.compound(f2, b));
+                min_into(&mut best, cost[&b].compound(f2, b));
             }
         }
         best
@@ -630,9 +635,12 @@ fn relax_pred(
     targets: &[VertexId],
 ) -> HashMap<VertexId, (f64, VertexId)> {
     let mut out: HashMap<VertexId, (f64, VertexId)> = HashMap::with_capacity(targets.len());
+    let mut sources: Vec<VertexId> = arr.keys().copied().collect();
+    sources.sort_unstable();
     for &b2 in targets {
         let mut best: Option<(f64, VertexId)> = arr.get(&b2).map(|&(a, _)| (a, b2));
-        for (&b1, &(a, _)) in arr {
+        for &b1 in &sources {
+            let (a, _) = arr[&b1];
             if b1 == b2 {
                 continue;
             }
@@ -660,14 +668,16 @@ fn relax_profile(
     targets: &[VertexId],
 ) -> HashMap<VertexId, Plf> {
     let mut out: HashMap<VertexId, Plf> = HashMap::with_capacity(targets.len());
+    let mut sources: Vec<VertexId> = cost.keys().copied().collect();
+    sources.sort_unstable();
     for &b2 in targets {
         let mut best: Option<Plf> = cost.get(&b2).cloned();
-        for (&b1, f1) in cost {
+        for &b1 in &sources {
             if b1 == b2 {
                 continue;
             }
             if let Some(f2) = m.entry(b1, b2) {
-                min_into(&mut best, f1.compound(f2, b1));
+                min_into(&mut best, cost[&b1].compound(f2, b1));
             }
         }
         if let Some(f) = best {

@@ -20,6 +20,7 @@
 
 pub mod index;
 pub mod partition;
+pub mod persist;
 
 pub use index::{GtreeConfig, GtreeScratch, TdGtree};
 pub use partition::{bisect, PartitionTree};

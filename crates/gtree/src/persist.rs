@@ -1,0 +1,240 @@
+//! Snapshot persistence ([`td_store::Persist`]) for [`TdGtree`].
+//!
+//! Persisted verbatim: the input graph, the partition tree (parents, depths,
+//! leaf assignment, CSR-flattened vertex and border lists) and every node's
+//! refined border matrix (anchors + the row-major `Option<Plf>` entries).
+//! Loading **never re-runs partitioning or the all-pairs profile searches**
+//! — the expensive part of G-tree construction; it only replays the same
+//! linear `freeze()` used after construction to rebuild the contiguous
+//! query arenas, and reindexes the anchor position maps.
+
+use crate::index::{NodeMatrix, TdGtree};
+use crate::partition::{PartitionNode, PartitionTree};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use td_graph::TdGraph;
+use td_plf::persist::{read_plf_list, write_plf_list};
+use td_plf::PlfArena;
+use td_store::section::{
+    check_offsets, read_f64s, read_u32s, read_u64, tag4, write_f64s, write_u32s, write_u64,
+};
+use td_store::{Persist, StoreError};
+
+const TAG_P_COUNT: u32 = tag4(*b"Pnum");
+const TAG_P_PARENT: u32 = tag4(*b"Ppar");
+const TAG_P_DEPTH: u32 = tag4(*b"Pdep");
+const TAG_P_VERT_FIRST: u32 = tag4(*b"Pvf ");
+const TAG_P_VERT: u32 = tag4(*b"Pvx ");
+const TAG_P_BORD_FIRST: u32 = tag4(*b"Pbf ");
+const TAG_P_BORD: u32 = tag4(*b"Pbd ");
+const TAG_P_LEAF_OF: u32 = tag4(*b"Plo ");
+
+const TAG_M_ANCHORS: u32 = tag4(*b"Manc");
+const TAG_G_SECS: u32 = tag4(*b"Gsec");
+
+/// Sentinel for "no parent" in the persisted parent array.
+const NO_PARENT: u32 = u32::MAX;
+
+fn write_partition_tree<W: Write>(w: &mut W, pt: &PartitionTree) -> Result<(), StoreError> {
+    let nn = pt.nodes.len();
+    write_u64(w, TAG_P_COUNT, nn as u64)?;
+    let parent: Vec<u32> = pt
+        .nodes
+        .iter()
+        .map(|nd| nd.parent.map_or(NO_PARENT, |p| p as u32))
+        .collect();
+    write_u32s(w, TAG_P_PARENT, &parent)?;
+    let depth: Vec<u32> = pt.nodes.iter().map(|nd| nd.depth).collect();
+    write_u32s(w, TAG_P_DEPTH, &depth)?;
+    let mut vf = Vec::with_capacity(nn + 1);
+    let mut vx = Vec::new();
+    vf.push(0u32);
+    for nd in &pt.nodes {
+        vx.extend_from_slice(&nd.vertices);
+        vf.push(vx.len() as u32);
+    }
+    write_u32s(w, TAG_P_VERT_FIRST, &vf)?;
+    write_u32s(w, TAG_P_VERT, &vx)?;
+    let mut bf = Vec::with_capacity(nn + 1);
+    let mut bd = Vec::new();
+    bf.push(0u32);
+    for nd in &pt.nodes {
+        bd.extend_from_slice(&nd.borders);
+        bf.push(bd.len() as u32);
+    }
+    write_u32s(w, TAG_P_BORD_FIRST, &bf)?;
+    write_u32s(w, TAG_P_BORD, &bd)?;
+    let leaf_of: Vec<u32> = pt.leaf_of.iter().map(|&l| l as u32).collect();
+    write_u32s(w, TAG_P_LEAF_OF, &leaf_of)
+}
+
+fn read_partition_tree<R: Read>(r: &mut R, n_graph: usize) -> Result<PartitionTree, StoreError> {
+    let nn = read_u64(r, TAG_P_COUNT)? as usize;
+    let parent = read_u32s(r, TAG_P_PARENT)?;
+    let depth = read_u32s(r, TAG_P_DEPTH)?;
+    let vf = read_u32s(r, TAG_P_VERT_FIRST)?;
+    let vx = read_u32s(r, TAG_P_VERT)?;
+    let bf = read_u32s(r, TAG_P_BORD_FIRST)?;
+    let bd = read_u32s(r, TAG_P_BORD)?;
+    let leaf_of = read_u32s(r, TAG_P_LEAF_OF)?;
+
+    if nn == 0 || parent.len() != nn || depth.len() != nn {
+        return Err(StoreError::invalid("partition tree arrays disagree"));
+    }
+    if vf.len() != nn + 1 || bf.len() != nn + 1 {
+        return Err(StoreError::invalid("partition CSR arrays disagree"));
+    }
+    check_offsets(&vf, vx.len(), "partition vertices")?;
+    check_offsets(&bf, bd.len(), "partition borders")?;
+    if vx.iter().chain(bd.iter()).any(|&v| v as usize >= n_graph) {
+        return Err(StoreError::invalid("partition vertex out of range"));
+    }
+    // Node 0 is the root; every other node's parent precedes it (creation
+    // order) one level up — this implies acyclicity.
+    if parent[0] != NO_PARENT || depth[0] != 0 {
+        return Err(StoreError::invalid("partition root must be node 0"));
+    }
+    for i in 1..nn {
+        let p = parent[i];
+        if p == NO_PARENT || p as usize >= i {
+            return Err(StoreError::invalid(
+                "partition parent must precede its child",
+            ));
+        }
+        if depth[i] != depth[p as usize] + 1 {
+            return Err(StoreError::invalid("partition depth inconsistent"));
+        }
+    }
+    let mut nodes: Vec<PartitionNode> = (0..nn)
+        .map(|i| PartitionNode {
+            vertices: vx[vf[i] as usize..vf[i + 1] as usize].to_vec(),
+            borders: bd[bf[i] as usize..bf[i + 1] as usize].to_vec(),
+            children: Vec::new(),
+            parent: (parent[i] != NO_PARENT).then(|| parent[i] as usize),
+            depth: depth[i],
+        })
+        .collect();
+    for (i, &p) in parent.iter().enumerate().skip(1) {
+        nodes[p as usize].children.push(i);
+    }
+    if leaf_of.len() != n_graph {
+        return Err(StoreError::invalid("leaf assignment length mismatch"));
+    }
+    for &l in &leaf_of {
+        let l = l as usize;
+        if l >= nn || !nodes[l].children.is_empty() {
+            return Err(StoreError::invalid("leaf assignment must name a leaf"));
+        }
+    }
+    Ok(PartitionTree {
+        nodes,
+        leaf_of: leaf_of.into_iter().map(|l| l as usize).collect(),
+    })
+}
+
+impl Persist for TdGtree {
+    fn write_into<W: Write>(&self, w: &mut W) -> Result<(), StoreError> {
+        self.graph.write_into(w)?;
+        write_partition_tree(w, &self.pt)?;
+        for m in &self.mats {
+            write_u32s(w, TAG_M_ANCHORS, &m.anchors)?;
+            write_plf_list(w, m.mat.iter().map(|f| f.as_ref()))?;
+        }
+        write_f64s(w, TAG_G_SECS, &[self.build_secs])
+    }
+
+    fn read_from<R: Read>(r: &mut R) -> Result<TdGtree, StoreError> {
+        let graph = TdGraph::read_from(r)?;
+        let pt = read_partition_tree(r, graph.num_vertices())?;
+        let mut mats = Vec::with_capacity(pt.nodes.len());
+        for _ in 0..pt.nodes.len() {
+            let anchors = read_u32s(r, TAG_M_ANCHORS)?;
+            let mat = read_plf_list(r)?;
+            let k = anchors.len();
+            if mat.len() != k * k {
+                return Err(StoreError::invalid(format!(
+                    "border matrix holds {} entries for {k} anchors",
+                    mat.len()
+                )));
+            }
+            if anchors.iter().any(|&a| a as usize >= graph.num_vertices()) {
+                return Err(StoreError::invalid("matrix anchor out of range"));
+            }
+            let mut pos = HashMap::with_capacity(k);
+            for (i, &v) in anchors.iter().enumerate() {
+                if pos.insert(v, i).is_some() {
+                    return Err(StoreError::invalid("duplicate matrix anchor"));
+                }
+            }
+            let mut m = NodeMatrix {
+                anchors,
+                pos,
+                mat,
+                ids: Vec::new(),
+                arena: PlfArena::new(),
+            };
+            // The same linear copy construction runs after refinement.
+            m.freeze();
+            mats.push(m);
+        }
+        let secs = read_f64s(r, TAG_G_SECS)?;
+        if secs.len() != 1 || !secs[0].is_finite() || secs[0] < 0.0 {
+            return Err(StoreError::invalid("bad construction-time record"));
+        }
+        Ok(TdGtree {
+            graph,
+            pt,
+            mats,
+            build_secs: secs[0],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::GtreeConfig;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+    use td_gen::random_graph::seeded_graph;
+    use td_plf::DAY;
+
+    #[test]
+    fn gtree_round_trips_bit_identically() {
+        let n = 60;
+        let g = seeded_graph(5, n, 40, 3);
+        let gt = TdGtree::build(g, GtreeConfig { max_leaf: 10 });
+        let mut buf = Vec::new();
+        gt.write_into(&mut buf).unwrap();
+        let mut r = buf.as_slice();
+        let back = TdGtree::read_from(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(back.num_entries(), gt.num_entries());
+        assert_eq!(back.total_points(), gt.total_points());
+        assert_eq!(back.num_partitions(), gt.num_partitions());
+
+        let mut rng = StdRng::seed_from_u64(0x7777);
+        for _ in 0..60 {
+            let s = rng.gen_range(0..n) as u32;
+            let d = rng.gen_range(0..n) as u32;
+            let t = rng.gen_range(0.0..DAY);
+            assert_eq!(
+                gt.query_cost(s, d, t).map(f64::to_bits),
+                back.query_cost(s, d, t).map(f64::to_bits),
+                "s={s} d={d} t={t}"
+            );
+            assert_eq!(gt.query_profile(s, d), back.query_profile(s, d));
+        }
+    }
+
+    #[test]
+    fn truncated_gtree_stream_errors_out() {
+        let g = seeded_graph(1, 30, 20, 3);
+        let gt = TdGtree::build(g, GtreeConfig { max_leaf: 8 });
+        let mut buf = Vec::new();
+        gt.write_into(&mut buf).unwrap();
+        for cut in (0..buf.len()).step_by(293) {
+            assert!(TdGtree::read_from(&mut &buf[..cut]).is_err());
+        }
+    }
+}

@@ -129,6 +129,25 @@ impl TdH2h {
     }
 }
 
+/// Snapshot persistence: a TD-H2H snapshot is its inner TD-tree index
+/// (built with the `All` strategy); loading verifies the strategy so a
+/// TD-appro body cannot masquerade as a full label.
+impl td_store::Persist for TdH2h {
+    fn write_into<W: std::io::Write>(&self, w: &mut W) -> Result<(), td_store::StoreError> {
+        self.inner.write_into(w)
+    }
+
+    fn read_from<R: std::io::Read>(r: &mut R) -> Result<TdH2h, td_store::StoreError> {
+        let inner = TdTreeIndex::read_from(r)?;
+        if inner.options.strategy != SelectionStrategy::All {
+            return Err(td_store::StoreError::invalid(
+                "TD-H2H snapshot must hold the `All` selection strategy",
+            ));
+        }
+        Ok(TdH2h { inner })
+    }
+}
+
 // Compile-time pin: built indexes are shared read-only across query
 // threads. A future `Rc`/`Cell` field fails this line instead of a test.
 const _: () = {

@@ -49,6 +49,7 @@ pub mod arrival;
 pub mod compound;
 pub mod minimum;
 pub mod ops;
+pub mod persist;
 pub mod plf;
 pub mod simplify;
 

@@ -1,0 +1,120 @@
+//! CRC-32 (IEEE 802.3, the zlib/gzip polynomial), table-driven.
+//!
+//! Implemented locally because the container has no crates.io access; the
+//! polynomial and byte order match the ubiquitous `crc32fast`/zlib checksum,
+//! so section checksums can be verified with standard external tooling.
+
+/// Reflected polynomial of CRC-32/ISO-HDLC.
+const POLY: u32 = 0xEDB8_8320;
+
+/// Slicing-by-8 lookup tables, computed at compile time. `TABLES[0]` is the
+/// classic byte-at-a-time table; `TABLES[k][b]` advances byte `b` through
+/// `k` further zero bytes, letting [`Crc32::update`] consume 8 input bytes
+/// per iteration (~5× the throughput of the byte-wise loop — snapshots are
+/// checksummed twice per round trip, so this is on the load path's critical
+/// section).
+const TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
+};
+
+/// Incremental CRC-32 state.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh checksum.
+    #[inline]
+    pub fn new() -> Crc32 {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `bytes` into the checksum (slicing-by-8).
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut s = self.state;
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ s;
+            let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+            s = TABLES[7][(lo & 0xFF) as usize]
+                ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+                ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+                ^ TABLES[4][(lo >> 24) as usize]
+                ^ TABLES[3][(hi & 0xFF) as usize]
+                ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+                ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+                ^ TABLES[0][(hi >> 24) as usize];
+        }
+        for &b in chunks.remainder() {
+            s = (s >> 8) ^ TABLES[0][((s ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = s;
+    }
+
+    /// The finished checksum value.
+    #[inline]
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let mut c = Crc32::new();
+        c.update(b"1234");
+        c.update(b"56789");
+        assert_eq!(c.finish(), crc32(b"123456789"));
+    }
+}

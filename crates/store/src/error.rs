@@ -1,0 +1,136 @@
+//! The typed error surface of the snapshot format.
+
+use crate::format::BackendTag;
+
+/// Everything that can go wrong writing or reading a `.tdx` snapshot.
+///
+/// Corrupt, truncated or mismatched input is always reported through one of
+/// these variants — never a panic. The reading side validates the magic, the
+/// format version, the backend tag, every section header, every per-section
+/// CRC32, and every structural invariant of the reconstructed types.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying I/O failure (other than a clean early EOF, which is
+    /// reported as [`StoreError::Truncated`]).
+    Io(std::io::Error),
+    /// The stream ended before the expected bytes (truncated file).
+    Truncated,
+    /// The file does not start with the `.tdx` magic.
+    BadMagic,
+    /// The endianness marker is wrong (foreign or corrupt file).
+    BadEndianness,
+    /// The format version is not supported by this build.
+    UnsupportedVersion(u32),
+    /// The header names an unknown backend tag.
+    UnknownBackend(u32),
+    /// The snapshot holds a different backend than the caller asked for.
+    WrongBackend {
+        /// The backend the caller expected.
+        expected: BackendTag,
+        /// The backend recorded in the file.
+        found: BackendTag,
+    },
+    /// A section appeared out of order / with an unexpected tag.
+    UnexpectedSection {
+        /// The tag the reader expected next (4 ASCII bytes).
+        expected: u32,
+        /// The tag found in the stream.
+        found: u32,
+    },
+    /// A section's element type code does not match its tag's schema.
+    WrongSectionType {
+        /// The section's tag.
+        tag: u32,
+        /// The type code the schema prescribes.
+        expected: u8,
+        /// The type code found in the stream.
+        found: u8,
+    },
+    /// A section's payload failed its CRC32 check.
+    ChecksumMismatch {
+        /// The section's tag.
+        tag: u32,
+    },
+    /// The stream continued past the end marker.
+    TrailingData,
+    /// A structural invariant of the reconstructed value failed
+    /// (out-of-range id, non-monotone offsets, invalid PLF, …).
+    Invalid(String),
+    /// The operation is not supported (e.g. snapshotting a backend that
+    /// does not implement persistence).
+    Unsupported(&'static str),
+}
+
+impl StoreError {
+    /// Shorthand for a structural-validation failure.
+    pub fn invalid(msg: impl Into<String>) -> StoreError {
+        StoreError::Invalid(msg.into())
+    }
+}
+
+/// Renders a section tag as its 4 ASCII characters (or hex when unprintable).
+pub fn tag_name(tag: u32) -> String {
+    let b = tag.to_le_bytes();
+    if b.iter().all(|c| c.is_ascii_graphic() || *c == b' ') {
+        b.iter().map(|&c| c as char).collect()
+    } else {
+        format!("0x{tag:08x}")
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Truncated => write!(f, "truncated snapshot (unexpected end of stream)"),
+            StoreError::BadMagic => write!(f, "not a .tdx snapshot (bad magic)"),
+            StoreError::BadEndianness => write!(f, "bad endianness marker"),
+            StoreError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            StoreError::UnknownBackend(t) => write!(f, "unknown backend tag {t}"),
+            StoreError::WrongBackend { expected, found } => write!(
+                f,
+                "snapshot holds backend {found} but {expected} was requested"
+            ),
+            StoreError::UnexpectedSection { expected, found } => write!(
+                f,
+                "unexpected section `{}` (expected `{}`)",
+                tag_name(*found),
+                tag_name(*expected)
+            ),
+            StoreError::WrongSectionType {
+                tag,
+                expected,
+                found,
+            } => write!(
+                f,
+                "section `{}` has element type {found} (expected {expected})",
+                tag_name(*tag)
+            ),
+            StoreError::ChecksumMismatch { tag } => {
+                write!(f, "checksum mismatch in section `{}`", tag_name(*tag))
+            }
+            StoreError::TrailingData => write!(f, "trailing bytes after the end marker"),
+            StoreError::Invalid(msg) => write!(f, "invalid snapshot content: {msg}"),
+            StoreError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StoreError::Truncated
+        } else {
+            StoreError::Io(e)
+        }
+    }
+}

@@ -1,0 +1,542 @@
+//! The typed, checksummed section stream making up a `.tdx` body.
+//!
+//! Each section is `tag (u32) | elem type (u8) | 3 reserved bytes |
+//! count (u64) | payload (count × elem bytes, LE) | crc32 (u32 of payload)`.
+//! Writers emit sections in a fixed, type-defined order; readers demand the
+//! same order, so a reordered or spliced file fails fast with
+//! [`StoreError::UnexpectedSection`] instead of misinterpreting data.
+//!
+//! Payloads are decoded with explicit `from_le_bytes` conversions — no
+//! `unsafe` reinterpretation of untrusted bytes — and read in bounded chunks
+//! so a corrupt (huge) count hits end-of-stream instead of attempting a
+//! matching allocation.
+
+use crate::crc::Crc32;
+use crate::error::StoreError;
+use std::io::{Read, Write};
+
+/// Element type codes (part of the on-disk format).
+pub mod elem {
+    /// End marker / no payload.
+    pub const END: u8 = 0;
+    /// Raw bytes.
+    pub const U8: u8 = 1;
+    /// Little-endian `u32`.
+    pub const U32: u8 = 2;
+    /// Little-endian `u64`.
+    pub const U64: u8 = 3;
+    /// Little-endian IEEE-754 binary64.
+    pub const F64: u8 = 4;
+}
+
+/// Builds a section tag from 4 ASCII bytes.
+pub const fn tag4(b: [u8; 4]) -> u32 {
+    u32::from_le_bytes(b)
+}
+
+/// The tag of the end-of-body marker section.
+pub const END_TAG: u32 = tag4(*b"TEND");
+
+/// Maximum bytes read per chunk while streaming a payload in. Bounds the
+/// allocation a corrupt count can trigger before end-of-stream is noticed.
+const CHUNK: usize = 1 << 20;
+
+fn elem_size(type_code: u8) -> usize {
+    match type_code {
+        elem::U8 => 1,
+        elem::U32 => 4,
+        elem::U64 => 8,
+        elem::F64 => 8,
+        _ => 0,
+    }
+}
+
+fn write_section_header<W: Write>(
+    w: &mut W,
+    tag: u32,
+    type_code: u8,
+    count: u64,
+) -> Result<(), StoreError> {
+    w.write_all(&tag.to_le_bytes())?;
+    w.write_all(&[type_code, 0, 0, 0])?;
+    w.write_all(&count.to_le_bytes())?;
+    Ok(())
+}
+
+fn write_payload<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), StoreError> {
+    w.write_all(payload)?;
+    let mut crc = Crc32::new();
+    crc.update(payload);
+    w.write_all(&crc.finish().to_le_bytes())?;
+    Ok(())
+}
+
+/// Streams a typed payload through a bounded encode buffer (sections reach
+/// hundreds of megabytes; materialising a full byte copy would double peak
+/// memory during a save), updating the checksum incrementally.
+fn write_elems<W: Write, T: Copy, const N: usize>(
+    w: &mut W,
+    data: &[T],
+    encode: impl Fn(T) -> [u8; N],
+) -> Result<(), StoreError> {
+    let mut crc = Crc32::new();
+    let mut buf = [0u8; 8192];
+    for chunk in data.chunks(buf.len() / N) {
+        let mut at = 0;
+        for &v in chunk {
+            buf[at..at + N].copy_from_slice(&encode(v));
+            at += N;
+        }
+        w.write_all(&buf[..at])?;
+        crc.update(&buf[..at]);
+    }
+    w.write_all(&crc.finish().to_le_bytes())?;
+    Ok(())
+}
+
+/// Streams a typed payload from an iterator whose length is known upfront
+/// (the section header carries the count, so it must be exact — a mismatch
+/// is a writer-side bug and is reported instead of emitting a lying file).
+fn write_elem_iter<W: Write, T, const N: usize>(
+    w: &mut W,
+    count: u64,
+    iter: impl Iterator<Item = T>,
+    encode: impl Fn(T) -> [u8; N],
+) -> Result<(), StoreError> {
+    let mut crc = Crc32::new();
+    let mut buf = [0u8; 8192];
+    let mut at = 0usize;
+    let mut written = 0u64;
+    for v in iter {
+        buf[at..at + N].copy_from_slice(&encode(v));
+        at += N;
+        written += 1;
+        if at + N > buf.len() {
+            w.write_all(&buf[..at])?;
+            crc.update(&buf[..at]);
+            at = 0;
+        }
+    }
+    w.write_all(&buf[..at])?;
+    crc.update(&buf[..at]);
+    if written != count {
+        return Err(StoreError::invalid(format!(
+            "section iterator yielded {written} elements, header promised {count}"
+        )));
+    }
+    w.write_all(&crc.finish().to_le_bytes())?;
+    Ok(())
+}
+
+/// Streams a `u32` section from an iterator of known length.
+pub fn write_u32_iter<W: Write>(
+    w: &mut W,
+    tag: u32,
+    count: u64,
+    iter: impl Iterator<Item = u32>,
+) -> Result<(), StoreError> {
+    write_section_header(w, tag, elem::U32, count)?;
+    write_elem_iter(w, count, iter, u32::to_le_bytes)
+}
+
+/// Streams an `f64` section from an iterator of known length (exact bit
+/// patterns).
+pub fn write_f64_iter<W: Write>(
+    w: &mut W,
+    tag: u32,
+    count: u64,
+    iter: impl Iterator<Item = f64>,
+) -> Result<(), StoreError> {
+    write_section_header(w, tag, elem::F64, count)?;
+    write_elem_iter(w, count, iter, f64::to_le_bytes)
+}
+
+/// Writes a section of raw bytes.
+pub fn write_bytes<W: Write>(w: &mut W, tag: u32, data: &[u8]) -> Result<(), StoreError> {
+    write_section_header(w, tag, elem::U8, data.len() as u64)?;
+    write_payload(w, data)
+}
+
+/// Writes a section of `u32`s.
+pub fn write_u32s<W: Write>(w: &mut W, tag: u32, data: &[u32]) -> Result<(), StoreError> {
+    write_section_header(w, tag, elem::U32, data.len() as u64)?;
+    write_elems(w, data, u32::to_le_bytes)
+}
+
+/// Writes a section of `u64`s.
+pub fn write_u64s<W: Write>(w: &mut W, tag: u32, data: &[u64]) -> Result<(), StoreError> {
+    write_section_header(w, tag, elem::U64, data.len() as u64)?;
+    write_elems(w, data, u64::to_le_bytes)
+}
+
+/// Writes a section of `f64`s (exact bit patterns, including any NaNs).
+pub fn write_f64s<W: Write>(w: &mut W, tag: u32, data: &[f64]) -> Result<(), StoreError> {
+    write_section_header(w, tag, elem::F64, data.len() as u64)?;
+    write_elems(w, data, f64::to_le_bytes)
+}
+
+/// Writes a single-`u64` section.
+pub fn write_u64<W: Write>(w: &mut W, tag: u32, v: u64) -> Result<(), StoreError> {
+    write_u64s(w, tag, &[v])
+}
+
+/// Writes the end-of-body marker.
+pub fn write_end<W: Write>(w: &mut W) -> Result<(), StoreError> {
+    write_section_header(w, END_TAG, elem::END, 0)?;
+    write_payload(w, &[])
+}
+
+/// Validates a CSR-style offset array against the flat array it indexes:
+/// non-empty, `[0]`-rooted, non-decreasing, covering exactly `flat_len`
+/// elements. Every persisted CSR structure's reader uses this one check,
+/// so offset-validation fixes land in a single place.
+pub fn check_offsets(first: &[u32], flat_len: usize, what: &str) -> Result<(), StoreError> {
+    if first.first() != Some(&0)
+        || first.windows(2).any(|w| w[0] > w[1])
+        || first.last().map(|&x| x as usize) != Some(flat_len)
+    {
+        return Err(StoreError::invalid(format!("{what}: offsets inconsistent")));
+    }
+    Ok(())
+}
+
+/// A decoded section header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SectionHeader {
+    /// 4-ASCII-byte tag.
+    pub tag: u32,
+    /// Element type code (see [`elem`]).
+    pub type_code: u8,
+    /// Element count.
+    pub count: u64,
+}
+
+fn read_section_header<R: Read>(r: &mut R) -> Result<SectionHeader, StoreError> {
+    let mut buf = [0u8; 16];
+    r.read_exact(&mut buf)?;
+    Ok(SectionHeader {
+        tag: u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]),
+        type_code: buf[4],
+        count: u64::from_le_bytes([
+            buf[8], buf[9], buf[10], buf[11], buf[12], buf[13], buf[14], buf[15],
+        ]),
+    })
+}
+
+/// Reads a payload of `len` bytes in bounded chunks, then its CRC, and
+/// verifies the checksum.
+fn read_payload<R: Read>(r: &mut R, tag: u32, len: u64) -> Result<Vec<u8>, StoreError> {
+    let mut payload = Vec::new();
+    let mut remaining = len;
+    let mut crc = Crc32::new();
+    while remaining > 0 {
+        let take = remaining.min(CHUNK as u64) as usize;
+        let start = payload.len();
+        payload.resize(start + take, 0);
+        r.read_exact(&mut payload[start..])?;
+        crc.update(&payload[start..]);
+        remaining -= take as u64;
+    }
+    let mut stored = [0u8; 4];
+    r.read_exact(&mut stored)?;
+    if u32::from_le_bytes(stored) != crc.finish() {
+        return Err(StoreError::ChecksumMismatch { tag });
+    }
+    Ok(payload)
+}
+
+fn expect_section<R: Read>(
+    r: &mut R,
+    expected_tag: u32,
+    expected_type: u8,
+) -> Result<Vec<u8>, StoreError> {
+    let h = read_section_header(r)?;
+    if h.tag != expected_tag {
+        return Err(StoreError::UnexpectedSection {
+            expected: expected_tag,
+            found: h.tag,
+        });
+    }
+    if h.type_code != expected_type {
+        return Err(StoreError::WrongSectionType {
+            tag: h.tag,
+            expected: expected_type,
+            found: h.type_code,
+        });
+    }
+    let len = h
+        .count
+        .checked_mul(elem_size(expected_type) as u64)
+        .ok_or(StoreError::Truncated)?;
+    read_payload(r, h.tag, len)
+}
+
+/// Reads a raw-bytes section with the given tag.
+pub fn read_bytes<R: Read>(r: &mut R, tag: u32) -> Result<Vec<u8>, StoreError> {
+    expect_section(r, tag, elem::U8)
+}
+
+/// Reads a section of the given element type but returns the **raw
+/// little-endian payload** (CRC-verified, length a multiple of the element
+/// size) instead of materialising a typed vector. Decode-heavy readers use
+/// this to convert elements straight into their final structures, skipping
+/// one full intermediate pass over large payloads.
+pub fn read_raw<R: Read>(r: &mut R, tag: u32, type_code: u8) -> Result<Vec<u8>, StoreError> {
+    expect_section(r, tag, type_code)
+}
+
+/// Reads a `u32` section with the given tag.
+pub fn read_u32s<R: Read>(r: &mut R, tag: u32) -> Result<Vec<u32>, StoreError> {
+    let payload = expect_section(r, tag, elem::U32)?;
+    Ok(payload
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+/// Reads a `u64` section with the given tag.
+pub fn read_u64s<R: Read>(r: &mut R, tag: u32) -> Result<Vec<u64>, StoreError> {
+    let payload = expect_section(r, tag, elem::U64)?;
+    Ok(payload
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        .collect())
+}
+
+/// Reads an `f64` section with the given tag (exact bit patterns).
+pub fn read_f64s<R: Read>(r: &mut R, tag: u32) -> Result<Vec<f64>, StoreError> {
+    let payload = expect_section(r, tag, elem::F64)?;
+    Ok(payload
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        .collect())
+}
+
+/// Reads a single-`u64` section with the given tag.
+pub fn read_u64<R: Read>(r: &mut R, tag: u32) -> Result<u64, StoreError> {
+    let vs = read_u64s(r, tag)?;
+    if vs.len() != 1 {
+        return Err(StoreError::invalid(format!(
+            "section `{}` holds {} values, expected 1",
+            crate::error::tag_name(tag),
+            vs.len()
+        )));
+    }
+    Ok(vs[0])
+}
+
+/// Reads the end-of-body marker and verifies nothing follows it.
+pub fn read_end<R: Read>(r: &mut R) -> Result<(), StoreError> {
+    let payload = expect_section(r, END_TAG, elem::END)?;
+    debug_assert!(payload.is_empty());
+    let mut probe = [0u8; 1];
+    match r.read(&mut probe) {
+        Ok(0) => Ok(()),
+        Ok(_) => Err(StoreError::TrailingData),
+        Err(e) => Err(StoreError::Io(e)),
+    }
+}
+
+/// Summary of one section, as reported by [`walk_sections`].
+#[derive(Clone, Copy, Debug)]
+pub struct SectionInfo {
+    /// The section's tag.
+    pub tag: u32,
+    /// Element type code.
+    pub type_code: u8,
+    /// Element count.
+    pub count: u64,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// The stored CRC32.
+    pub crc: u32,
+}
+
+/// Walks a body's sections without interpreting them, verifying each CRC,
+/// until the end marker. Returns one [`SectionInfo`] per section (end marker
+/// excluded). Powers `tdx inspect` / `tdx verify`.
+pub fn walk_sections<R: Read>(r: &mut R) -> Result<Vec<SectionInfo>, StoreError> {
+    let mut out = Vec::new();
+    loop {
+        let h = read_section_header(r)?;
+        // Section headers sit outside the payload checksums, so a damaged
+        // type code must be rejected here — `elem_size` of an unknown code
+        // would otherwise read the section as zero-payload and misalign
+        // every subsequent header.
+        if !matches!(
+            h.type_code,
+            elem::END | elem::U8 | elem::U32 | elem::U64 | elem::F64
+        ) || (h.type_code == elem::END && h.count != 0)
+        {
+            return Err(StoreError::invalid(format!(
+                "section `{}` has unknown element type {}",
+                crate::error::tag_name(h.tag),
+                h.type_code
+            )));
+        }
+        let len = h
+            .count
+            .checked_mul(elem_size(h.type_code) as u64)
+            .ok_or(StoreError::Truncated)?;
+        let mut remaining = len;
+        let mut crc = Crc32::new();
+        let mut buf = vec![0u8; CHUNK.min(len.max(1) as usize)];
+        while remaining > 0 {
+            let take = remaining.min(buf.len() as u64) as usize;
+            r.read_exact(&mut buf[..take])?;
+            crc.update(&buf[..take]);
+            remaining -= take as u64;
+        }
+        let mut stored = [0u8; 4];
+        r.read_exact(&mut stored)?;
+        let stored = u32::from_le_bytes(stored);
+        if stored != crc.finish() {
+            return Err(StoreError::ChecksumMismatch { tag: h.tag });
+        }
+        if h.tag == END_TAG {
+            let mut probe = [0u8; 1];
+            return match r.read(&mut probe) {
+                Ok(0) => Ok(out),
+                Ok(_) => Err(StoreError::TrailingData),
+                Err(e) => Err(StoreError::Io(e)),
+            };
+        }
+        out.push(SectionInfo {
+            tag: h.tag,
+            type_code: h.type_code,
+            count: h.count,
+            bytes: len,
+            crc: stored,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_sections_round_trip() {
+        let mut buf = Vec::new();
+        write_u32s(&mut buf, tag4(*b"AAAA"), &[1, 2, u32::MAX]).unwrap();
+        write_f64s(&mut buf, tag4(*b"BBBB"), &[0.5, -1.25, f64::INFINITY]).unwrap();
+        write_u64s(&mut buf, tag4(*b"CCCC"), &[]).unwrap();
+        write_bytes(&mut buf, tag4(*b"DDDD"), b"hello").unwrap();
+        write_end(&mut buf).unwrap();
+
+        let r = &mut buf.as_slice();
+        assert_eq!(read_u32s(r, tag4(*b"AAAA")).unwrap(), vec![1, 2, u32::MAX]);
+        assert_eq!(
+            read_f64s(r, tag4(*b"BBBB")).unwrap(),
+            vec![0.5, -1.25, f64::INFINITY]
+        );
+        assert!(read_u64s(r, tag4(*b"CCCC")).unwrap().is_empty());
+        assert_eq!(read_bytes(r, tag4(*b"DDDD")).unwrap(), b"hello");
+        read_end(r).unwrap();
+    }
+
+    #[test]
+    fn nan_bits_survive() {
+        let weird = f64::from_bits(0x7FF8_DEAD_BEEF_0001);
+        let mut buf = Vec::new();
+        write_f64s(&mut buf, tag4(*b"NANS"), &[weird]).unwrap();
+        let back = read_f64s(&mut buf.as_slice(), tag4(*b"NANS")).unwrap();
+        assert_eq!(back[0].to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn wrong_tag_is_unexpected_section() {
+        let mut buf = Vec::new();
+        write_u32s(&mut buf, tag4(*b"AAAA"), &[7]).unwrap();
+        assert!(matches!(
+            read_u32s(&mut buf.as_slice(), tag4(*b"ZZZZ")),
+            Err(StoreError::UnexpectedSection { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_type_is_rejected() {
+        let mut buf = Vec::new();
+        write_u32s(&mut buf, tag4(*b"AAAA"), &[7]).unwrap();
+        assert!(matches!(
+            read_f64s(&mut buf.as_slice(), tag4(*b"AAAA")),
+            Err(StoreError::WrongSectionType { .. })
+        ));
+    }
+
+    #[test]
+    fn bit_flip_is_checksum_mismatch() {
+        let mut buf = Vec::new();
+        write_u32s(&mut buf, tag4(*b"AAAA"), &[1, 2, 3]).unwrap();
+        buf[20] ^= 0x40; // inside the payload
+        assert!(matches!(
+            read_u32s(&mut buf.as_slice(), tag4(*b"AAAA")),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_truncated_not_panic() {
+        let mut full = Vec::new();
+        write_f64s(&mut full, tag4(*b"AAAA"), &[1.0, 2.0, 3.0]).unwrap();
+        write_end(&mut full).unwrap();
+        for cut in 0..full.len() {
+            let mut r = &full[..cut];
+            match read_f64s(&mut r, tag4(*b"AAAA")) {
+                Err(_) => {}
+                // The body fit; the truncation must then hit the end marker.
+                Ok(_) => assert!(read_end(&mut r).is_err(), "cut={cut} fully succeeded"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_count_does_not_allocate_wildly() {
+        let mut buf = Vec::new();
+        write_u64s(&mut buf, tag4(*b"AAAA"), &[1]).unwrap();
+        // Claim ~2^60 elements; the stream ends long before.
+        buf[8..16].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        assert!(matches!(
+            read_u64s(&mut buf.as_slice(), tag4(*b"AAAA")),
+            Err(StoreError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn walker_rejects_unknown_element_types() {
+        let mut buf = Vec::new();
+        write_u32s(&mut buf, tag4(*b"AAAA"), &[1, 2]).unwrap();
+        write_end(&mut buf).unwrap();
+        buf[4] = 0x77; // damage the type code in the (un-checksummed) header
+        assert!(matches!(
+            walk_sections(&mut buf.as_slice()),
+            Err(StoreError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn walker_lists_sections_and_verifies_crc() {
+        let mut buf = Vec::new();
+        write_u32s(&mut buf, tag4(*b"AAAA"), &[1, 2]).unwrap();
+        write_f64s(&mut buf, tag4(*b"BBBB"), &[3.0]).unwrap();
+        write_end(&mut buf).unwrap();
+        let infos = walk_sections(&mut buf.as_slice()).unwrap();
+        assert_eq!(infos.len(), 2);
+        assert_eq!(infos[0].count, 2);
+        assert_eq!(infos[1].bytes, 8);
+
+        let mut bad = buf.clone();
+        bad[20] ^= 1;
+        assert!(matches!(
+            walk_sections(&mut bad.as_slice()),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+
+        let mut trailing = buf.clone();
+        trailing.push(0);
+        assert!(matches!(
+            walk_sections(&mut trailing.as_slice()),
+            Err(StoreError::TrailingData)
+        ));
+    }
+}

@@ -18,6 +18,7 @@
 pub mod elimination;
 pub mod fxhash;
 pub mod lca;
+pub mod persist;
 pub mod tree;
 
 pub use elimination::{EliminationGraph, ReductionStats};

@@ -1,0 +1,335 @@
+//! Snapshot persistence ([`td_store::Persist`]) for [`TreeDecomposition`].
+//!
+//! The decomposition is the expensive build product of Algo. 2 — loading it
+//! must not re-run elimination. Persisted verbatim: the tree skeleton
+//! (parent/depth/subtree arrays, bags CSR-flattened in elimination-sorted
+//! order), the `Ws`/`Wd` weight lists, the elimination order, the optional
+//! support lists (sorted by key for deterministic bytes), and the reduction
+//! counters. Rebuilt on load (cheap, deterministic): `children` lists from
+//! the parent array and the Euler-tour LCA index.
+//!
+//! Reading validates the skeleton before reassembly — parent/depth
+//! consistency (which implies acyclicity), elimination order being a
+//! permutation, bag members in range and sorted by elimination order with
+//! `bag[0]` = parent — so a corrupt file cannot smuggle in a malformed tree
+//! that would panic later inside a query.
+
+use crate::elimination::{ReductionStats, SupportMap};
+use crate::tree::{TreeDecomposition, TreeNode};
+use std::io::{Read, Write};
+use td_graph::VertexId;
+use td_plf::persist::{read_plf_list, write_plf_list};
+use td_store::section::{
+    check_offsets, read_u32s, read_u64, read_u64s, tag4, write_u32s, write_u64, write_u64s,
+};
+use td_store::{Persist, StoreError};
+
+const TAG_ROOT: u32 = tag4(*b"Troo");
+const TAG_ORDER: u32 = tag4(*b"Tord");
+const TAG_PARENT: u32 = tag4(*b"Tpar");
+const TAG_DEPTH: u32 = tag4(*b"Tdep");
+const TAG_SUBTREE: u32 = tag4(*b"Tsub");
+const TAG_BAG_FIRST: u32 = tag4(*b"Tbf ");
+const TAG_BAG: u32 = tag4(*b"Tbag");
+const TAG_SUP_FLAG: u32 = tag4(*b"Tsup");
+const TAG_SUP_A: u32 = tag4(*b"Tska");
+const TAG_SUP_B: u32 = tag4(*b"Tskb");
+const TAG_SUP_FIRST: u32 = tag4(*b"Tsvf");
+const TAG_SUP_VALS: u32 = tag4(*b"Tsvv");
+const TAG_REDUCTION: u32 = tag4(*b"Trds");
+
+/// Sentinel for "no parent" in the persisted parent array.
+const NO_PARENT: u32 = u32::MAX;
+
+impl Persist for TreeDecomposition {
+    fn write_into<W: Write>(&self, w: &mut W) -> Result<(), StoreError> {
+        let n = self.len();
+        write_u64(w, TAG_ROOT, self.root as u64)?;
+        write_u32s(w, TAG_ORDER, &self.order)?;
+        let parent: Vec<u32> = self
+            .nodes
+            .iter()
+            .map(|nd| nd.parent.unwrap_or(NO_PARENT))
+            .collect();
+        write_u32s(w, TAG_PARENT, &parent)?;
+        let depth: Vec<u32> = self.nodes.iter().map(|nd| nd.depth).collect();
+        write_u32s(w, TAG_DEPTH, &depth)?;
+        let subtree: Vec<u32> = self.nodes.iter().map(|nd| nd.subtree_size).collect();
+        write_u32s(w, TAG_SUBTREE, &subtree)?;
+
+        let mut bag_first = Vec::with_capacity(n + 1);
+        let mut bag = Vec::new();
+        bag_first.push(0u32);
+        for nd in &self.nodes {
+            bag.extend_from_slice(&nd.bag);
+            bag_first.push(bag.len() as u32);
+        }
+        write_u32s(w, TAG_BAG_FIRST, &bag_first)?;
+        write_u32s(w, TAG_BAG, &bag)?;
+
+        write_plf_list(
+            w,
+            self.nodes
+                .iter()
+                .flat_map(|nd| nd.ws.iter().map(|f| f.as_ref())),
+        )?;
+        write_plf_list(
+            w,
+            self.nodes
+                .iter()
+                .flat_map(|nd| nd.wd.iter().map(|f| f.as_ref())),
+        )?;
+
+        match &self.supports {
+            None => write_u64(w, TAG_SUP_FLAG, 0)?,
+            Some(map) => {
+                write_u64(w, TAG_SUP_FLAG, 1)?;
+                // Sorted by key for deterministic bytes (hash maps iterate
+                // in arbitrary order).
+                let mut keys: Vec<(VertexId, VertexId)> = map.keys().copied().collect();
+                keys.sort_unstable();
+                let a: Vec<u32> = keys.iter().map(|k| k.0).collect();
+                let b: Vec<u32> = keys.iter().map(|k| k.1).collect();
+                let mut first = Vec::with_capacity(keys.len() + 1);
+                let mut vals = Vec::new();
+                first.push(0u32);
+                for k in &keys {
+                    vals.extend_from_slice(&map[k]);
+                    first.push(vals.len() as u32);
+                }
+                write_u32s(w, TAG_SUP_A, &a)?;
+                write_u32s(w, TAG_SUP_B, &b)?;
+                write_u32s(w, TAG_SUP_FIRST, &first)?;
+                write_u32s(w, TAG_SUP_VALS, &vals)?;
+            }
+        }
+
+        let rs = self.reduction_stats();
+        write_u64s(
+            w,
+            TAG_REDUCTION,
+            &[rs.fill_edges as u64, rs.compounds as u64, rs.max_bag as u64],
+        )
+    }
+
+    fn read_from<R: Read>(r: &mut R) -> Result<TreeDecomposition, StoreError> {
+        let root = read_u64(r, TAG_ROOT)?;
+        let order = read_u32s(r, TAG_ORDER)?;
+        let parent = read_u32s(r, TAG_PARENT)?;
+        let depth = read_u32s(r, TAG_DEPTH)?;
+        let subtree = read_u32s(r, TAG_SUBTREE)?;
+        let bag_first = read_u32s(r, TAG_BAG_FIRST)?;
+        let bag = read_u32s(r, TAG_BAG)?;
+        let ws = read_plf_list(r)?;
+        let wd = read_plf_list(r)?;
+
+        let n = order.len();
+        if n == 0 {
+            return Err(StoreError::invalid("empty tree decomposition"));
+        }
+        if root >= n as u64 {
+            return Err(StoreError::invalid("root out of range"));
+        }
+        let root = root as VertexId;
+        if parent.len() != n || depth.len() != n || subtree.len() != n {
+            return Err(StoreError::invalid("tree arrays disagree in length"));
+        }
+        // Elimination order must be a permutation of 0..n.
+        let mut seen = vec![false; n];
+        for &o in &order {
+            if o as usize >= n || std::mem::replace(&mut seen[o as usize], true) {
+                return Err(StoreError::invalid(
+                    "elimination order is not a permutation",
+                ));
+            }
+        }
+        // Bags: CSR offsets + members in range.
+        if bag_first.len() != n + 1 {
+            return Err(StoreError::invalid("bag offsets are inconsistent"));
+        }
+        check_offsets(&bag_first, bag.len(), "bags")?;
+        if bag.iter().any(|&u| u as usize >= n) {
+            return Err(StoreError::invalid("bag member out of range"));
+        }
+        if ws.len() != bag.len() || wd.len() != bag.len() {
+            return Err(StoreError::invalid(
+                "weight lists disagree with bag slot count",
+            ));
+        }
+        // Skeleton: root is the unique parentless node; every other node's
+        // parent has depth one less (implies acyclicity and a single tree).
+        if depth[root as usize] != 0 || parent[root as usize] != NO_PARENT {
+            return Err(StoreError::invalid("root must be parentless at depth 0"));
+        }
+        for v in 0..n {
+            if v as u32 == root {
+                continue;
+            }
+            let p = parent[v];
+            if p == NO_PARENT || p as usize >= n {
+                return Err(StoreError::invalid("non-root node without a valid parent"));
+            }
+            // checked_add: the parent may appear later in the array, so its
+            // depth can be arbitrary garbage here (u32::MAX would overflow
+            // a plain `+ 1` into a debug-build panic).
+            if depth[p as usize].checked_add(1) != Some(depth[v]) {
+                return Err(StoreError::invalid("depth inconsistent with parent"));
+            }
+            if !(1..=n as u32).contains(&subtree[v]) {
+                return Err(StoreError::invalid("subtree size out of range"));
+            }
+        }
+
+        // Assemble nodes; bags must be sorted by elimination order with
+        // bag[0] = parent (the structure every query walk relies on).
+        let mut nodes: Vec<TreeNode> = Vec::with_capacity(n);
+        let mut ws_iter = ws.into_iter();
+        let mut wd_iter = wd.into_iter();
+        for v in 0..n {
+            let lo = bag_first[v] as usize;
+            let hi = bag_first[v + 1] as usize;
+            let b = bag[lo..hi].to_vec();
+            if b.windows(2)
+                .any(|w| order[w[0] as usize] >= order[w[1] as usize])
+            {
+                return Err(StoreError::invalid("bag not sorted by elimination order"));
+            }
+            match b.first() {
+                Some(&first) if v as u32 != root && parent[v] != first => {
+                    return Err(StoreError::invalid("bag[0] does not match the parent"));
+                }
+                None if v as u32 != root && parent[v] != root => {
+                    return Err(StoreError::invalid(
+                        "bagless non-root node must hang under the root",
+                    ));
+                }
+                _ => {}
+            }
+            let count = hi - lo;
+            nodes.push(TreeNode {
+                vertex: v as VertexId,
+                bag: b,
+                ws: ws_iter.by_ref().take(count).collect(),
+                wd: wd_iter.by_ref().take(count).collect(),
+                parent: if v as u32 == root {
+                    None
+                } else {
+                    Some(parent[v])
+                },
+                children: Vec::new(),
+                depth: depth[v],
+                subtree_size: subtree[v],
+            });
+        }
+        // Children in ascending vertex order — the order `build` produces.
+        for v in 0..n as u32 {
+            if v != root {
+                let p = parent[v as usize];
+                nodes[p as usize].children.push(v);
+            }
+        }
+
+        let supports = match read_u64(r, TAG_SUP_FLAG)? {
+            0 => None,
+            1 => {
+                let a = read_u32s(r, TAG_SUP_A)?;
+                let b = read_u32s(r, TAG_SUP_B)?;
+                let first = read_u32s(r, TAG_SUP_FIRST)?;
+                let vals = read_u32s(r, TAG_SUP_VALS)?;
+                if a.len() != b.len() || first.len() != a.len() + 1 {
+                    return Err(StoreError::invalid("support arrays are inconsistent"));
+                }
+                check_offsets(&first, vals.len(), "supports")?;
+                if a.iter().zip(&b).any(|(&x, &y)| x >= y || y as usize >= n)
+                    || vals.iter().any(|&m| m as usize >= n)
+                {
+                    return Err(StoreError::invalid("support entry out of range"));
+                }
+                let mut map = SupportMap::default();
+                for (i, (&x, &y)) in a.iter().zip(&b).enumerate() {
+                    let lo = first[i] as usize;
+                    let hi = first[i + 1] as usize;
+                    map.insert((x, y), vals[lo..hi].to_vec());
+                }
+                Some(map)
+            }
+            other => {
+                return Err(StoreError::invalid(format!(
+                    "support flag must be 0 or 1, got {other}"
+                )))
+            }
+        };
+
+        let rs = read_u64s(r, TAG_REDUCTION)?;
+        if rs.len() != 3 {
+            return Err(StoreError::invalid("reduction stats must hold 3 counters"));
+        }
+        let reduction = ReductionStats {
+            fill_edges: rs[0] as usize,
+            compounds: rs[1] as usize,
+            max_bag: rs[2] as usize,
+        };
+
+        Ok(TreeDecomposition::from_parts(
+            nodes, order, root, supports, reduction,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_gen::random_graph::seeded_graph;
+
+    fn roundtrip(td: &TreeDecomposition) -> TreeDecomposition {
+        let mut buf = Vec::new();
+        td.write_into(&mut buf).unwrap();
+        let mut r = buf.as_slice();
+        let back = TreeDecomposition::read_from(&mut r).unwrap();
+        assert!(r.is_empty());
+        back
+    }
+
+    #[test]
+    fn decomposition_round_trips_exactly() {
+        for supports in [false, true] {
+            let g = seeded_graph(7, 40, 25, 3);
+            let td = TreeDecomposition::build_opts(&g, supports);
+            let back = roundtrip(&td);
+            assert_eq!(back.root, td.root);
+            assert_eq!(back.order, td.order);
+            assert_eq!(back.len(), td.len());
+            for v in 0..td.len() as u32 {
+                let (a, b) = (back.node(v), td.node(v));
+                assert_eq!(a.bag, b.bag);
+                assert_eq!(a.parent, b.parent);
+                assert_eq!(a.children, b.children);
+                assert_eq!(a.depth, b.depth);
+                assert_eq!(a.subtree_size, b.subtree_size);
+                assert_eq!(a.ws, b.ws);
+                assert_eq!(a.wd, b.wd);
+            }
+            assert_eq!(back.supports, td.supports);
+            assert_eq!(back.stats(), td.stats());
+            // The rebuilt LCA answers identically.
+            for u in 0..td.len() as u32 {
+                for v in (0..td.len() as u32).step_by(7) {
+                    assert_eq!(back.lca(u, v), td.lca(u, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_skeleton_is_rejected() {
+        let g = seeded_graph(3, 20, 12, 3);
+        let td = TreeDecomposition::build(&g);
+        let mut buf = Vec::new();
+        td.write_into(&mut buf).unwrap();
+        // Truncations at every section boundary-ish prefix must error, not
+        // panic.
+        for cut in (0..buf.len()).step_by(97) {
+            assert!(TreeDecomposition::read_from(&mut &buf[..cut]).is_err());
+        }
+    }
+}

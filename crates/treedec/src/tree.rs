@@ -166,6 +166,32 @@ impl TreeDecomposition {
         }
     }
 
+    /// Reassembles a decomposition from persisted parts, rebuilding the LCA
+    /// index (deterministic from the tree skeleton). The persistence module
+    /// validates the skeleton before calling this.
+    pub(crate) fn from_parts(
+        nodes: Vec<TreeNode>,
+        order: Vec<u32>,
+        root: VertexId,
+        supports: Option<SupportMap>,
+        reduction: ReductionStats,
+    ) -> TreeDecomposition {
+        let lca = LcaIndex::build(&nodes, root);
+        TreeDecomposition {
+            nodes,
+            order,
+            root,
+            supports,
+            lca,
+            reduction,
+        }
+    }
+
+    /// The elimination counters recorded during construction.
+    pub(crate) fn reduction_stats(&self) -> ReductionStats {
+        self.reduction
+    }
+
     /// Position of `u` inside `X(v)`'s bag, if present.
     pub fn bag_position(&self, v: VertexId, u: VertexId) -> Option<usize> {
         self.nodes[v as usize].bag.iter().position(|&x| x == u)

@@ -15,22 +15,39 @@ use td_plf::Pt;
 use td_road::prelude::*;
 
 fn main() {
-    let graph = Dataset::Cal.build(3, 0.15, 5);
-    let n = graph.num_vertices() as u32;
-    let budget = Dataset::Cal.spec().budget_at(0.15) as u64;
-    let index = TdTreeIndex::build(
-        graph,
-        IndexOptions {
-            strategy: SelectionStrategy::Greedy { budget },
-            track_supports: true, // enables update_edges
-            ..Default::default()
-        },
-    );
-    println!(
-        "index built in {:.2}s ({} shortcut pairs)",
-        RoutingIndex::build_stats(&index).construction_secs,
-        RoutingIndex::build_stats(&index).precomputed_pairs
-    );
+    // A production router restarts from a snapshot, not a rebuild: the
+    // first run of this example builds the index (with support tracking,
+    // so it accepts `update_edges`) and saves it; later runs seed the
+    // `LiveIndex` from the `.tdx` file in milliseconds.
+    let snap = std::env::temp_dir().join("live-traffic-td-appro.tdx");
+    let index = match load_tree_index(&snap) {
+        Ok(index) => {
+            println!("index restored from {}", snap.display());
+            index
+        }
+        Err(_) => {
+            let graph = Dataset::Cal.build(3, 0.15, 5);
+            let budget = Dataset::Cal.spec().budget_at(0.15) as u64;
+            let index = TdTreeIndex::build(
+                graph,
+                IndexOptions {
+                    strategy: SelectionStrategy::Greedy { budget },
+                    track_supports: true, // enables update_edges
+                    ..Default::default()
+                },
+            );
+            println!(
+                "index built in {:.2}s ({} shortcut pairs)",
+                RoutingIndex::build_stats(&index).construction_secs,
+                RoutingIndex::build_stats(&index).precomputed_pairs
+            );
+            if save_index(&index, &snap).is_ok() {
+                println!("snapshot saved to {} for the next restart", snap.display());
+            }
+            index
+        }
+    };
+    let n = index.graph().num_vertices() as u32;
 
     let (s, d) = (1u32, n - 2);
     let depart = 8.0 * 3600.0;

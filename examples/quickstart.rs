@@ -78,4 +78,32 @@ fn main() {
         print!(" {c:.0}s");
     }
     println!();
+    drop(session);
+
+    // 5. Persistence: the expensive build above is a one-time cost. Save
+    //    the index as a versioned `.tdx` snapshot, drop it, and reload in
+    //    milliseconds — the loaded index answers bit-identically.
+    let snap = std::env::temp_dir().join("quickstart-td-appro.tdx");
+    let t0 = std::time::Instant::now();
+    save_index(index.as_ref(), &snap).expect("save snapshot");
+    let save_secs = t0.elapsed().as_secs_f64();
+    drop(index); // the built index is gone ...
+
+    let t1 = std::time::Instant::now();
+    let reloaded = load_index(&snap).expect("load snapshot"); // ... and back.
+    println!(
+        "snapshot: saved in {save_secs:.3}s, reloaded {} in {:.3}s",
+        reloaded.backend_name(),
+        t1.elapsed().as_secs_f64()
+    );
+    let again = reloaded
+        .query_cost(s, d, depart)
+        .expect("connected network");
+    assert_eq!(
+        cost.to_bits(),
+        again.to_bits(),
+        "a loaded snapshot answers bit-identically"
+    );
+    println!("reloaded answer at 08:00 = {again:.1}s (bit-identical)");
+    std::fs::remove_file(&snap).ok();
 }

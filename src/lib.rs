@@ -65,13 +65,15 @@ pub use td_graph as graph;
 pub use td_gtree as gtree;
 pub use td_h2h as h2h;
 pub use td_plf as plf;
+pub use td_store as store;
 pub use td_treedec as treedec;
 
 /// The most common imports in one place.
 pub mod prelude {
     pub use td_api::{
-        build_index, Backend, DijkstraOracle, IncrementalIndex, IndexConfig, LiveIndex,
-        ParallelExecutor, QuerySession, RoutingIndex, RoutingIndexExt,
+        build_index, load_index, load_tree_index, save_index, Backend, DijkstraOracle,
+        IncrementalIndex, IndexConfig, LiveIndex, ParallelExecutor, QuerySession, RoutingIndex,
+        RoutingIndexExt, StoreError,
     };
     pub use td_core::{IndexOptions, SelectionStrategy, TdTreeIndex};
     pub use td_gen::{Dataset, ProfileConfig, Query, Workload, WorkloadConfig};
