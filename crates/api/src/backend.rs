@@ -1,6 +1,7 @@
 //! The [`Backend`] enum, unified [`IndexConfig`] and the [`build_index`]
 //! factory.
 
+use crate::astar_ch::AStarChIndex;
 use crate::index::RoutingIndex;
 use crate::oracle::DijkstraOracle;
 use std::fmt;
@@ -25,17 +26,22 @@ pub enum Backend {
     TdGtree,
     /// The non-index TD-Dijkstra baseline / correctness oracle.
     Dijkstra,
+    /// TD-A\* on the frozen graph with lazy contraction-hierarchy
+    /// potentials (exact; preprocessing = one scalar min-cost contraction).
+    AStarCh,
 }
 
 impl Backend {
-    /// Every backend, in the paper's presentation order.
-    pub const ALL: [Backend; 6] = [
+    /// Every backend, in the paper's presentation order (workspace
+    /// additions after the paper's six).
+    pub const ALL: [Backend; 7] = [
         Backend::TdBasic,
         Backend::TdAppro,
         Backend::TdDp,
         Backend::TdH2h,
         Backend::TdGtree,
         Backend::Dijkstra,
+        Backend::AStarCh,
     ];
 
     /// Display name as in the paper's tables.
@@ -47,6 +53,7 @@ impl Backend {
             Backend::TdH2h => "TD-H2H",
             Backend::TdGtree => "TD-G-tree",
             Backend::Dijkstra => "TD-Dijkstra",
+            Backend::AStarCh => "TD-A*-CH",
         }
     }
 
@@ -86,6 +93,7 @@ impl Backend {
                 },
             )),
             Backend::Dijkstra => Box::new(DijkstraOracle::new(graph)),
+            Backend::AStarCh => Box::new(AStarChIndex::new(graph)),
         }
     }
 }
@@ -101,7 +109,8 @@ impl FromStr for Backend {
 
     /// Parses paper names and common aliases (case-insensitive):
     /// `td-basic`, `td-appro`/`appro`, `td-dp`/`dp`, `td-h2h`/`h2h`,
-    /// `td-g-tree`/`gtree`, `td-dijkstra`/`dijkstra`.
+    /// `td-g-tree`/`gtree`, `td-dijkstra`/`dijkstra`,
+    /// `td-astar-ch`/`astar-ch`/`astar`.
     fn from_str(s: &str) -> Result<Backend, String> {
         match s.to_ascii_lowercase().as_str() {
             "td-basic" | "basic" => Ok(Backend::TdBasic),
@@ -110,6 +119,7 @@ impl FromStr for Backend {
             "td-h2h" | "h2h" => Ok(Backend::TdH2h),
             "td-g-tree" | "td-gtree" | "gtree" => Ok(Backend::TdGtree),
             "td-dijkstra" | "dijkstra" => Ok(Backend::Dijkstra),
+            "td-astar-ch" | "td-a*-ch" | "astar-ch" | "astar" => Ok(Backend::AStarCh),
             other => Err(format!("unknown backend `{other}`")),
         }
     }

@@ -1,5 +1,6 @@
 //! The [`RoutingIndex`] trait and its implementations for every backend.
 
+use crate::astar_ch::{AStarChIndex, AStarChScratch};
 use crate::oracle::DijkstraOracle;
 use crate::session::{QuerySession, SessionScratch};
 use td_core::{CostScratch, ProfileScratch, TdTreeIndex, UpdateStats};
@@ -445,5 +446,81 @@ impl RoutingIndex for DijkstraOracle {
 
     fn write_snapshot(&self, mut w: &mut dyn std::io::Write) -> Result<(), td_store::StoreError> {
         td_store::write_snapshot(self, td_store::BackendTag::Dijkstra, &mut w)
+    }
+}
+
+// ----------------------------------------------------------------------
+// TD-A*-CH
+// ----------------------------------------------------------------------
+
+impl RoutingIndex for AStarChIndex {
+    fn backend_name(&self) -> &'static str {
+        "TD-A*-CH"
+    }
+
+    fn graph(&self) -> &TdGraph {
+        AStarChIndex::graph(self)
+    }
+
+    fn query_cost(&self, s: VertexId, d: VertexId, t: f64) -> Option<f64> {
+        AStarChIndex::query_cost(self, s, d, t)
+    }
+
+    fn query_profile(&self, s: VertexId, d: VertexId) -> Option<Plf> {
+        AStarChIndex::query_profile(self, s, d)
+    }
+
+    fn query_path(&self, s: VertexId, d: VertexId, t: f64) -> Option<(f64, Path)> {
+        self.query_path_with(&mut AStarChScratch::default(), s, d, t)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        AStarChIndex::memory_bytes(self)
+    }
+
+    fn build_stats(&self) -> IndexStats {
+        IndexStats {
+            construction_secs: self.hierarchy().construction_secs(),
+            precomputed_pairs: self.hierarchy().num_shortcuts(),
+            // The hierarchy stores one scalar weight per (directed) up/down
+            // edge — the CH analogue of interpolation points.
+            stored_points: self.hierarchy().num_edges(),
+        }
+    }
+
+    fn new_scratch(&self) -> SessionScratch {
+        SessionScratch::new(AStarChScratch::default())
+    }
+
+    fn query_cost_in(
+        &self,
+        scratch: &mut SessionScratch,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+    ) -> Option<f64> {
+        let sc: &mut AStarChScratch = scratch.get_or_default();
+        self.query_cost_with(sc, s, d, t)
+    }
+
+    fn query_path_in(
+        &self,
+        scratch: &mut SessionScratch,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+    ) -> Option<(f64, Path)> {
+        let sc: &mut AStarChScratch = scratch.get_or_default();
+        self.query_path_with(sc, s, d, t)
+    }
+
+    fn write_snapshot(&self, mut w: &mut dyn std::io::Write) -> Result<(), td_store::StoreError> {
+        td_store::write_snapshot(self, td_store::BackendTag::AStarCh, &mut w)
+    }
+}
+
+impl IncrementalIndex for AStarChIndex {
+    fn update_edges(&mut self, changes: &[(VertexId, VertexId, Plf)]) -> UpdateStats {
+        AStarChIndex::update_edges(self, changes)
     }
 }

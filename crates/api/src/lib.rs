@@ -1,8 +1,9 @@
 //! # td-api — the system's public query contract
 //!
 //! Every index family in the workspace — the paper's TD-tree
-//! ([`td_core::TdTreeIndex`]), the TD-G-tree and TD-H2H baselines, and the
-//! non-index TD-Dijkstra oracle — answers the same three query kinds under
+//! ([`td_core::TdTreeIndex`]), the TD-G-tree and TD-H2H baselines, the
+//! non-index TD-Dijkstra oracle, and the lazy-CH-potential TD-A\* engine
+//! ([`AStarChIndex`]) — answers the same three query kinds under
 //! the same accounting. This crate is the one seam expressing that:
 //!
 //! * [`RoutingIndex`] — the object-safe trait every backend implements:
@@ -38,6 +39,7 @@
 //! assert_eq!(cost, again);
 //! ```
 
+mod astar_ch;
 mod backend;
 pub mod conformance;
 mod index;
@@ -46,6 +48,7 @@ mod parallel;
 mod session;
 mod snapshot;
 
+pub use astar_ch::{AStarChIndex, AStarChScratch};
 pub use backend::{build_index, Backend, IndexConfig};
 pub use index::{IncrementalIndex, IndexStats, RoutingIndex, RoutingIndexExt};
 pub use oracle::DijkstraOracle;

@@ -33,6 +33,7 @@ impl Backend {
             Backend::TdH2h => BackendTag::TdH2h,
             Backend::TdGtree => BackendTag::TdGtree,
             Backend::Dijkstra => BackendTag::Dijkstra,
+            Backend::AStarCh => BackendTag::AStarCh,
         }
     }
 
@@ -45,6 +46,7 @@ impl Backend {
             BackendTag::TdH2h => Backend::TdH2h,
             BackendTag::TdGtree => Backend::TdGtree,
             BackendTag::Dijkstra => Backend::Dijkstra,
+            BackendTag::AStarCh => Backend::AStarCh,
         }
     }
 }
@@ -93,6 +95,7 @@ pub fn load_index_from(
         BackendTag::TdH2h => Box::new(TdH2h::read_from(&mut r)?),
         BackendTag::TdGtree => Box::new(TdGtree::read_from(&mut r)?),
         BackendTag::Dijkstra => Box::new(DijkstraOracle::read_from(&mut r)?),
+        BackendTag::AStarCh => Box::new(crate::AStarChIndex::read_from(&mut r)?),
     };
     section::read_end(&mut r)?;
     Ok((Backend::from_snapshot_tag(header.backend), index))

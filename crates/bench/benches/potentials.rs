@@ -1,0 +1,207 @@
+//! Potential A/B micro-bench: the same exact TD-A\* forward search driven by
+//! (A) the legacy full-backward-Dijkstra potential — O(n) setup per query —
+//! versus (B) the lazy CH potential — one small backward upward search plus
+//! memoized resolution — versus (C) plain frozen TD-Dijkstra with no goal
+//! direction at all, on the CAL-sized medium network.
+//!
+//! Timings are interleaved (one A rep, one B rep, one C rep, repeat) so
+//! thermal and scheduler drift cancels. Before timing, every query's answer
+//! is cross-checked **bit-identically** across all three methods, and the
+//! CH potential's per-query setup (vertices settled by the backward upward
+//! search) is asserted to stay ≤ 5% of the graph.
+//!
+//! Acceptance bar (ISSUE 5): lazy CH-potential A\* ≥ 5x faster per query
+//! than the full-potential baseline. A miss warns loudly by default; set
+//! POTENTIALS_ASSERT=1 to make it fatal (quiet perf-regression gate).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::time::Instant;
+use td_ch::ContractionHierarchy;
+use td_dijkstra::{
+    astar_cost_frozen_with, shortest_path_cost_frozen_with, AStarScratch, ChPotential,
+    ChPotentialScratch, DijkstraScratch, FullPotential, FullPotentialScratch,
+};
+use td_gen::Dataset;
+use td_plf::DAY;
+
+fn queries(n: usize, count: usize, seed: u64) -> Vec<(u32, u32, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            (
+                rng.gen_range(0..n) as u32,
+                rng.gen_range(0..n) as u32,
+                rng.gen_range(0.0..DAY),
+            )
+        })
+        .collect()
+}
+
+/// Interleaved A/B/C timing: mean ns per rep of each side after a warm-up.
+fn compare3(
+    mut a: impl FnMut(),
+    mut b: impl FnMut(),
+    mut c: impl FnMut(),
+    budget_ms: u128,
+) -> (f64, f64, f64) {
+    a();
+    b();
+    c();
+    let (mut ta, mut tb, mut tc, mut reps) = (0u128, 0u128, 0u128, 0u64);
+    let start = Instant::now();
+    while start.elapsed().as_millis() < budget_ms {
+        let s = Instant::now();
+        a();
+        ta += s.elapsed().as_nanos();
+        let s = Instant::now();
+        b();
+        tb += s.elapsed().as_nanos();
+        let s = Instant::now();
+        c();
+        tc += s.elapsed().as_nanos();
+        reps += 1;
+    }
+    let r = reps as f64;
+    (ta as f64 / r, tb as f64 / r, tc as f64 / r)
+}
+
+fn bench_potentials(criterion: &mut Criterion) {
+    // The CAL-sized medium network, as in benches/csr_layout.rs.
+    let g = Dataset::Cal.spec().build_scaled(3, 1.0, 42); // ~5.2k vertices
+    let fg = g.freeze();
+    let n = g.num_vertices();
+    let t0 = Instant::now();
+    let ch = ContractionHierarchy::build(&fg);
+    println!(
+        "CH over lower-bound metrics: n={n}, {} suffix windows, {} shortcuts, built in {:.2}s",
+        ch.window_starts().len(),
+        ch.num_shortcuts(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let qs = queries(n, 64, 7);
+    let mut full_sc = FullPotentialScratch::default();
+    let mut ch_sc = ChPotentialScratch::default();
+    let mut astar_a = AStarScratch::default();
+    let mut astar_b = AStarScratch::default();
+    let mut dj = DijkstraScratch::default();
+
+    // Correctness + setup-size gate before any timing: all three methods
+    // bit-identical, CH potential setup small.
+    let mut max_settled = 0usize;
+    for &(s, d, t) in &qs {
+        let want = shortest_path_cost_frozen_with(&mut dj, &fg, s, d, t);
+        let mut full = FullPotential::new(&fg, &mut full_sc);
+        let got_full = astar_cost_frozen_with(&mut astar_a, &fg, &mut full, s, d, t);
+        let mut lazy = ChPotential::new(&ch, &mut ch_sc);
+        let got_ch = astar_cost_frozen_with(&mut astar_b, &fg, &mut lazy, s, d, t);
+        max_settled = max_settled.max(ch_sc.last_init_settled());
+        assert_eq!(
+            want.map(f64::to_bits),
+            got_full.map(f64::to_bits),
+            "full-potential A* diverges at s={s} d={d} t={t}"
+        );
+        assert_eq!(
+            want.map(f64::to_bits),
+            got_ch.map(f64::to_bits),
+            "CH-potential A* diverges at s={s} d={d} t={t}"
+        );
+    }
+    let settled_pct = 100.0 * max_settled as f64 / n as f64;
+    println!(
+        "CH potential setup: ≤ {max_settled} of {n} vertices settled per query ({settled_pct:.2}%)"
+    );
+    assert!(
+        settled_pct <= 5.0,
+        "potential setup settles {settled_pct:.2}% of vertices (bar: 5%)"
+    );
+
+    let (full_ns, ch_ns, dj_ns) = compare3(
+        || {
+            for &(s, d, t) in &qs {
+                let mut pot = FullPotential::new(&fg, &mut full_sc);
+                black_box(astar_cost_frozen_with(&mut astar_a, &fg, &mut pot, s, d, t));
+            }
+        },
+        || {
+            for &(s, d, t) in &qs {
+                let mut pot = ChPotential::new(&ch, &mut ch_sc);
+                black_box(astar_cost_frozen_with(&mut astar_b, &fg, &mut pot, s, d, t));
+            }
+        },
+        || {
+            for &(s, d, t) in &qs {
+                black_box(shortest_path_cost_frozen_with(&mut dj, &fg, s, d, t));
+            }
+        },
+        3000,
+    );
+    let per_q = qs.len() as f64;
+    let speedup_vs_full = full_ns / ch_ns;
+    let speedup_vs_dijkstra = dj_ns / ch_ns;
+    println!(
+        "potentials (n={n}): full-pot A* {:.1} µs/q, lazy-CH A* {:.1} µs/q, plain dijkstra {:.1} µs/q",
+        full_ns / 1e3 / per_q,
+        ch_ns / 1e3 / per_q,
+        dj_ns / 1e3 / per_q
+    );
+    println!(
+        "lazy CH A* speedup: {speedup_vs_full:.2}x vs full-potential A*, \
+         {speedup_vs_dijkstra:.2}x vs plain frozen dijkstra"
+    );
+
+    // Acceptance bar: ≥ 5x vs the O(n)-setup baseline. Timing on a shared
+    // machine is noisy, so a miss warns loudly by default; set
+    // POTENTIALS_ASSERT=1 to make it fatal.
+    if speedup_vs_full < 5.0 {
+        let msg = format!(
+            "lazy CH potential below the acceptance bar: {speedup_vs_full:.2}x vs full \
+             potential (bar: 5x) — rerun on an idle machine"
+        );
+        if std::env::var_os("POTENTIALS_ASSERT").is_some() {
+            panic!("{msg}");
+        }
+        println!("WARNING: {msg}");
+    }
+
+    // ---- Criterion timings for the record ----
+    let mut group = criterion.benchmark_group("potentials");
+    {
+        let mut i = 0usize;
+        group.bench_function("astar_full_potential", |b| {
+            b.iter(|| {
+                i = (i + 1) % qs.len();
+                let (s, d, t) = qs[i];
+                let mut pot = FullPotential::new(&fg, &mut full_sc);
+                black_box(astar_cost_frozen_with(&mut astar_a, &fg, &mut pot, s, d, t))
+            })
+        });
+    }
+    {
+        let mut i = 0usize;
+        group.bench_function("astar_lazy_ch_potential", |b| {
+            b.iter(|| {
+                i = (i + 1) % qs.len();
+                let (s, d, t) = qs[i];
+                let mut pot = ChPotential::new(&ch, &mut ch_sc);
+                black_box(astar_cost_frozen_with(&mut astar_b, &fg, &mut pot, s, d, t))
+            })
+        });
+    }
+    {
+        let mut i = 0usize;
+        group.bench_function("dijkstra_no_potential", |b| {
+            b.iter(|| {
+                i = (i + 1) % qs.len();
+                let (s, d, t) = qs[i];
+                black_box(shortest_path_cost_frozen_with(&mut dj, &fg, s, d, t))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_potentials);
+criterion_main!(benches);

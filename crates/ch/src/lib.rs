@@ -1,0 +1,869 @@
+//! # td-ch — scalar contraction hierarchies over lower-bound metrics
+//!
+//! The TD-A\* query path needs a potential `h(v)` = a lower bound on the
+//! time-dependent cost `v → d`. A static graph whose edges carry lower
+//! bounds on the TD weights gives admissible, *consistent* potentials — but
+//! computing its exact distances with a full backward Dijkstra per
+//! destination is O(n) per query, which defeats the paper's
+//! pay-preprocessing-once premise.
+//!
+//! This crate contracts such scalar graphs once into a
+//! [`ContractionHierarchy`] (Geisberger-style node contraction with witness
+//! searches; the CH-Potentials idea of Strasser, Wagner & Zeitz and the TCH
+//! line of Batz et al.). A destination's exact scalar distances are then
+//! answered by one small backward *upward* search plus lazy memoized
+//! resolution over the upward edge arrays — typically a few hundred vertices
+//! instead of all of them (see `td_dijkstra::ChPotential`).
+//!
+//! Two refinements over a single min-over-the-day metric:
+//!
+//! * **Multi-metric suffix windows** (the multi-metric potentials of the
+//!   CATCHUp line): the hierarchy carries one customized weight set per
+//!   window start `τ_k`, where metric `k` weighs each edge by
+//!   `min_{τ ≥ τ_k} w_e(τ)`. A query departing at `t` uses the largest
+//!   `τ_k ≤ t` — valid because FIFO arrival times along the search never
+//!   precede the departure, and far tighter than the whole-day minimum
+//!   once rush hour has started (metric 0 has `τ_0 = 0`, the classic
+//!   global min).
+//! * **Metric-independent order**: the contraction order is computed once
+//!   (lazy edge-difference heuristic on metric 0) and kept across weight
+//!   changes; [`ContractionHierarchy::customize`] re-derives every metric's
+//!   shortcuts deterministically in that fixed order. Build, `update_edges`
+//!   re-customization and snapshot load all run this same pass, so all
+//!   three produce bit-identical hierarchies.
+
+use td_graph::{EdgeId, FrozenGraph, VertexId};
+
+pub mod persist;
+
+/// Cap on vertices settled per witness search. A hit means the search was
+/// inconclusive and the shortcut is added anyway — only exactness of the
+/// *pruning* (shortcut count), never of distances, depends on this.
+const WITNESS_SETTLE_CAP: usize = 128;
+
+/// Default suffix-window starts (seconds): every three hours. Denser than
+/// the congestion pattern's features so some window opens shortly before
+/// any departure; `starts[0] = 0` keeps the whole-day minimum as the
+/// fallback metric for pre-dawn departures.
+pub const DEFAULT_WINDOW_STARTS: [f64; 8] = [
+    0.0,
+    3.0 * 3600.0,
+    6.0 * 3600.0,
+    9.0 * 3600.0,
+    12.0 * 3600.0,
+    15.0 * 3600.0,
+    18.0 * 3600.0,
+    21.0 * 3600.0,
+];
+
+/// One customized metric: flat upward and backward-upward adjacency
+/// (original edges and shortcuts together, each with its scalar weight).
+///
+/// `up` holds every edge `(v, u)` with `rank(u) > rank(v)` in forward
+/// direction; the backward arrays hold every edge `(u, v)` with
+/// `rank(u) > rank(v)` indexed at `v` — both searches of a CH query climb
+/// ranks only.
+#[derive(Clone, Debug, Default)]
+pub struct MetricCsr {
+    /// Upward CSR: `up_first[v]..up_first[v+1]` delimits `v`'s up-edges.
+    up_first: Vec<u32>,
+    up_head: Vec<VertexId>,
+    up_weight: Vec<f64>,
+    /// Backward-upward CSR: at `v`, the tails `u` (with `rank(u) > rank(v)`)
+    /// of down-edges `u → v`.
+    down_first: Vec<u32>,
+    down_tail: Vec<VertexId>,
+    down_weight: Vec<f64>,
+    /// Shortcut edges added on top of the original min-cost edges.
+    num_shortcuts: usize,
+}
+
+impl MetricCsr {
+    /// `v`'s upward edges as parallel `(heads, weights)` slices — every
+    /// head has a higher rank than `v`.
+    #[inline]
+    pub fn up_edges(&self, v: VertexId) -> (&[VertexId], &[f64]) {
+        let lo = self.up_first[v as usize] as usize;
+        let hi = self.up_first[v as usize + 1] as usize;
+        (&self.up_head[lo..hi], &self.up_weight[lo..hi])
+    }
+
+    /// The higher-ranked tails of down-edges into `v`, as parallel
+    /// `(tails, weights)` slices — the backward search's adjacency.
+    #[inline]
+    pub fn backward_up_edges(&self, v: VertexId) -> (&[VertexId], &[f64]) {
+        let lo = self.down_first[v as usize] as usize;
+        let hi = self.down_first[v as usize + 1] as usize;
+        (&self.down_tail[lo..hi], &self.down_weight[lo..hi])
+    }
+
+    /// Shortcut edges added on top of the original (deduplicated) edges.
+    #[inline]
+    pub fn num_shortcuts(&self) -> usize {
+        self.num_shortcuts
+    }
+
+    /// Total directed edges (up + down, originals and shortcuts).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.up_head.len() + self.down_tail.len()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        (self.up_first.capacity()
+            + self.up_head.capacity()
+            + self.down_first.capacity()
+            + self.down_tail.capacity())
+            * std::mem::size_of::<u32>()
+            + (self.up_weight.capacity() + self.down_weight.capacity()) * std::mem::size_of::<f64>()
+    }
+}
+
+/// The contracted scalar lower-bound graphs: a rank per vertex plus one
+/// [`MetricCsr`] per suffix window.
+#[derive(Clone, Debug, Default)]
+pub struct ContractionHierarchy {
+    /// `rank[v]` = position of `v` in the contraction order (0 = first).
+    rank: Vec<u32>,
+    /// Suffix-window starts, strictly increasing, `starts[0] == 0`.
+    starts: Vec<f64>,
+    /// One customized hierarchy per window, parallel to `starts`.
+    metrics: Vec<MetricCsr>,
+    /// Wall time of the initial `build` (ordering + customization).
+    construction_secs: f64,
+}
+
+/// `min_{τ ≥ from} w_e(τ)` for the frozen edge `e`: the minimum of the
+/// function evaluated at `from` and every later breakpoint value (pieces
+/// are linear, and beyond the last breakpoint the function clamps, so the
+/// suffix minimum is attained at `from` or at a breakpoint).
+fn suffix_min(fg: &FrozenGraph, e: EdgeId, from: f64) -> f64 {
+    let w = fg.weight(e);
+    let times = w.times();
+    let values = w.values();
+    let mut m = w.eval(from);
+    // First breakpoint strictly after `from`.
+    let idx = times.partition_point(|&t| t <= from);
+    for &v in &values[idx..] {
+        m = m.min(v);
+    }
+    m
+}
+
+/// The dynamic graph a contraction pass works on: per-vertex forward and
+/// backward adjacency with parallel edges collapsed to their minimum weight,
+/// plus scratch for the witness searches.
+struct Contractor {
+    fwd: Vec<Vec<(VertexId, f64)>>,
+    bwd: Vec<Vec<(VertexId, f64)>>,
+    contracted: Vec<bool>,
+    /// Witness-search scratch: tentative distances, generation-stamped.
+    dist: Vec<f64>,
+    dist_gen: Vec<u32>,
+    gen: u32,
+    heap: std::collections::BinaryHeap<HeapEntry>,
+    /// Shortcut buffer reused across per-node simulations.
+    shortcuts: Vec<(VertexId, VertexId, f64)>,
+}
+
+#[derive(Copy, Clone)]
+struct HeapEntry {
+    key: f64,
+    vertex: VertexId,
+}
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.vertex == other.vertex
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .key
+            .partial_cmp(&self.key)
+            .expect("weights are finite")
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+impl Contractor {
+    /// Seeds the working graph from `fg`'s topology with one scalar weight
+    /// per out-slot (parallel to the CSR `head` array; parallel edges
+    /// collapsed to the minimum, self-loops dropped — they never lie on a
+    /// shortest path since weights are non-negative).
+    fn seed(fg: &FrozenGraph, slot_weights: &[f64]) -> Contractor {
+        let n = fg.num_vertices();
+        let mut fwd: Vec<Vec<(VertexId, f64)>> = vec![Vec::new(); n];
+        let mut bwd: Vec<Vec<(VertexId, f64)>> = vec![Vec::new(); n];
+        let mut slot = 0usize;
+        for v in 0..n as u32 {
+            let (heads, _) = fg.csr.out_slices(v);
+            for &u in heads {
+                let w = slot_weights[slot];
+                slot += 1;
+                if u == v {
+                    continue;
+                }
+                match fwd[v as usize].iter_mut().find(|(h, _)| *h == u) {
+                    Some((_, old)) => *old = old.min(w),
+                    None => fwd[v as usize].push((u, w)),
+                }
+            }
+        }
+        for v in 0..n as u32 {
+            for &(u, w) in &fwd[v as usize] {
+                bwd[u as usize].push((v, w));
+            }
+        }
+        Contractor {
+            fwd,
+            bwd,
+            contracted: vec![false; n],
+            dist: vec![f64::INFINITY; n],
+            dist_gen: vec![0; n],
+            gen: 0,
+            heap: std::collections::BinaryHeap::new(),
+            shortcuts: Vec::new(),
+        }
+    }
+
+    /// Live (uncontracted, non-self) neighbours of `x` in one direction.
+    fn live<'a>(
+        adj: &'a [Vec<(VertexId, f64)>],
+        contracted: &'a [bool],
+        x: VertexId,
+    ) -> impl Iterator<Item = (VertexId, f64)> + 'a {
+        adj[x as usize]
+            .iter()
+            .copied()
+            .filter(move |&(y, _)| y != x && !contracted[y as usize])
+    }
+
+    /// Bounded witness Dijkstra from `source` in the live graph, excluding
+    /// `excluded`, stopping once the frontier exceeds `cutoff` or the settle
+    /// cap is hit. Distances land in the generation-stamped `dist` array.
+    fn witness_search(&mut self, source: VertexId, excluded: VertexId, cutoff: f64) {
+        self.gen = if self.gen == u32::MAX {
+            self.dist_gen.fill(0);
+            1
+        } else {
+            self.gen + 1
+        };
+        self.heap.clear();
+        self.dist[source as usize] = 0.0;
+        self.dist_gen[source as usize] = self.gen;
+        self.heap.push(HeapEntry {
+            key: 0.0,
+            vertex: source,
+        });
+        let mut settled = 0usize;
+        while let Some(HeapEntry { key, vertex: u }) = self.heap.pop() {
+            if key > self.dist[u as usize] {
+                continue; // stale
+            }
+            settled += 1;
+            if settled > WITNESS_SETTLE_CAP || key > cutoff {
+                break;
+            }
+            for (v, w) in &self.fwd[u as usize] {
+                let (v, w) = (*v, *w);
+                if v == excluded || self.contracted[v as usize] {
+                    continue;
+                }
+                let cand = key + w;
+                let known = if self.dist_gen[v as usize] == self.gen {
+                    self.dist[v as usize]
+                } else {
+                    f64::INFINITY
+                };
+                if cand < known {
+                    self.dist[v as usize] = cand;
+                    self.dist_gen[v as usize] = self.gen;
+                    self.heap.push(HeapEntry {
+                        key: cand,
+                        vertex: v,
+                    });
+                }
+            }
+        }
+    }
+
+    /// The shortcuts contracting `x` would need: for every live in-neighbour
+    /// `u` and out-neighbour `v` of `x`, shortcut `u → v` with weight
+    /// `w(u,x) + w(x,v)` unless a witness path at most that long avoids `x`.
+    /// Fills `self.shortcuts` (deterministic order).
+    fn simulate(&mut self, x: VertexId) {
+        self.shortcuts.clear();
+        let ins: Vec<(VertexId, f64)> = Self::live(&self.bwd, &self.contracted, x).collect();
+        let outs: Vec<(VertexId, f64)> = Self::live(&self.fwd, &self.contracted, x).collect();
+        if ins.is_empty() || outs.is_empty() {
+            return;
+        }
+        let max_out = outs.iter().fold(0f64, |m, &(_, w)| m.max(w));
+        for &(u, w_ux) in &ins {
+            self.witness_search(u, x, w_ux + max_out);
+            for &(v, w_xv) in &outs {
+                if v == u {
+                    continue;
+                }
+                let sc = w_ux + w_xv;
+                let witness = if self.dist_gen[v as usize] == self.gen {
+                    self.dist[v as usize]
+                } else {
+                    f64::INFINITY
+                };
+                if witness <= sc {
+                    continue;
+                }
+                self.shortcuts.push((u, v, sc));
+            }
+        }
+    }
+
+    /// The edge-difference priority of contracting `x` right now:
+    /// `#shortcuts − #removed edges + #already-contracted neighbours`
+    /// (the deleted-neighbour term spreads contraction evenly).
+    fn priority(&mut self, x: VertexId, deleted_neighbors: &[u32]) -> i64 {
+        self.simulate(x);
+        let ins = Self::live(&self.bwd, &self.contracted, x).count();
+        let outs = Self::live(&self.fwd, &self.contracted, x).count();
+        self.shortcuts.len() as i64 - (ins + outs) as i64 + deleted_neighbors[x as usize] as i64
+    }
+
+    /// Contracts `x`: materialises `self.shortcuts` into the live graph
+    /// (keeping minima over parallel edges) and marks `x` contracted.
+    /// `simulate(x)` must have run last for `x`.
+    fn contract(&mut self, x: VertexId) {
+        let shortcuts = std::mem::take(&mut self.shortcuts);
+        for &(u, v, w) in &shortcuts {
+            match self.fwd[u as usize].iter_mut().find(|(h, _)| *h == v) {
+                Some((_, old)) => {
+                    if w < *old {
+                        *old = w;
+                        let back = self.bwd[v as usize]
+                            .iter_mut()
+                            .find(|(t, _)| *t == u)
+                            .expect("fwd/bwd stay mirrored");
+                        back.1 = w;
+                    }
+                }
+                None => {
+                    self.fwd[u as usize].push((v, w));
+                    self.bwd[v as usize].push((u, w));
+                }
+            }
+        }
+        self.shortcuts = shortcuts;
+        self.contracted[x as usize] = true;
+    }
+}
+
+impl ContractionHierarchy {
+    /// Contracts `fg`'s lower-bound metrics with the default suffix windows
+    /// ([`DEFAULT_WINDOW_STARTS`]): computes a contraction order with the
+    /// lazy edge-difference heuristic on the whole-day minimum, then runs
+    /// the shared fixed-order [`ContractionHierarchy::customize`] pass for
+    /// every window.
+    pub fn build(fg: &FrozenGraph) -> ContractionHierarchy {
+        Self::build_with(fg, &DEFAULT_WINDOW_STARTS)
+    }
+
+    /// [`ContractionHierarchy::build`] with explicit window starts
+    /// (strictly increasing, `starts[0]` must be `0` so every departure
+    /// time has a valid metric).
+    pub fn build_with(fg: &FrozenGraph, starts: &[f64]) -> ContractionHierarchy {
+        assert!(
+            starts.first() == Some(&0.0) && starts.windows(2).all(|w| w[0] < w[1]),
+            "window starts must be strictly increasing and begin at 0"
+        );
+        let t0 = std::time::Instant::now();
+        let rank = Self::compute_order(fg);
+        let mut ch = ContractionHierarchy {
+            rank,
+            starts: starts.to_vec(),
+            ..ContractionHierarchy::default()
+        };
+        ch.customize(fg);
+        ch.construction_secs = t0.elapsed().as_secs_f64();
+        ch
+    }
+
+    /// The contraction order by lazy-updated edge-difference priorities on
+    /// the whole-day-minimum metric: pop the cheapest candidate, re-evaluate
+    /// it against the moved graph, contract if it still wins, otherwise
+    /// reinsert. Deterministic (ties break on vertex id).
+    fn compute_order(fg: &FrozenGraph) -> Vec<u32> {
+        let n = fg.num_vertices();
+        let global_min: Vec<f64> = (0..n as u32)
+            .flat_map(|v| fg.out_slices_with_min(v).2.iter().copied())
+            .collect();
+        let mut c = Contractor::seed(fg, &global_min);
+        let mut deleted_neighbors = vec![0u32; n];
+        // Min-heap via Reverse on (priority, vertex).
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(i64, u32)>> = (0..n as u32)
+            .map(|v| std::cmp::Reverse((c.priority(v, &deleted_neighbors), v)))
+            .collect();
+        let mut rank = vec![0u32; n];
+        let mut next_rank = 0u32;
+        while let Some(std::cmp::Reverse((p, x))) = heap.pop() {
+            if c.contracted[x as usize] {
+                continue;
+            }
+            let fresh = c.priority(x, &deleted_neighbors);
+            if fresh > p {
+                if let Some(&std::cmp::Reverse((top, _))) = heap.peek() {
+                    if fresh > top {
+                        heap.push(std::cmp::Reverse((fresh, x)));
+                        continue;
+                    }
+                }
+            }
+            // `simulate(x)` ran inside `priority`; contract on its result.
+            for (y, _) in Contractor::live(&c.bwd, &c.contracted, x)
+                .chain(Contractor::live(&c.fwd, &c.contracted, x))
+                .collect::<Vec<_>>()
+            {
+                deleted_neighbors[y as usize] += 1;
+            }
+            c.contract(x);
+            rank[x as usize] = next_rank;
+            next_rank += 1;
+        }
+        debug_assert_eq!(next_rank as usize, n);
+        rank
+    }
+
+    /// Recomputes every metric's shortcuts and weights for the **current**
+    /// weights of `fg` under the stored (metric-independent) order. This
+    /// one deterministic pass serves initial build, `update_edges`
+    /// re-customization and snapshot load, so all three yield bit-identical
+    /// hierarchies.
+    ///
+    /// Contracting strictly in rank order with witness searches is exact for
+    /// any metric: when a vertex is contracted, every shortest path through
+    /// it between live neighbours is preserved by a shortcut (or a witness
+    /// proves none is needed), so upward/downward distances in the result
+    /// equal true scalar distances.
+    pub fn customize(&mut self, fg: &FrozenGraph) {
+        let n = fg.num_vertices();
+        assert_eq!(self.rank.len(), n, "order was built for a different graph");
+        let mut order: Vec<VertexId> = (0..n as u32).collect();
+        order.sort_unstable_by_key(|&v| self.rank[v as usize]);
+
+        self.metrics = self
+            .starts
+            .iter()
+            .map(|&from| {
+                // Per-out-slot suffix minima, parallel to the CSR heads.
+                let slot_weights: Vec<f64> = (0..n as u32)
+                    .flat_map(|v| {
+                        let (_, edges) = fg.csr.out_slices(v);
+                        edges.iter().map(|&e| suffix_min(fg, e, from))
+                    })
+                    .collect();
+                Self::customize_metric(fg, &order, &slot_weights)
+            })
+            .collect();
+    }
+
+    /// One fixed-order contraction pass over one scalar metric.
+    fn customize_metric(fg: &FrozenGraph, order: &[VertexId], slot_weights: &[f64]) -> MetricCsr {
+        let n = fg.num_vertices();
+        let mut c = Contractor::seed(fg, slot_weights);
+        let original_edges: usize = c.fwd.iter().map(Vec::len).sum();
+        let mut up: Vec<Vec<(VertexId, f64)>> = vec![Vec::new(); n];
+        let mut down_rev: Vec<Vec<(VertexId, f64)>> = vec![Vec::new(); n];
+        let mut total_edges = 0usize;
+        for &x in order {
+            // Freeze x's live adjacency into the hierarchy: out-edges are
+            // x's up-edges, in-edges are down-edges u → x recorded at x.
+            up[x as usize] = Contractor::live(&c.fwd, &c.contracted, x).collect();
+            down_rev[x as usize] = Contractor::live(&c.bwd, &c.contracted, x).collect();
+            total_edges += up[x as usize].len() + down_rev[x as usize].len();
+            c.simulate(x);
+            c.contract(x);
+        }
+
+        let flatten = |adj: Vec<Vec<(VertexId, f64)>>| {
+            let mut first = Vec::with_capacity(n + 1);
+            let mut heads = Vec::new();
+            let mut weights = Vec::new();
+            first.push(0u32);
+            for list in adj {
+                for (h, w) in list {
+                    heads.push(h);
+                    weights.push(w);
+                }
+                first.push(heads.len() as u32);
+            }
+            (first, heads, weights)
+        };
+        let (up_first, up_head, up_weight) = flatten(up);
+        let (down_first, down_tail, down_weight) = flatten(down_rev);
+        MetricCsr {
+            up_first,
+            up_head,
+            up_weight,
+            down_first,
+            down_tail,
+            down_weight,
+            // Each surviving edge is frozen exactly once (at its
+            // lower-ranked endpoint), so the shortcut count is what
+            // contraction added on top of the deduplicated, self-loop-free
+            // original edges.
+            num_shortcuts: total_edges.saturating_sub(original_edges),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.rank.len()
+    }
+
+    /// `v`'s contraction rank (higher = contracted later = more important).
+    #[inline]
+    pub fn rank(&self, v: VertexId) -> u32 {
+        self.rank[v as usize]
+    }
+
+    /// The suffix-window starts, strictly increasing from 0.
+    #[inline]
+    pub fn window_starts(&self) -> &[f64] {
+        &self.starts
+    }
+
+    /// The index of the metric a query departing at `t` must use: the
+    /// largest window start ≤ `t` (index 0 — the whole-day minimum — for
+    /// `t < 0`, which only proptest edge cases produce).
+    #[inline]
+    pub fn metric_index(&self, t: f64) -> usize {
+        self.starts.partition_point(|&s| s <= t).saturating_sub(1)
+    }
+
+    /// The customized hierarchy of metric `idx`.
+    #[inline]
+    pub fn metric(&self, idx: usize) -> &MetricCsr {
+        &self.metrics[idx]
+    }
+
+    /// The customized hierarchy a query departing at `t` must use.
+    #[inline]
+    pub fn metric_for(&self, t: f64) -> &MetricCsr {
+        &self.metrics[self.metric_index(t)]
+    }
+
+    /// Shortcuts added across all metrics.
+    pub fn num_shortcuts(&self) -> usize {
+        self.metrics.iter().map(MetricCsr::num_shortcuts).sum()
+    }
+
+    /// Total directed edges stored across all metrics.
+    pub fn num_edges(&self) -> usize {
+        self.metrics.iter().map(MetricCsr::num_edges).sum()
+    }
+
+    /// Wall time of the initial build.
+    #[inline]
+    pub fn construction_secs(&self) -> f64 {
+        self.construction_secs
+    }
+
+    pub(crate) fn rank_slice(&self) -> &[u32] {
+        &self.rank
+    }
+
+    pub(crate) fn set_construction_secs(&mut self, secs: f64) {
+        self.construction_secs = secs;
+    }
+
+    pub(crate) fn from_parts(
+        rank: Vec<u32>,
+        starts: Vec<f64>,
+        fg: &FrozenGraph,
+    ) -> ContractionHierarchy {
+        let mut ch = ContractionHierarchy {
+            rank,
+            starts,
+            ..ContractionHierarchy::default()
+        };
+        ch.customize(fg);
+        ch
+    }
+
+    /// Heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.rank.capacity() * std::mem::size_of::<u32>()
+            + self.starts.capacity() * std::mem::size_of::<f64>()
+            + self
+                .metrics
+                .iter()
+                .map(MetricCsr::heap_bytes)
+                .sum::<usize>()
+    }
+
+    /// Exact metric-0 (whole-day minimum) distance `s → d` by a
+    /// bidirectional upward search — the reference query used by the tests
+    /// (the hot path is the lazy potential in td-dijkstra).
+    pub fn dist(&self, s: VertexId, d: VertexId) -> f64 {
+        self.dist_in_metric(0, s, d)
+    }
+
+    /// Exact distance `s → d` within metric `idx`.
+    pub fn dist_in_metric(&self, idx: usize, s: VertexId, d: VertexId) -> f64 {
+        let m = &self.metrics[idx];
+        let fwd = self.upward_sweep(m, s, true);
+        let bwd = self.upward_sweep(m, d, false);
+        fwd.iter()
+            .zip(bwd.iter())
+            .fold(f64::INFINITY, |acc, (&a, &b)| acc.min(a + b))
+    }
+
+    /// One full upward Dijkstra from `start` over the up-edges (`forward`)
+    /// or the backward-up edges (`!forward`).
+    fn upward_sweep(&self, m: &MetricCsr, start: VertexId, forward: bool) -> Vec<f64> {
+        let mut dist = vec![f64::INFINITY; self.num_vertices()];
+        let mut heap = std::collections::BinaryHeap::new();
+        dist[start as usize] = 0.0;
+        heap.push(HeapEntry {
+            key: 0.0,
+            vertex: start,
+        });
+        while let Some(HeapEntry { key, vertex: u }) = heap.pop() {
+            if key > dist[u as usize] {
+                continue;
+            }
+            let (heads, weights) = if forward {
+                m.up_edges(u)
+            } else {
+                m.backward_up_edges(u)
+            };
+            for (&v, &w) in heads.iter().zip(weights.iter()) {
+                if key + w < dist[v as usize] {
+                    dist[v as usize] = key + w;
+                    heap.push(HeapEntry {
+                        key: key + w,
+                        vertex: v,
+                    });
+                }
+            }
+        }
+        dist
+    }
+}
+
+// Compile-time pin: the hierarchy is shared read-only across query threads.
+const _: () = {
+    const fn shared_across_threads<T: Send + Sync>() {}
+    shared_across_threads::<ContractionHierarchy>()
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+    use td_gen::random_graph::seeded_graph;
+    use td_graph::TdGraph;
+
+    /// Plain Dijkstra over per-edge scalar weights — the oracle every
+    /// metric's CH must match.
+    fn scalar_dist(
+        g: &TdGraph,
+        s: VertexId,
+        d: VertexId,
+        weight: impl Fn(td_graph::EdgeId) -> f64,
+    ) -> f64 {
+        let n = g.num_vertices();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut heap = std::collections::BinaryHeap::new();
+        dist[s as usize] = 0.0;
+        heap.push(HeapEntry {
+            key: 0.0,
+            vertex: s,
+        });
+        while let Some(HeapEntry { key, vertex: u }) = heap.pop() {
+            if key > dist[u as usize] {
+                continue;
+            }
+            for &(v, e) in g.out_edges(u) {
+                let cand = key + weight(e);
+                if cand < dist[v as usize] {
+                    dist[v as usize] = cand;
+                    heap.push(HeapEntry {
+                        key: cand,
+                        vertex: v,
+                    });
+                }
+            }
+        }
+        dist[d as usize]
+    }
+
+    #[test]
+    fn ch_distances_match_min_dijkstra_in_every_metric() {
+        for seed in 0..4u64 {
+            let g = seeded_graph(seed, 50, 35, 3);
+            let fg = g.freeze();
+            let ch = ContractionHierarchy::build(&fg);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xc4);
+            for idx in 0..ch.window_starts().len() {
+                let from = ch.window_starts()[idx];
+                for _ in 0..10 {
+                    let s = rng.gen_range(0..50) as u32;
+                    let d = rng.gen_range(0..50) as u32;
+                    let want = scalar_dist(&g, s, d, |e| suffix_min(&fg, e, from));
+                    let got = ch.dist_in_metric(idx, s, d);
+                    if want.is_infinite() {
+                        assert!(got.is_infinite(), "seed={seed} m={idx} s={s} d={d}: {got}");
+                    } else {
+                        assert!(
+                            (want - got).abs() < 1e-9,
+                            "seed={seed} m={idx} s={s} d={d}: {want} vs {got}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn suffix_min_bounds_the_suffix() {
+        let g = seeded_graph(8, 20, 14, 5);
+        let fg = g.freeze();
+        for e in 0..g.num_edges() as u32 {
+            // From 0, the suffix minimum is the global minimum.
+            assert!(
+                (suffix_min(&fg, e, 0.0) - fg.weight(e).min_value()).abs() < 1e-12,
+                "e={e}: suffix_min(0) must equal the global min"
+            );
+            for from in [0.0, 3.0 * 3600.0, 12.0 * 3600.0, 23.0 * 3600.0] {
+                let got = suffix_min(&fg, e, from);
+                // Never below the global minimum, never above any sampled
+                // suffix value (dense sampling can miss valleys, so it only
+                // bounds from above).
+                assert!(got >= fg.weight(e).min_value() - 1e-12, "e={e} from={from}");
+                let sampled = (0..2000)
+                    .map(|i| from + i as f64 * (86_400.0 * 1.5 - from) / 2000.0)
+                    .map(|t| fg.weight(e).eval(t))
+                    .fold(f64::INFINITY, f64::min);
+                assert!(
+                    got <= sampled + 1e-9,
+                    "e={e} from={from}: suffix_min {got} above sampled {sampled}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn later_windows_are_tighter() {
+        let g = seeded_graph(1, 40, 30, 3);
+        let fg = g.freeze();
+        let ch = ContractionHierarchy::build(&fg);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..25 {
+            let s = rng.gen_range(0..40) as u32;
+            let d = rng.gen_range(0..40) as u32;
+            let mut prev = ch.dist_in_metric(0, s, d);
+            for idx in 1..ch.window_starts().len() {
+                let cur = ch.dist_in_metric(idx, s, d);
+                assert!(
+                    cur >= prev - 1e-9,
+                    "metric {idx} loosened the bound: {cur} < {prev} (s={s} d={d})"
+                );
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn metric_index_selects_the_window() {
+        let g = seeded_graph(0, 10, 8, 3);
+        let ch = ContractionHierarchy::build(&g.freeze());
+        assert_eq!(ch.metric_index(-5.0), 0);
+        assert_eq!(ch.metric_index(0.0), 0);
+        assert_eq!(ch.metric_index(3.0 * 3600.0 - 1.0), 0);
+        assert_eq!(ch.metric_index(3.0 * 3600.0), 1);
+        assert_eq!(ch.metric_index(23.9 * 3600.0), 7);
+        assert_eq!(ch.metric_index(99.0 * 3600.0), 7);
+    }
+
+    #[test]
+    fn customize_is_deterministic_and_matches_build() {
+        let g = seeded_graph(9, 40, 30, 3);
+        let fg = g.freeze();
+        let ch = ContractionHierarchy::build(&fg);
+        let ch2 = ContractionHierarchy::from_parts(
+            ch.rank_slice().to_vec(),
+            ch.window_starts().to_vec(),
+            &fg,
+        );
+        for idx in 0..ch.window_starts().len() {
+            let (a, b) = (ch.metric(idx), ch2.metric(idx));
+            assert_eq!(a.up_first, b.up_first);
+            assert_eq!(a.up_head, b.up_head);
+            assert_eq!(a.down_first, b.down_first);
+            assert_eq!(a.down_tail, b.down_tail);
+            assert_eq!(
+                a.up_weight.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+                b.up_weight.iter().map(|w| w.to_bits()).collect::<Vec<_>>()
+            );
+            assert_eq!(a.num_shortcuts(), b.num_shortcuts());
+        }
+    }
+
+    #[test]
+    fn recustomize_tracks_weight_changes() {
+        use td_plf::Plf;
+        let mut g = seeded_graph(2, 30, 22, 3);
+        let fg = g.freeze();
+        let mut ch = ContractionHierarchy::build(&fg);
+        // Slash one edge's cost and re-customize: distances must follow.
+        let e = 0u32;
+        g.set_weight(e, Plf::constant(0.5)).unwrap();
+        let fg2 = g.freeze();
+        ch.customize(&fg2);
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..30 {
+            let s = rng.gen_range(0..30) as u32;
+            let d = rng.gen_range(0..30) as u32;
+            let want = scalar_dist(&g, s, d, |e| fg2.min_cost(e));
+            let got = ch.dist(s, d);
+            if want.is_infinite() {
+                assert!(got.is_infinite());
+            } else {
+                assert!((want - got).abs() < 1e-9, "s={s} d={d}: {want} vs {got}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let g = TdGraph::with_vertices(0);
+        let ch = ContractionHierarchy::build(&g.freeze());
+        assert_eq!(ch.num_vertices(), 0);
+
+        let g = TdGraph::with_vertices(1);
+        let ch = ContractionHierarchy::build(&g.freeze());
+        assert_eq!(ch.num_vertices(), 1);
+        assert_eq!(ch.dist(0, 0), 0.0);
+    }
+
+    #[test]
+    fn ranks_are_a_permutation() {
+        let g = seeded_graph(5, 35, 25, 3);
+        let ch = ContractionHierarchy::build(&g.freeze());
+        let mut seen = [false; 35];
+        for v in 0..35u32 {
+            let r = ch.rank(v) as usize;
+            assert!(!seen[r], "duplicate rank {r}");
+            seen[r] = true;
+        }
+    }
+}

@@ -5,10 +5,24 @@
 //! function over the day. Since `w_{u,v}(t) ≥ min_t w_{u,v}(t)` for all `t`,
 //! the potential is admissible and consistent, so A\* with it is correct on
 //! FIFO graphs — this is the "speed patterns" lower-bounding idea of \[15\].
+//!
+//! Two layers live here:
+//!
+//! * the legacy [`TdGraph`] entry points ([`LowerBounds`], [`astar_cost`])
+//!   — simple, allocation-heavy reference implementations kept as the A/B
+//!   baseline and for doc-sized examples;
+//! * the frozen hot path ([`astar_cost_frozen_with`] /
+//!   [`astar_path_frozen_with`]): CSR adjacency walks with per-edge
+//!   `min_cost` pruning, generation-stamped scratch ([`AStarScratch`], 0
+//!   allocations per query once warmed), generic over any
+//!   [`crate::Potential`] — plug in the lazy
+//!   [`crate::ChPotential`] to get the fast exact query path, or
+//!   [`crate::FullPotential`] for the full-backward-Dijkstra baseline.
 
+use crate::potential::Potential;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use td_graph::{TdGraph, VertexId};
+use td_graph::{FrozenGraph, Path, TdGraph, VertexId};
 
 /// Reusable backward lower bounds to a fixed destination.
 #[derive(Clone, Debug)]
@@ -19,45 +33,73 @@ pub struct LowerBounds {
     pub destination: VertexId,
 }
 
+/// Reusable state for [`LowerBounds::recompute`]: the heap and the
+/// generation-stamped done marks survive across destinations, so re-anchoring
+/// the legacy potential stops allocating per call.
+#[derive(Clone, Debug, Default)]
+pub struct LowerBoundsScratch {
+    done_gen: Vec<u32>,
+    gen: u32,
+    heap: BinaryHeap<Entry>,
+}
+
 impl LowerBounds {
     /// Backward Dijkstra from `d` over `min_value()` edge weights.
     pub fn new(g: &TdGraph, d: VertexId) -> Self {
+        let mut bounds = LowerBounds {
+            h: Vec::new(),
+            destination: d,
+        };
+        bounds.recompute(&mut LowerBoundsScratch::default(), g, d);
+        bounds
+    }
+
+    /// Re-anchors these bounds at `d`, reusing this value's `h` buffer and
+    /// `scratch`'s heap + visited marks (no allocations once warmed).
+    pub fn recompute(&mut self, scratch: &mut LowerBoundsScratch, g: &TdGraph, d: VertexId) {
         let n = g.num_vertices();
-        let mut h = vec![f64::INFINITY; n];
-        let mut done = vec![false; n];
-        let mut heap = BinaryHeap::new();
-        h[d as usize] = 0.0;
-        heap.push(Entry {
+        self.h.clear();
+        self.h.resize(n, f64::INFINITY);
+        self.destination = d;
+        if scratch.done_gen.len() != n {
+            scratch.done_gen = vec![0; n];
+            scratch.gen = 0;
+        }
+        let gen = crate::potential::bump_generation(&mut scratch.gen, &mut scratch.done_gen);
+        scratch.heap.clear();
+        self.h[d as usize] = 0.0;
+        scratch.heap.push(Entry {
             key: 0.0,
             vertex: d,
         });
-        while let Some(Entry { key, vertex: u }) = heap.pop() {
-            if done[u as usize] {
+        while let Some(Entry { key, vertex: u }) = scratch.heap.pop() {
+            if scratch.done_gen[u as usize] == gen {
                 continue;
             }
-            done[u as usize] = true;
+            scratch.done_gen[u as usize] = gen;
             for &(p, e) in g.in_edges(u) {
-                if done[p as usize] {
+                if scratch.done_gen[p as usize] == gen {
                     continue;
                 }
                 let cand = key + g.weight(e).min_value();
-                if cand < h[p as usize] {
-                    h[p as usize] = cand;
-                    heap.push(Entry {
+                if cand < self.h[p as usize] {
+                    self.h[p as usize] = cand;
+                    scratch.heap.push(Entry {
                         key: cand,
                         vertex: p,
                     });
                 }
             }
         }
-        LowerBounds { h, destination: d }
     }
 }
 
-#[derive(Copy, Clone)]
-struct Entry {
-    key: f64,
-    vertex: VertexId,
+/// Shared min-heap entry of every scalar search in this crate, ordered by
+/// smallest key first (ties broken by vertex id for determinism).
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct Entry {
+    pub(crate) key: f64,
+    pub(crate) vertex: VertexId,
 }
 impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
@@ -137,10 +179,176 @@ pub fn astar_cost(g: &TdGraph, s: VertexId, d: VertexId, t: f64) -> Option<f64> 
     astar_cost_with(g, s, d, t, &bounds)
 }
 
+// ----------------------------------------------------------------------
+// Frozen hot path
+// ----------------------------------------------------------------------
+
+/// Reusable forward-search state of the frozen A\*: arrival/parent arrays
+/// are generation-stamped (no O(n) clear per query) and the heap is
+/// recycled — zero allocations per query once warmed to the graph's size.
+#[derive(Clone, Debug, Default)]
+pub struct AStarScratch {
+    pub(crate) best: Vec<f64>,
+    pub(crate) parent: Vec<VertexId>,
+    /// 2·id stamps "reached this query", 2·id+1 stamps "settled".
+    pub(crate) stamp: Vec<u32>,
+    gen: u32,
+    pub(crate) heap: BinaryHeap<Entry>,
+}
+
+impl AStarScratch {
+    pub(crate) fn reset(&mut self, n: usize) -> u32 {
+        if self.best.len() != n {
+            self.best = vec![f64::INFINITY; n];
+            self.parent = vec![u32::MAX; n];
+            self.stamp = vec![0; n];
+            self.gen = 0;
+        }
+        self.heap.clear();
+        // Two stamp values per query: gen (reached) and gen+1 (settled).
+        // On wrap-around the stamps are cleared wholesale, as in
+        // `crate::potential::bump_generation` (which steps by 1, not 2).
+        self.gen = if self.gen >= u32::MAX - 2 {
+            self.stamp.fill(0);
+            1
+        } else {
+            self.gen + 2
+        };
+        self.gen
+    }
+}
+
+/// A\* travel cost `s → d` departing at `t` on the frozen layout, ordered
+/// by `arrival + h` for the given [`Potential`] (initialised here). Exact
+/// for admissible, consistent potentials; relaxations are pruned by the
+/// interleaved per-edge `min_cost` bounds both against the head's tentative
+/// arrival and — potential-strengthened — against the best known arrival
+/// at `d`.
+pub fn astar_cost_frozen_with<P: Potential>(
+    scratch: &mut AStarScratch,
+    fg: &FrozenGraph,
+    pot: &mut P,
+    s: VertexId,
+    d: VertexId,
+    t: f64,
+) -> Option<f64> {
+    run_frozen(scratch, fg, pot, s, d, t).map(|arr| arr - t)
+}
+
+/// [`astar_cost_frozen_with`] also reconstructing the path (the returned
+/// [`Path`] allocates — it is the result).
+pub fn astar_path_frozen_with<P: Potential>(
+    scratch: &mut AStarScratch,
+    fg: &FrozenGraph,
+    pot: &mut P,
+    s: VertexId,
+    d: VertexId,
+    t: f64,
+) -> Option<(f64, Path)> {
+    let arr = run_frozen(scratch, fg, pot, s, d, t)?;
+    let mut vertices = vec![d];
+    let mut cur = d;
+    while cur != s {
+        let p = scratch.parent[cur as usize];
+        debug_assert_ne!(p, u32::MAX, "settled vertex must have a parent");
+        vertices.push(p);
+        cur = p;
+    }
+    vertices.reverse();
+    Some((arr - t, Path::new(vertices)))
+}
+
+/// The shared forward search; returns the arrival time at `d`.
+fn run_frozen<P: Potential>(
+    scratch: &mut AStarScratch,
+    fg: &FrozenGraph,
+    pot: &mut P,
+    s: VertexId,
+    d: VertexId,
+    t: f64,
+) -> Option<f64> {
+    if s == d {
+        // Arrival = departure; skip the potential setup entirely.
+        return Some(t);
+    }
+    let gen = scratch.reset(fg.num_vertices());
+    pot.init(d, t);
+    let hs = pot.h(s);
+    if hs.is_infinite() {
+        return None;
+    }
+    scratch.best[s as usize] = t;
+    scratch.parent[s as usize] = u32::MAX;
+    scratch.stamp[s as usize] = gen;
+    scratch.heap.push(Entry {
+        key: t + hs,
+        vertex: s,
+    });
+    // Best known (tentative) arrival at d: since h(d) = 0 and h is
+    // admissible, no relaxation whose optimistic arrival `a + min + h(v)`
+    // reaches it can improve the answer.
+    let mut target_best = f64::INFINITY;
+    while let Some(Entry { key: _, vertex: u }) = scratch.heap.pop() {
+        if scratch.stamp[u as usize] == gen + 1 {
+            continue; // already settled; stale heap entry
+        }
+        scratch.stamp[u as usize] = gen + 1;
+        let a = scratch.best[u as usize];
+        if u == d {
+            return Some(a);
+        }
+        let (heads, edges, mins) = fg.out_slices_with_min(u);
+        for ((&v, &e), &min) in heads.iter().zip(edges.iter()).zip(mins.iter()) {
+            if scratch.stamp[v as usize] == gen + 1 {
+                continue;
+            }
+            // Min-bound prune before touching breakpoints or the potential:
+            // the true candidate is ≥ a + min_cost(e).
+            let lb = a + min;
+            let known = if scratch.stamp[v as usize] >= gen {
+                scratch.best[v as usize]
+            } else {
+                f64::INFINITY
+            };
+            if lb >= known || lb >= target_best {
+                continue;
+            }
+            let hv = pot.h(v);
+            if hv.is_infinite() || lb + hv >= target_best {
+                continue;
+            }
+            let cand = a + fg.weight(e).eval(a);
+            if cand < known {
+                scratch.best[v as usize] = cand;
+                scratch.parent[v as usize] = u;
+                scratch.stamp[v as usize] = gen;
+                if v == d {
+                    target_best = cand;
+                }
+                scratch.heap.push(Entry {
+                    key: cand + hv,
+                    vertex: v,
+                });
+            }
+        }
+    }
+    None
+}
+
+// Compile-time pin: per-worker scratch moves to its thread.
+const _: () = {
+    const fn moves_to_worker<T: Send>() {}
+    moves_to_worker::<AStarScratch>();
+    moves_to_worker::<crate::potential::ChPotentialScratch>();
+    moves_to_worker::<crate::potential::FullPotentialScratch>()
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scalar::shortest_path_cost;
+    use crate::potential::{ChPotential, ChPotentialScratch, FullPotential, FullPotentialScratch};
+    use crate::scalar::{shortest_path_cost, shortest_path_cost_frozen_with, DijkstraScratch};
+    use td_ch::ContractionHierarchy;
     use td_plf::Plf;
 
     fn diamond() -> TdGraph {
@@ -168,6 +376,57 @@ mod tests {
     }
 
     #[test]
+    fn frozen_astar_matches_dijkstra_with_both_potentials() {
+        let g = diamond();
+        let fg = g.freeze();
+        let ch = ContractionHierarchy::build(&fg);
+        let mut dj = DijkstraScratch::default();
+        let mut astar_sc = AStarScratch::default();
+        let mut full_sc = FullPotentialScratch::default();
+        let mut ch_sc = ChPotentialScratch::default();
+        for t in [0.0, 10.0, 25.0, 50.0, 80.0] {
+            for s in 0..4u32 {
+                for d in 0..4u32 {
+                    let want = shortest_path_cost_frozen_with(&mut dj, &fg, s, d, t);
+                    let mut full = FullPotential::new(&fg, &mut full_sc);
+                    let got_full = astar_cost_frozen_with(&mut astar_sc, &fg, &mut full, s, d, t);
+                    let mut lazy = ChPotential::new(&ch, &mut ch_sc);
+                    let got_ch = astar_cost_frozen_with(&mut astar_sc, &fg, &mut lazy, s, d, t);
+                    assert_eq!(
+                        want.map(f64::to_bits),
+                        got_full.map(f64::to_bits),
+                        "full s={s} d={d} t={t}"
+                    );
+                    assert_eq!(
+                        want.map(f64::to_bits),
+                        got_ch.map(f64::to_bits),
+                        "ch s={s} d={d} t={t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_astar_path_replays() {
+        let g = diamond();
+        let fg = g.freeze();
+        let ch = ContractionHierarchy::build(&fg);
+        let mut astar_sc = AStarScratch::default();
+        let mut ch_sc = ChPotentialScratch::default();
+        for t in [0.0, 25.0, 60.0] {
+            let mut pot = ChPotential::new(&ch, &mut ch_sc);
+            let (cost, path) =
+                astar_path_frozen_with(&mut astar_sc, &fg, &mut pot, 0, 3, t).unwrap();
+            assert_eq!(path.source(), 0);
+            assert_eq!(path.destination(), 3);
+            assert!(path.is_valid(&g));
+            let replay = path.cost(&g, t).unwrap();
+            assert!((cost - replay).abs() < 1e-9, "t={t}: {cost} vs {replay}");
+        }
+    }
+
+    #[test]
     fn lower_bounds_are_admissible() {
         let g = diamond();
         let lb = LowerBounds::new(&g, 3);
@@ -185,11 +444,45 @@ mod tests {
     }
 
     #[test]
+    fn recompute_reuses_buffers_across_destinations() {
+        let g = diamond();
+        let mut scratch = LowerBoundsScratch::default();
+        let mut lb = LowerBounds::new(&g, 3);
+        for d in [2u32, 0, 3, 1, 3] {
+            lb.recompute(&mut scratch, &g, d);
+            let fresh = LowerBounds::new(&g, d);
+            assert_eq!(lb.destination, d);
+            for v in 0..4 {
+                assert_eq!(lb.h[v].to_bits(), fresh.h[v].to_bits(), "d={d} v={v}");
+            }
+        }
+    }
+
+    #[test]
     fn unreachable_is_none() {
         let mut g = TdGraph::with_vertices(3);
         g.add_edge(0, 1, Plf::constant(1.0)).unwrap();
         assert_eq!(astar_cost(&g, 0, 2, 0.0), None);
         assert_eq!(astar_cost(&g, 2, 0, 0.0), None);
+        let fg = g.freeze();
+        let ch = ContractionHierarchy::build(&fg);
+        let mut sc = AStarScratch::default();
+        let mut pot_sc = ChPotentialScratch::default();
+        let mut pot = ChPotential::new(&ch, &mut pot_sc);
+        assert_eq!(
+            astar_cost_frozen_with(&mut sc, &fg, &mut pot, 0, 2, 0.0),
+            None
+        );
+        let mut pot = ChPotential::new(&ch, &mut pot_sc);
+        assert_eq!(
+            astar_cost_frozen_with(&mut sc, &fg, &mut pot, 2, 0, 0.0),
+            None
+        );
+        let mut pot = ChPotential::new(&ch, &mut pot_sc);
+        assert_eq!(
+            astar_cost_frozen_with(&mut sc, &fg, &mut pot, 1, 1, 9.0),
+            Some(0.0)
+        );
     }
 
     #[test]

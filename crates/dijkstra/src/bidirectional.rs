@@ -8,49 +8,110 @@
 //! the exact forward search inside that corridor, keeping correctness while
 //! touching far fewer vertices on long-range queries.
 //!
-//! This is a non-index baseline like `scalar`/`astar`; the paper's §6 cites
-//! the approach among the improved Dijkstra variants that "can not work well
-//! in the really large-scale road networks" — which our benchmarks reproduce
-//! relative to the tree index.
+//! The frozen port ([`bidirectional_cost_frozen_with`]) runs the same
+//! corridor search on the CSR/arena layout with the interleaved per-edge
+//! `min_cost` pruning the scalar sweeps got, generation-stamped scratch, and
+//! any [`Potential`] as the backward bound — the legacy [`TdGraph`] entry
+//! point stays as the reference implementation. Unlike A\*, the forward
+//! search keeps plain arrival order and uses the bound only to discard
+//! vertices; with the same potential, A\* settles strictly fewer vertices,
+//! which `benches/potentials.rs` makes measurable.
 
-use crate::astar::LowerBounds;
-use std::cmp::Ordering;
+use crate::astar::{AStarScratch, Entry, LowerBounds};
+use crate::potential::Potential;
 use std::collections::BinaryHeap;
-use td_graph::{TdGraph, VertexId};
+use td_graph::{FrozenGraph, TdGraph, VertexId};
 
-#[derive(Copy, Clone)]
-struct Entry {
-    key: f64,
-    vertex: VertexId,
-}
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key && self.vertex == other.vertex
+/// Reusable search state for the frozen corridor search — the same
+/// generation-stamped arrays the frozen A\* uses (the corridor search just
+/// leaves the parent array untouched), so one per-worker scratch serves
+/// both entry points.
+pub type BidirectionalScratch = AStarScratch;
+
+/// Corridor-restricted time-dependent query on the frozen layout: an exact
+/// forward TD-Dijkstra (arrival order) that discards any vertex whose
+/// static lower bound to `d` proves it cannot improve the best known
+/// arrival, with the per-edge `min_cost` prune applied before every
+/// breakpoint evaluation.
+pub fn bidirectional_cost_frozen_with<P: Potential>(
+    scratch: &mut BidirectionalScratch,
+    fg: &FrozenGraph,
+    pot: &mut P,
+    s: VertexId,
+    d: VertexId,
+    t: f64,
+) -> Option<f64> {
+    if s == d {
+        // Arrival = departure; skip the potential setup entirely.
+        return Some(0.0);
     }
-}
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+    let gen = scratch.reset(fg.num_vertices());
+    pot.init(d, t);
+    if pot.h(s).is_infinite() {
+        return None;
     }
-}
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .key
-            .partial_cmp(&self.key)
-            .expect("keys are finite")
-            .then_with(|| other.vertex.cmp(&self.vertex))
+    scratch.best[s as usize] = t;
+    scratch.stamp[s as usize] = gen;
+    scratch.heap.push(Entry { key: t, vertex: s });
+    let mut best_to_d = f64::INFINITY;
+    while let Some(Entry { key: _, vertex: u }) = scratch.heap.pop() {
+        if scratch.stamp[u as usize] == gen + 1 {
+            continue; // stale
+        }
+        scratch.stamp[u as usize] = gen + 1;
+        let arr = scratch.best[u as usize];
+        if u == d {
+            best_to_d = arr;
+            break;
+        }
+        // Corridor pruning: if even the static lower bound cannot beat the
+        // best known arrival at d, this vertex cannot improve the answer.
+        if arr + pot.h(u) >= best_to_d {
+            continue;
+        }
+        let (heads, edges, mins) = fg.out_slices_with_min(u);
+        for ((&v, &e), &min) in heads.iter().zip(edges.iter()).zip(mins.iter()) {
+            if scratch.stamp[v as usize] == gen + 1 {
+                continue;
+            }
+            let known = if scratch.stamp[v as usize] >= gen {
+                scratch.best[v as usize]
+            } else {
+                f64::INFINITY
+            };
+            // Min-bound prune before touching the breakpoints.
+            if arr + min >= known || arr + min >= best_to_d {
+                continue;
+            }
+            let hv = pot.h(v);
+            if hv.is_infinite() {
+                continue;
+            }
+            let cand = arr + fg.weight(e).eval(arr);
+            if cand < known && cand + hv < best_to_d {
+                scratch.best[v as usize] = cand;
+                scratch.stamp[v as usize] = gen;
+                if v == d {
+                    best_to_d = best_to_d.min(cand);
+                }
+                scratch.heap.push(Entry {
+                    key: cand,
+                    vertex: v,
+                });
+            }
+        }
+    }
+    if best_to_d.is_finite() {
+        Some(best_to_d - t)
+    } else {
+        None
     }
 }
 
 /// Corridor-restricted time-dependent query: an exact forward TD-Dijkstra
 /// that only expands vertices whose static lower-bound distance to `d` keeps
-/// them potentially on an optimal path.
-///
-/// `slack` widens the corridor (`≥ 1.0`); `1.0` is already exact because the
-/// pruning condition uses admissible bounds, larger values only trade time
-/// for fewer bound lookups on re-used [`LowerBounds`].
+/// them potentially on an optimal path. Legacy [`TdGraph`] reference; the
+/// hot path is [`bidirectional_cost_frozen_with`].
 pub fn bidirectional_cost(
     g: &TdGraph,
     s: VertexId,
@@ -120,9 +181,11 @@ pub fn bidirectional_cost(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::potential::{ChPotential, ChPotentialScratch, FullPotential, FullPotentialScratch};
     use crate::scalar::shortest_path_cost;
     use rand::prelude::*;
     use rand::rngs::StdRng;
+    use td_ch::ContractionHierarchy;
     use td_plf::DAY;
 
     #[test]
@@ -152,6 +215,39 @@ mod tests {
     }
 
     #[test]
+    fn frozen_port_matches_dijkstra_with_both_potentials() {
+        for seed in 0..3u64 {
+            let g = td_gen::random_graph::seeded_graph(seed, 40, 30, 3);
+            let fg = g.freeze();
+            let ch = ContractionHierarchy::build(&fg);
+            let mut sc = BidirectionalScratch::default();
+            let mut full_sc = FullPotentialScratch::default();
+            let mut ch_sc = ChPotentialScratch::default();
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xf0);
+            for _ in 0..25 {
+                let s = rng.gen_range(0..40) as u32;
+                let d = rng.gen_range(0..40) as u32;
+                let t = rng.gen_range(0.0..DAY);
+                let want = shortest_path_cost(&g, s, d, t);
+                let mut full = FullPotential::new(&fg, &mut full_sc);
+                let got_full = bidirectional_cost_frozen_with(&mut sc, &fg, &mut full, s, d, t);
+                let mut lazy = ChPotential::new(&ch, &mut ch_sc);
+                let got_ch = bidirectional_cost_frozen_with(&mut sc, &fg, &mut lazy, s, d, t);
+                for (name, got) in [("full", got_full), ("ch", got_ch)] {
+                    match (want, got) {
+                        (Some(a), Some(b)) => assert!(
+                            (a - b).abs() < 1e-9,
+                            "{name} seed={seed} s={s} d={d} t={t}: {a} vs {b}"
+                        ),
+                        (None, None) => {}
+                        other => panic!("{name} seed={seed} s={s} d={d}: {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn handles_unreachable_and_self() {
         use td_graph::TdGraph;
         use td_plf::Plf;
@@ -161,5 +257,20 @@ mod tests {
         assert_eq!(bidirectional_cost(&g, 0, 2, 0.0, &bounds), None);
         let bounds = LowerBounds::new(&g, 0);
         assert_eq!(bidirectional_cost(&g, 0, 0, 5.0, &bounds), Some(0.0));
+
+        let fg = g.freeze();
+        let ch = ContractionHierarchy::build(&fg);
+        let mut sc = BidirectionalScratch::default();
+        let mut pot_sc = ChPotentialScratch::default();
+        let mut pot = ChPotential::new(&ch, &mut pot_sc);
+        assert_eq!(
+            bidirectional_cost_frozen_with(&mut sc, &fg, &mut pot, 0, 2, 0.0),
+            None
+        );
+        let mut pot = ChPotential::new(&ch, &mut pot_sc);
+        assert_eq!(
+            bidirectional_cost_frozen_with(&mut sc, &fg, &mut pot, 0, 0, 5.0),
+            Some(0.0)
+        );
     }
 }

@@ -10,15 +10,29 @@
 //!   cost function* `f_{s,v}(t)` for the whole day (Def. 2);
 //! * [`astar`] — time-dependent A\* with admissible lower bounds derived from
 //!   a backward Dijkstra over each edge's minimum cost (the classic
-//!   static-lower-bound potential of \[15\]).
+//!   static-lower-bound potential of \[15\]), plus the frozen fast path
+//!   ordered by any pluggable [`Potential`];
+//! * [`potential`] — the [`Potential`] trait and its two implementations:
+//!   the legacy [`FullPotential`] (one full backward Dijkstra per
+//!   destination) and the lazy [`ChPotential`] (one small backward upward
+//!   search in a `td_ch::ContractionHierarchy` + per-vertex memoized
+//!   resolution — the CH-Potentials scheme that makes TD-A\* the fast exact
+//!   query path).
 
 pub mod astar;
 pub mod bidirectional;
+pub mod potential;
 pub mod profile;
 pub mod scalar;
 
-pub use astar::{astar_cost, LowerBounds};
-pub use bidirectional::bidirectional_cost;
+pub use astar::{
+    astar_cost, astar_cost_frozen_with, astar_path_frozen_with, AStarScratch, LowerBounds,
+    LowerBoundsScratch,
+};
+pub use bidirectional::{bidirectional_cost, bidirectional_cost_frozen_with, BidirectionalScratch};
+pub use potential::{
+    ChPotential, ChPotentialScratch, FullPotential, FullPotentialScratch, Potential,
+};
 pub use profile::{profile_search, profile_search_frozen, profile_search_to, ProfileResult};
 pub use scalar::{
     one_to_all, shortest_path, shortest_path_cost, shortest_path_cost_frozen_with,

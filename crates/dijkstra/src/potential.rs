@@ -1,0 +1,385 @@
+//! A\* potentials: admissible, consistent lower bounds on the remaining
+//! time-dependent cost to a fixed destination.
+//!
+//! Both implementations bound via the *scalar min-cost graph* (every edge
+//! weighted by `min_t w_e(t)`), whose exact distances to `d` are admissible
+//! (`w_e(t) ≥ min_t w_e(t)`) and consistent (`h(u) ≤ w_min(u,v) + h(v)` is
+//! the triangle inequality of a true distance), so A\* keyed by
+//! `arrival + h` is correct on FIFO graphs:
+//!
+//! * [`FullPotential`] — the legacy baseline: one **full** backward Dijkstra
+//!   over the reverse min-cost graph per destination. O(n log n) per query
+//!   before the forward search even starts, but with reusable
+//!   generation-stamped scratch it no longer allocates per query.
+//! * [`ChPotential`] — the fast path: one backward *upward* search in a
+//!   prebuilt [`ContractionHierarchy`] (settling only the destination's
+//!   upward cone — typically a small fraction of the graph), then `h(v)`
+//!   resolved lazily and memoized per vertex the forward search actually
+//!   touches. This is the CH-Potentials scheme of Strasser, Wagner & Zeitz.
+
+use std::collections::BinaryHeap;
+use td_ch::ContractionHierarchy;
+use td_graph::{FrozenGraph, VertexId};
+
+use crate::astar::Entry;
+
+/// A destination-anchored lower bound `h(v)` on the remaining TD cost
+/// `v → d` for searches departing no earlier than `t`, with `h(d) = 0` and
+/// `f64::INFINITY` when `d` is unreachable from `v`.
+///
+/// Implementations must be **admissible** (`h(v) ≤` every TD cost `v → d`
+/// entered at any time `≥ t` — FIFO arrival times along a search never
+/// precede the departure) and **consistent**
+/// (`h(u) ≤ min_{τ ≥ t} w_{u,v}(τ) + h(v)` for every edge); both
+/// properties are proptested in `tests/proptest_astar_ch.rs`.
+pub trait Potential {
+    /// Re-anchors the potential at destination `d` for a query departing
+    /// at `t`. Called once per query by the A\* entry points.
+    fn init(&mut self, d: VertexId, t: f64);
+
+    /// The lower bound for `v`. `&mut` because lazy implementations resolve
+    /// and memoize on first access.
+    fn h(&mut self, v: VertexId) -> f64;
+}
+
+/// Steps a shared generation counter, clearing the stamp array wholesale on
+/// wrap-around so stale stamps can never collide with a live generation.
+/// Every gen-stamped scratch in this crate routes through this (the A\*
+/// scratch steps by 2 and keeps its own variant, documented there).
+pub(crate) fn bump_generation(gen: &mut u32, stamps: &mut [u32]) -> u32 {
+    *gen = if *gen == u32::MAX {
+        stamps.fill(0);
+        1
+    } else {
+        *gen + 1
+    };
+    *gen
+}
+
+// ----------------------------------------------------------------------
+// Full backward Dijkstra (legacy baseline)
+// ----------------------------------------------------------------------
+
+/// Reusable state of the full-backward-Dijkstra potential: distance array,
+/// generation stamps (replacing the per-query `vec![false; n]` visited
+/// marks) and the heap survive across queries, so re-anchoring allocates
+/// nothing once warmed.
+#[derive(Clone, Debug, Default)]
+pub struct FullPotentialScratch {
+    h: Vec<f64>,
+    h_gen: Vec<u32>,
+    gen: u32,
+    heap: BinaryHeap<Entry>,
+}
+
+impl FullPotentialScratch {
+    fn reset(&mut self, n: usize) -> u32 {
+        if self.h.len() != n {
+            self.h = vec![f64::INFINITY; n];
+            self.h_gen = vec![0; n];
+            self.gen = 0;
+        }
+        self.heap.clear();
+        bump_generation(&mut self.gen, &mut self.h_gen)
+    }
+}
+
+/// The legacy A/B baseline: exact whole-day-min-graph distances to `d` by
+/// one full backward Dijkstra over the frozen reverse adjacency at `init`
+/// (the departure time is ignored — this is the classic loose bound); `h`
+/// is then an O(1) lookup.
+pub struct FullPotential<'a> {
+    fg: &'a FrozenGraph,
+    scratch: &'a mut FullPotentialScratch,
+}
+
+impl<'a> FullPotential<'a> {
+    /// Binds the graph to (reusable) scratch.
+    pub fn new(fg: &'a FrozenGraph, scratch: &'a mut FullPotentialScratch) -> Self {
+        FullPotential { fg, scratch }
+    }
+}
+
+impl Potential for FullPotential<'_> {
+    fn init(&mut self, d: VertexId, _t: f64) {
+        let sc = &mut *self.scratch;
+        let gen = sc.reset(self.fg.num_vertices());
+        sc.h[d as usize] = 0.0;
+        sc.h_gen[d as usize] = gen;
+        sc.heap.push(Entry {
+            key: 0.0,
+            vertex: d,
+        });
+        while let Some(Entry { key, vertex: u }) = sc.heap.pop() {
+            if key > sc.h[u as usize] {
+                continue; // stale
+            }
+            let (tails, edges) = self.fg.csr.in_slices(u);
+            for (&p, &e) in tails.iter().zip(edges.iter()) {
+                let cand = key + self.fg.min_cost(e);
+                let known = if sc.h_gen[p as usize] == gen {
+                    sc.h[p as usize]
+                } else {
+                    f64::INFINITY
+                };
+                if cand < known {
+                    sc.h[p as usize] = cand;
+                    sc.h_gen[p as usize] = gen;
+                    sc.heap.push(Entry {
+                        key: cand,
+                        vertex: p,
+                    });
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn h(&mut self, v: VertexId) -> f64 {
+        if self.scratch.h_gen[v as usize] == self.scratch.gen {
+            self.scratch.h[v as usize]
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Lazy CH potential (the fast path)
+// ----------------------------------------------------------------------
+
+/// Reusable state of the lazy CH potential: the backward-upward distance
+/// array, the memoized potentials, both generation-stamped, plus the heap
+/// and the resolution stack. Zero allocations per query once warmed.
+#[derive(Clone, Debug, Default)]
+pub struct ChPotentialScratch {
+    /// `b[v]` = distance `v → d` in the downward graph (set for vertices
+    /// settled by the backward-upward search).
+    b: Vec<f64>,
+    b_gen: Vec<u32>,
+    /// Memoized `h(v)` for vertices the forward search touched.
+    memo: Vec<f64>,
+    memo_gen: Vec<u32>,
+    gen: u32,
+    heap: BinaryHeap<Entry>,
+    stack: Vec<VertexId>,
+    /// Vertices settled by the last `init` — the per-query setup cost.
+    init_settled: usize,
+}
+
+impl ChPotentialScratch {
+    /// Vertices settled by the backward-upward search of the last `init` —
+    /// the whole per-query setup; `benches/potentials.rs` asserts it stays
+    /// a small fraction of the graph.
+    pub fn last_init_settled(&self) -> usize {
+        self.init_settled
+    }
+
+    fn reset(&mut self, n: usize) -> u32 {
+        if self.memo.len() != n {
+            self.b = vec![f64::INFINITY; n];
+            self.b_gen = vec![0; n];
+            self.memo = vec![f64::INFINITY; n];
+            self.memo_gen = vec![0; n];
+            self.gen = 0;
+        }
+        self.heap.clear();
+        self.stack.clear();
+        let g = bump_generation(&mut self.gen, &mut self.b_gen);
+        // One generation counter stamps both arrays; they were reset
+        // together, so the wrap-around fill above must cover both.
+        if g == 1 {
+            self.memo_gen.fill(0);
+        }
+        g
+    }
+}
+
+/// The lazy CH potential: `init(d, t)` selects the tightest suffix-window
+/// metric whose start is at or before `t` and runs one backward upward
+/// search from `d` (distances `b[·]` within that metric's downward graph);
+/// `h(v)` then resolves `h(v) = min(b[v], min_{(v,u) ∈ G↑} w(v,u) + h(u))`
+/// by a memoized depth-first pass over the (acyclic) upward graph — each
+/// vertex is resolved at most once per query, and only if the forward
+/// search asks for it.
+pub struct ChPotential<'a> {
+    ch: &'a ContractionHierarchy,
+    metric: &'a td_ch::MetricCsr,
+    scratch: &'a mut ChPotentialScratch,
+}
+
+impl<'a> ChPotential<'a> {
+    /// Binds the hierarchy to (reusable) scratch.
+    pub fn new(ch: &'a ContractionHierarchy, scratch: &'a mut ChPotentialScratch) -> Self {
+        ChPotential {
+            ch,
+            metric: ch.metric(0),
+            scratch,
+        }
+    }
+}
+
+impl Potential for ChPotential<'_> {
+    fn init(&mut self, d: VertexId, t: f64) {
+        self.metric = self.ch.metric_for(t);
+        let sc = &mut *self.scratch;
+        let gen = sc.reset(self.ch.num_vertices());
+        sc.init_settled = 0;
+        sc.b[d as usize] = 0.0;
+        sc.b_gen[d as usize] = gen;
+        sc.heap.push(Entry {
+            key: 0.0,
+            vertex: d,
+        });
+        while let Some(Entry { key, vertex: v }) = sc.heap.pop() {
+            if key > sc.b[v as usize] {
+                continue; // stale
+            }
+            sc.init_settled += 1;
+            let (tails, weights) = self.metric.backward_up_edges(v);
+            for (&u, &w) in tails.iter().zip(weights.iter()) {
+                let cand = key + w;
+                let known = if sc.b_gen[u as usize] == gen {
+                    sc.b[u as usize]
+                } else {
+                    f64::INFINITY
+                };
+                if cand < known {
+                    sc.b[u as usize] = cand;
+                    sc.b_gen[u as usize] = gen;
+                    sc.heap.push(Entry {
+                        key: cand,
+                        vertex: u,
+                    });
+                }
+            }
+        }
+    }
+
+    fn h(&mut self, v: VertexId) -> f64 {
+        let sc = &mut *self.scratch;
+        let gen = sc.gen;
+        if sc.memo_gen[v as usize] == gen {
+            return sc.memo[v as usize];
+        }
+        // Iterative DFS over the upward DAG: a vertex is computed once all
+        // its up-neighbours are memoized; a vertex found already-memoized on
+        // the stack (pushed twice via two parents) just pops.
+        sc.stack.push(v);
+        while let Some(&x) = sc.stack.last() {
+            if sc.memo_gen[x as usize] == gen {
+                sc.stack.pop();
+                continue;
+            }
+            let (heads, _) = self.metric.up_edges(x);
+            let mut pending = false;
+            for &u in heads {
+                if sc.memo_gen[u as usize] != gen {
+                    sc.stack.push(u);
+                    pending = true;
+                }
+            }
+            if pending {
+                continue;
+            }
+            let (heads, weights) = self.metric.up_edges(x);
+            let mut best = if sc.b_gen[x as usize] == gen {
+                sc.b[x as usize]
+            } else {
+                f64::INFINITY
+            };
+            for (&u, &w) in heads.iter().zip(weights.iter()) {
+                best = best.min(w + sc.memo[u as usize]);
+            }
+            sc.memo[x as usize] = best;
+            sc.memo_gen[x as usize] = gen;
+            sc.stack.pop();
+        }
+        sc.memo[v as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::{shortest_path_cost_frozen_with, DijkstraScratch};
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+    use td_gen::random_graph::seeded_graph;
+    use td_plf::DAY;
+
+    /// Both potentials must agree with each other (both are exact min-graph
+    /// distances) and lower-bound the true TD cost.
+    #[test]
+    fn potentials_agree_and_lower_bound() {
+        for seed in 0..3u64 {
+            let g = seeded_graph(seed, 45, 32, 3);
+            let fg = g.freeze();
+            let ch = ContractionHierarchy::build(&fg);
+            let mut full_sc = FullPotentialScratch::default();
+            let mut ch_sc = ChPotentialScratch::default();
+            let mut dj = DijkstraScratch::default();
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x9e);
+            for _ in 0..6 {
+                let d = rng.gen_range(0..45) as u32;
+                let mut full = FullPotential::new(&fg, &mut full_sc);
+                let mut lazy = ChPotential::new(&ch, &mut ch_sc);
+                full.init(d, 0.0);
+                lazy.init(d, 0.0);
+                for v in 0..45u32 {
+                    let a = full.h(v);
+                    let b = lazy.h(v);
+                    if a.is_infinite() || b.is_infinite() {
+                        assert!(
+                            a.is_infinite() && b.is_infinite(),
+                            "v={v} d={d}: {a} vs {b}"
+                        );
+                        continue;
+                    }
+                    assert!((a - b).abs() < 1e-9, "v={v} d={d}: {a} vs {b}");
+                    let t = rng.gen_range(0.0..DAY);
+                    if let Some(c) = shortest_path_cost_frozen_with(&mut dj, &fg, v, d, t) {
+                        assert!(b <= c + 1e-9, "h({v})={b} exceeds TD cost {c} at t={t}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consistency: `h(u) ≤ w_min(u,v) + h(v)` for every edge.
+    #[test]
+    fn ch_potential_is_consistent() {
+        let g = seeded_graph(11, 40, 30, 3);
+        let fg = g.freeze();
+        let ch = ContractionHierarchy::build(&fg);
+        let mut sc = ChPotentialScratch::default();
+        for d in [0u32, 7, 19, 39] {
+            let mut pot = ChPotential::new(&ch, &mut sc);
+            pot.init(d, 0.0);
+            for u in 0..40u32 {
+                let hu = pot.h(u);
+                let (heads, edges, mins) = fg.out_slices_with_min(u);
+                for ((&v, &_e), &min) in heads.iter().zip(edges.iter()).zip(mins.iter()) {
+                    let hv = pot.h(v);
+                    assert!(
+                        hu <= min + hv + 1e-9,
+                        "inconsistent at ({u},{v}), d={d}: {hu} > {min} + {hv}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn init_settles_a_fraction_of_the_graph() {
+        let g = seeded_graph(3, 60, 45, 3);
+        let fg = g.freeze();
+        let ch = ContractionHierarchy::build(&fg);
+        let mut sc = ChPotentialScratch::default();
+        let mut pot = ChPotential::new(&ch, &mut sc);
+        pot.init(30, 0.0);
+        let settled = sc.last_init_settled();
+        assert!(settled > 0, "backward search must settle the destination");
+        assert!(settled <= 60, "cannot settle more than the graph");
+    }
+}

@@ -34,6 +34,8 @@ pub enum BackendTag {
     TdGtree = 5,
     /// TD-Dijkstra (graph + frozen CSR view only).
     Dijkstra = 6,
+    /// TD-A\* with lazy CH potentials (graph + contraction order).
+    AStarCh = 7,
 }
 
 impl BackendTag {
@@ -46,6 +48,7 @@ impl BackendTag {
             4 => Ok(BackendTag::TdH2h),
             5 => Ok(BackendTag::TdGtree),
             6 => Ok(BackendTag::Dijkstra),
+            7 => Ok(BackendTag::AStarCh),
             other => Err(StoreError::UnknownBackend(other)),
         }
     }
@@ -59,6 +62,7 @@ impl BackendTag {
             BackendTag::TdH2h => "TD-H2H",
             BackendTag::TdGtree => "TD-G-tree",
             BackendTag::Dijkstra => "TD-Dijkstra",
+            BackendTag::AStarCh => "TD-A*-CH",
         }
     }
 }

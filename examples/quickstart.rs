@@ -18,7 +18,8 @@ fn main() {
 
     // TD-appro: the paper's index with the 0.5-approximation shortcut
     // selection under a budget of interpolation points. Swap the backend for
-    // any of `Backend::ALL` (TdBasic, TdDp, TdH2h, TdGtree, Dijkstra) and
+    // any of `Backend::ALL` (TdBasic, TdDp, TdH2h,
+    // TdGtree, Dijkstra, AStarCh) and
     // the rest of this example runs unchanged.
     let budget = Dataset::Cal.spec().budget_at(0.25) as u64;
     let index = build_index(

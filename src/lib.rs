@@ -33,7 +33,7 @@
 //!
 //! // The paper's index (TD-appro: greedily selected shortcuts), behind the
 //! // unified RoutingIndex trait. Swap `Backend::TdAppro` for any of
-//! // `Backend::ALL` — TdBasic, TdDp, TdH2h, TdGtree, Dijkstra — and
+//! // `Backend::ALL` — TdBasic, TdDp, TdH2h, TdGtree, Dijkstra, AStarCh — and
 //! // everything below runs unchanged.
 //! let index = build_index(
 //!     graph,
