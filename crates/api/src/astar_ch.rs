@@ -158,6 +158,12 @@ impl td_store::Persist for AStarChIndex {
     }
 }
 
+// Compile-time pin: a built index is shared read-only across query threads.
+const _: () = {
+    const fn shared_across_threads<T: Send + Sync>() {}
+    shared_across_threads::<AStarChIndex>()
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -80,3 +80,9 @@ impl td_store::Persist for DijkstraOracle {
         Ok(DijkstraOracle::new(TdGraph::read_from(r)?))
     }
 }
+
+// Compile-time pin: the oracle is shared read-only across query threads.
+const _: () = {
+    const fn shared_across_threads<T: Send + Sync>() {}
+    shared_across_threads::<DijkstraOracle>()
+};

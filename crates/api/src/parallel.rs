@@ -42,6 +42,7 @@ struct ResultSlots<T> {
 // SAFETY: workers write disjoint indices (enforced by the fetch_add cursor)
 // into an initialised slice that outlives the scope; `T: Send` values move
 // to the writing thread.
+#[allow(unsafe_code)]
 unsafe impl<T: Send> Sync for ResultSlots<T> {}
 
 impl<T> ResultSlots<T> {
@@ -54,6 +55,7 @@ impl<T> ResultSlots<T> {
 
     /// # Safety
     /// `i` must be handed out by the batch cursor to this worker only.
+    #[allow(unsafe_code)]
     unsafe fn write(&self, i: usize, value: T) {
         debug_assert!(i < self.len);
         *self.ptr.add(i) = value;
@@ -111,6 +113,7 @@ impl<'a, I: RoutingIndex + ?Sized> ParallelExecutor<'a, I> {
 
     /// Runs `f(scratch, i)` for every `i in 0..n`, fanned out over the
     /// worker pool, writing each result to `out[i]`.
+    #[allow(unsafe_code)]
     fn run<T, F>(&mut self, n: usize, out: &mut [T], f: F)
     where
         T: Send,
@@ -289,6 +292,13 @@ impl<I: IncrementalIndex + Clone> LiveIndex<I> {
         stats
     }
 }
+
+// Compile-time pin: a live index (both buffers) is shared across reader and
+// writer threads; `Sync` for any `Send + Sync` inner index.
+const _: () = {
+    const fn shared_across_threads<T: Send + Sync>() {}
+    shared_across_threads::<LiveIndex<crate::AStarChIndex>>()
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,3 +1,6 @@
+// td-lint: reader-path
+// (query-side file: no locks, no channels — readers never block)
+
 //! Reusable per-query state: [`SessionScratch`] and [`QuerySession`].
 
 use crate::index::RoutingIndex;
@@ -121,3 +124,9 @@ impl<'a, I: RoutingIndex + ?Sized> QuerySession<'a, I> {
         }
     }
 }
+
+// Compile-time pin: scratch moves to its worker thread, never shared.
+const _: () = {
+    const fn moves_to_worker<T: Send>() {}
+    moves_to_worker::<SessionScratch>()
+};

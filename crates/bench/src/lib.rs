@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # td-bench — experiment harness and benchmarks
 //!
 //! One binary per table/figure of the paper (see DESIGN.md §3) plus Criterion

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+// td-lint: reader-path
+// (query-side file: no locks, no channels — readers never block)
 //! # td-ch — scalar contraction hierarchies over lower-bound metrics
 //!
 //! The TD-A\* query path needs a potential `h(v)` = a lower bound on the
@@ -82,7 +85,9 @@ impl MetricCsr {
     /// `v`'s upward edges as parallel `(heads, weights)` slices — every
     /// head has a higher rank than `v`.
     #[inline]
+    // td-lint: hot
     pub fn up_edges(&self, v: VertexId) -> (&[VertexId], &[f64]) {
+        debug_assert!((v as usize + 1) < self.up_first.len());
         let lo = self.up_first[v as usize] as usize;
         let hi = self.up_first[v as usize + 1] as usize;
         (&self.up_head[lo..hi], &self.up_weight[lo..hi])
@@ -91,7 +96,9 @@ impl MetricCsr {
     /// The higher-ranked tails of down-edges into `v`, as parallel
     /// `(tails, weights)` slices — the backward search's adjacency.
     #[inline]
+    // td-lint: hot
     pub fn backward_up_edges(&self, v: VertexId) -> (&[VertexId], &[f64]) {
+        debug_assert!((v as usize + 1) < self.down_first.len());
         let lo = self.down_first[v as usize] as usize;
         let hi = self.down_first[v as usize + 1] as usize;
         (&self.down_tail[lo..hi], &self.down_weight[lo..hi])
@@ -184,10 +191,11 @@ impl PartialOrd for HeapEntry {
 }
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // `total_cmp` keeps the comparison panic-free (weights are finite by
+        // construction; a NaN would order deterministically, not abort).
         other
             .key
-            .partial_cmp(&self.key)
-            .expect("weights are finite")
+            .total_cmp(&self.key)
             .then_with(|| other.vertex.cmp(&self.vertex))
     }
 }
@@ -378,6 +386,7 @@ impl ContractionHierarchy {
     /// (strictly increasing, `starts[0]` must be `0` so every departure
     /// time has a valid metric).
     pub fn build_with(fg: &FrozenGraph, starts: &[f64]) -> ContractionHierarchy {
+        // td-lint: allow(assert-policy) public build-time precondition, validated once per construction
         assert!(
             starts.first() == Some(&0.0) && starts.windows(2).all(|w| w[0] < w[1]),
             "window starts must be strictly increasing and begin at 0"
@@ -452,6 +461,7 @@ impl ContractionHierarchy {
     /// equal true scalar distances.
     pub fn customize(&mut self, fg: &FrozenGraph) {
         let n = fg.num_vertices();
+        // td-lint: allow(assert-policy) build/update-time precondition guarding snapshot misuse
         assert_eq!(self.rank.len(), n, "order was built for a different graph");
         let mut order: Vec<VertexId> = (0..n as u32).collect();
         order.sort_unstable_by_key(|&v| self.rank[v as usize]);
@@ -543,19 +553,24 @@ impl ContractionHierarchy {
     /// largest window start ≤ `t` (index 0 — the whole-day minimum — for
     /// `t < 0`, which only proptest edge cases produce).
     #[inline]
+    // td-lint: hot
     pub fn metric_index(&self, t: f64) -> usize {
         self.starts.partition_point(|&s| s <= t).saturating_sub(1)
     }
 
     /// The customized hierarchy of metric `idx`.
     #[inline]
+    // td-lint: hot
     pub fn metric(&self, idx: usize) -> &MetricCsr {
+        debug_assert!(idx < self.metrics.len());
         &self.metrics[idx]
     }
 
     /// The customized hierarchy a query departing at `t` must use.
     #[inline]
+    // td-lint: hot
     pub fn metric_for(&self, t: f64) -> &MetricCsr {
+        debug_assert!(!self.metrics.is_empty(), "customize runs before queries");
         &self.metrics[self.metric_index(t)]
     }
 
@@ -658,10 +673,12 @@ impl ContractionHierarchy {
     }
 }
 
-// Compile-time pin: the hierarchy is shared read-only across query threads.
+// Compile-time pin: the hierarchy and its customized metrics are shared
+// read-only across query threads.
 const _: () = {
     const fn shared_across_threads<T: Send + Sync>() {}
-    shared_across_threads::<ContractionHierarchy>()
+    shared_across_threads::<ContractionHierarchy>();
+    shared_across_threads::<MetricCsr>()
 };
 
 #[cfg(test)]

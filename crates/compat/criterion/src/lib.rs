@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+// Reporting bench results on stdout is this crate's whole job.
+#![allow(clippy::print_stdout)]
 //! Offline stand-in for the `criterion` crate.
 //!
 //! No network access in this container, so this shim implements the subset

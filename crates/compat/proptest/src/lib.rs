@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the `proptest` crate.
 //!
 //! No network access in this container, so this shim provides the subset of

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the `rand` crate.
 //!
 //! This container has no network access, so the workspace cannot pull the

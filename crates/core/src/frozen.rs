@@ -1,3 +1,6 @@
+// td-lint: reader-path
+// (query-side file: no locks, no channels — readers never block)
+
 //! [`FrozenTd`]: the flat, cache-friendly query-time view of a tree
 //! decomposition's weight labels.
 //!
@@ -135,25 +138,33 @@ impl FrozenTd {
 
     /// Flat slot range of `v`'s bag.
     #[inline]
+    // td-lint: hot
     pub fn range(&self, v: td_graph::VertexId) -> std::ops::Range<usize> {
+        debug_assert!((v as usize + 1) < self.first.len());
         self.first[v as usize] as usize..self.first[v as usize + 1] as usize
     }
 
     /// Depth of the bag vertex in slot `idx`.
     #[inline]
+    // td-lint: hot
     pub fn bag_depth(&self, idx: usize) -> usize {
+        debug_assert!(idx < self.bag_depth.len());
         self.bag_depth[idx] as usize
     }
 
     /// Arena id of slot `idx`'s `Ws` (`NO_PLF` = absent).
     #[inline]
+    // td-lint: hot
     pub fn ws_id(&self, idx: usize) -> PlfId {
+        debug_assert!(idx < self.ws.len());
         self.ws[idx]
     }
 
     /// Arena id of slot `idx`'s `Wd` (`NO_PLF` = absent).
     #[inline]
+    // td-lint: hot
     pub fn wd_id(&self, idx: usize) -> PlfId {
+        debug_assert!(idx < self.wd.len());
         self.wd[idx]
     }
 
@@ -172,7 +183,9 @@ impl FrozenTd {
     /// Minimum of slot `idx`'s `Ws` over all departure times
     /// (`+∞` when absent) — O(1), precomputed at freeze time.
     #[inline]
+    // td-lint: hot
     pub fn ws_min(&self, idx: usize) -> f64 {
+        debug_assert!(idx < self.ws.len());
         let id = self.ws[idx];
         if id == NO_PLF {
             f64::INFINITY
@@ -183,7 +196,9 @@ impl FrozenTd {
 
     /// Minimum of slot `idx`'s `Wd` (`+∞` when absent).
     #[inline]
+    // td-lint: hot
     pub fn wd_min(&self, idx: usize) -> f64 {
+        debug_assert!(idx < self.wd.len());
         let id = self.wd[idx];
         if id == NO_PLF {
             f64::INFINITY

@@ -99,6 +99,12 @@ pub struct TdTreeIndex {
     pub build_stats: BuildStats,
 }
 
+// Compile-time pin: a built index is shared read-only across query threads.
+const _: () = {
+    const fn shared_across_threads<T: Send + Sync>() {}
+    shared_across_threads::<TdTreeIndex>()
+};
+
 impl TdTreeIndex {
     /// Builds the index over `graph` (which is kept inside for updates and
     /// examples; queries run purely on the index structures).

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # td-core — the paper's TD-tree index
 //!
 //! The primary contribution of *"Querying Shortest Path on Large

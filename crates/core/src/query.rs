@@ -1,3 +1,6 @@
+// td-lint: reader-path
+// (query-side file: no locks, no channels — readers never block)
+
 //! Query processing over the TD-tree (Algo. 3 and Algo. 6).
 //!
 //! Two query kinds, matching the paper's experiments:
@@ -146,6 +149,7 @@ impl<'a> QueryEngine<'a> {
     /// Upward earliest-arrival sweep from `s` departing at `t` into `bufs`,
     /// optionally seeded with selected shortcuts towards cut vertices and
     /// pruned by a cost upper bound.
+    // td-lint: hot
     pub(crate) fn sweep_up_scalar_into(
         &self,
         s: VertexId,
@@ -155,6 +159,7 @@ impl<'a> QueryEngine<'a> {
         bufs: &mut SweepBufs,
     ) {
         self.root_path_into(s, &mut bufs.path);
+        debug_assert!(!bufs.path.is_empty(), "root path always contains s");
         let ds = bufs.path.len() - 1;
         bufs.reset(ds + 1);
         bufs.arr[ds] = Some(t);
@@ -221,6 +226,7 @@ impl<'a> QueryEngine<'a> {
     /// shortest path is some common ancestor, and the down-monotone leg from
     /// the apex may pass through other common ancestors before descending to
     /// `d`, so the prefix vertices must be relaxable too.
+    // td-lint: hot
     pub(crate) fn sweep_down_scalar_into(
         &self,
         d: VertexId,
@@ -231,6 +237,7 @@ impl<'a> QueryEngine<'a> {
         bufs: &mut SweepBufs,
     ) {
         self.root_path_into(d, &mut bufs.path);
+        debug_assert!(!bufs.path.is_empty(), "root path always contains d");
         let dd = bufs.path.len() - 1;
         bufs.reset(dd + 1);
         for (k, slot) in bufs.arr.iter_mut().enumerate().take(upto.min(dd) + 1) {
@@ -293,6 +300,7 @@ impl<'a> QueryEngine<'a> {
 
     /// Travel cost query `Q(s, d, t)` reusing `scratch` (allocation-free
     /// after warm-up).
+    // td-lint: hot
     pub fn cost_with(
         &self,
         scratch: &mut CostScratch,
@@ -338,6 +346,7 @@ impl<'a> QueryEngine<'a> {
                 _ => full_cover = false,
             }
             if let Some(Some(cs)) = up_cost {
+                // td-lint: allow(hot-alloc) seed list is bounded by the cut width and reuses capacity
                 seeds.push((kw, t + cs));
                 if let Some(known) = down_known {
                     if known {
@@ -369,6 +378,7 @@ impl<'a> QueryEngine<'a> {
         // Situations (2)/(3): sweeps, pruned by the bound when present.
         self.sweep_up_scalar_into(s, t, seeds, bound, up);
         self.sweep_down_scalar_into(d, &up.arr, upto, t, bound, down);
+        debug_assert_eq!(down.arr.len(), down.path.len());
         let swept = down.arr[down.path.len() - 1].map(|a| a - t);
         match (swept, jump_total) {
             (Some(a), Some(b)) => Some(a.min(b)),
@@ -382,6 +392,7 @@ impl<'a> QueryEngine<'a> {
     }
 
     /// Basic travel cost query reusing `scratch`.
+    // td-lint: hot
     pub fn cost_basic_with(
         &self,
         scratch: &mut CostScratch,
@@ -397,6 +408,7 @@ impl<'a> QueryEngine<'a> {
         let upto = self.td.node(x).depth as usize;
         self.sweep_up_scalar_into(s, t, &[], None, up);
         self.sweep_down_scalar_into(d, &up.arr, upto, t, None, down);
+        debug_assert_eq!(down.arr.len(), down.path.len());
         down.arr[down.path.len() - 1].map(|a| a - t)
     }
 

@@ -1,3 +1,6 @@
+// td-lint: reader-path
+// (query-side file: no locks, no channels — readers never block)
+
 //! Time-dependent A\* with static lower-bound potentials.
 //!
 //! The potential `h(v)` is the static shortest distance from `v` to the
@@ -114,10 +117,12 @@ impl PartialOrd for Entry {
 }
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
+        // `total_cmp` keeps the comparison panic-free: keys are finite by
+        // construction, and a NaN would order deterministically rather than
+        // abort the query mid-search.
         other
             .key
-            .partial_cmp(&self.key)
-            .expect("keys are finite")
+            .total_cmp(&self.key)
             .then_with(|| other.vertex.cmp(&self.vertex))
     }
 }
@@ -131,6 +136,7 @@ pub fn astar_cost_with(
     t: f64,
     bounds: &LowerBounds,
 ) -> Option<f64> {
+    // td-lint: allow(assert-policy) public precondition with a should_panic test; legacy path, not hot
     assert_eq!(
         bounds.destination, d,
         "bounds computed for a different target"
@@ -197,10 +203,15 @@ pub struct AStarScratch {
 }
 
 impl AStarScratch {
+    // td-lint: hot
     pub(crate) fn reset(&mut self, n: usize) -> u32 {
+        debug_assert!(n < u32::MAX as usize, "vertex ids must fit in u32");
         if self.best.len() != n {
+            // td-lint: allow(hot-alloc) cold branch: only the first query at a new graph size
             self.best = vec![f64::INFINITY; n];
+            // td-lint: allow(hot-alloc) cold branch: only the first query at a new graph size
             self.parent = vec![u32::MAX; n];
+            // td-lint: allow(hot-alloc) cold branch: only the first query at a new graph size
             self.stamp = vec![0; n];
             self.gen = 0;
         }
@@ -259,6 +270,7 @@ pub fn astar_path_frozen_with<P: Potential>(
 }
 
 /// The shared forward search; returns the arrival time at `d`.
+// td-lint: hot
 fn run_frozen<P: Potential>(
     scratch: &mut AStarScratch,
     fg: &FrozenGraph,
@@ -271,6 +283,7 @@ fn run_frozen<P: Potential>(
         // Arrival = departure; skip the potential setup entirely.
         return Some(t);
     }
+    debug_assert!((s as usize) < fg.num_vertices() && (d as usize) < fg.num_vertices());
     let gen = scratch.reset(fg.num_vertices());
     pot.init(d, t);
     let hs = pot.h(s);
@@ -280,6 +293,7 @@ fn run_frozen<P: Potential>(
     scratch.best[s as usize] = t;
     scratch.parent[s as usize] = u32::MAX;
     scratch.stamp[s as usize] = gen;
+    // td-lint: allow(hot-alloc) heap retains warmed capacity across queries
     scratch.heap.push(Entry {
         key: t + hs,
         vertex: s,
@@ -325,6 +339,7 @@ fn run_frozen<P: Potential>(
                 if v == d {
                     target_best = cand;
                 }
+                // td-lint: allow(hot-alloc) heap retains warmed capacity across queries
                 scratch.heap.push(Entry {
                     key: cand + hv,
                     vertex: v,

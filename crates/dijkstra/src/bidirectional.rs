@@ -1,3 +1,6 @@
+// td-lint: reader-path
+// (query-side file: no locks, no channels — readers never block)
+
 //! Bidirectional time-dependent search with a static backward bound.
 //!
 //! Plain bidirectional Dijkstra does not work on time-dependent graphs: the
@@ -33,6 +36,7 @@ pub type BidirectionalScratch = AStarScratch;
 /// static lower bound to `d` proves it cannot improve the best known
 /// arrival, with the per-edge `min_cost` prune applied before every
 /// breakpoint evaluation.
+// td-lint: hot
 pub fn bidirectional_cost_frozen_with<P: Potential>(
     scratch: &mut BidirectionalScratch,
     fg: &FrozenGraph,
@@ -45,6 +49,7 @@ pub fn bidirectional_cost_frozen_with<P: Potential>(
         // Arrival = departure; skip the potential setup entirely.
         return Some(0.0);
     }
+    debug_assert!((s as usize) < fg.num_vertices() && (d as usize) < fg.num_vertices());
     let gen = scratch.reset(fg.num_vertices());
     pot.init(d, t);
     if pot.h(s).is_infinite() {
@@ -52,6 +57,7 @@ pub fn bidirectional_cost_frozen_with<P: Potential>(
     }
     scratch.best[s as usize] = t;
     scratch.stamp[s as usize] = gen;
+    // td-lint: allow(hot-alloc) heap retains warmed capacity across queries
     scratch.heap.push(Entry { key: t, vertex: s });
     let mut best_to_d = f64::INFINITY;
     while let Some(Entry { key: _, vertex: u }) = scratch.heap.pop() {
@@ -94,6 +100,7 @@ pub fn bidirectional_cost_frozen_with<P: Potential>(
                 if v == d {
                     best_to_d = best_to_d.min(cand);
                 }
+                // td-lint: allow(hot-alloc) heap retains warmed capacity across queries
                 scratch.heap.push(Entry {
                     key: cand,
                     vertex: v,
@@ -119,6 +126,7 @@ pub fn bidirectional_cost(
     t: f64,
     bounds: &LowerBounds,
 ) -> Option<f64> {
+    // td-lint: allow(assert-policy) public precondition on the legacy reference path, not hot
     assert_eq!(
         bounds.destination, d,
         "bounds computed for a different target"

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # td-dijkstra — non-index shortest-path algorithms
 //!
 //! The Dijkstra-based family the paper's §1/§6 survey as the non-index

@@ -1,3 +1,6 @@
+// td-lint: reader-path
+// (query-side file: no locks, no channels — readers never block)
+
 //! A\* potentials: admissible, consistent lower bounds on the remaining
 //! time-dependent cost to a fixed destination.
 //!
@@ -73,9 +76,12 @@ pub struct FullPotentialScratch {
 }
 
 impl FullPotentialScratch {
+    // td-lint: hot
     fn reset(&mut self, n: usize) -> u32 {
         if self.h.len() != n {
+            // td-lint: allow(hot-alloc) cold branch: only the first query at a new graph size
             self.h = vec![f64::INFINITY; n];
+            // td-lint: allow(hot-alloc) cold branch: only the first query at a new graph size
             self.h_gen = vec![0; n];
             self.gen = 0;
         }
@@ -101,11 +107,14 @@ impl<'a> FullPotential<'a> {
 }
 
 impl Potential for FullPotential<'_> {
+    // td-lint: hot
     fn init(&mut self, d: VertexId, _t: f64) {
+        debug_assert!((d as usize) < self.fg.num_vertices());
         let sc = &mut *self.scratch;
         let gen = sc.reset(self.fg.num_vertices());
         sc.h[d as usize] = 0.0;
         sc.h_gen[d as usize] = gen;
+        // td-lint: allow(hot-alloc) heap retains warmed capacity across queries
         sc.heap.push(Entry {
             key: 0.0,
             vertex: d,
@@ -125,6 +134,7 @@ impl Potential for FullPotential<'_> {
                 if cand < known {
                     sc.h[p as usize] = cand;
                     sc.h_gen[p as usize] = gen;
+                    // td-lint: allow(hot-alloc) heap retains warmed capacity across queries
                     sc.heap.push(Entry {
                         key: cand,
                         vertex: p,
@@ -135,7 +145,9 @@ impl Potential for FullPotential<'_> {
     }
 
     #[inline]
+    // td-lint: hot
     fn h(&mut self, v: VertexId) -> f64 {
+        debug_assert!((v as usize) < self.scratch.h_gen.len());
         if self.scratch.h_gen[v as usize] == self.scratch.gen {
             self.scratch.h[v as usize]
         } else {
@@ -175,11 +187,16 @@ impl ChPotentialScratch {
         self.init_settled
     }
 
+    // td-lint: hot
     fn reset(&mut self, n: usize) -> u32 {
         if self.memo.len() != n {
+            // td-lint: allow(hot-alloc) cold branch: only the first query at a new graph size
             self.b = vec![f64::INFINITY; n];
+            // td-lint: allow(hot-alloc) cold branch: only the first query at a new graph size
             self.b_gen = vec![0; n];
+            // td-lint: allow(hot-alloc) cold branch: only the first query at a new graph size
             self.memo = vec![f64::INFINITY; n];
+            // td-lint: allow(hot-alloc) cold branch: only the first query at a new graph size
             self.memo_gen = vec![0; n];
             self.gen = 0;
         }
@@ -220,13 +237,16 @@ impl<'a> ChPotential<'a> {
 }
 
 impl Potential for ChPotential<'_> {
+    // td-lint: hot
     fn init(&mut self, d: VertexId, t: f64) {
+        debug_assert!((d as usize) < self.ch.num_vertices());
         self.metric = self.ch.metric_for(t);
         let sc = &mut *self.scratch;
         let gen = sc.reset(self.ch.num_vertices());
         sc.init_settled = 0;
         sc.b[d as usize] = 0.0;
         sc.b_gen[d as usize] = gen;
+        // td-lint: allow(hot-alloc) heap retains warmed capacity across queries
         sc.heap.push(Entry {
             key: 0.0,
             vertex: d,
@@ -247,6 +267,7 @@ impl Potential for ChPotential<'_> {
                 if cand < known {
                     sc.b[u as usize] = cand;
                     sc.b_gen[u as usize] = gen;
+                    // td-lint: allow(hot-alloc) heap retains warmed capacity across queries
                     sc.heap.push(Entry {
                         key: cand,
                         vertex: u,
@@ -256,15 +277,18 @@ impl Potential for ChPotential<'_> {
         }
     }
 
+    // td-lint: hot
     fn h(&mut self, v: VertexId) -> f64 {
         let sc = &mut *self.scratch;
         let gen = sc.gen;
+        debug_assert!((v as usize) < sc.memo_gen.len());
         if sc.memo_gen[v as usize] == gen {
             return sc.memo[v as usize];
         }
         // Iterative DFS over the upward DAG: a vertex is computed once all
         // its up-neighbours are memoized; a vertex found already-memoized on
         // the stack (pushed twice via two parents) just pops.
+        // td-lint: allow(hot-alloc) stack retains warmed capacity across queries
         sc.stack.push(v);
         while let Some(&x) = sc.stack.last() {
             if sc.memo_gen[x as usize] == gen {
@@ -275,6 +299,7 @@ impl Potential for ChPotential<'_> {
             let mut pending = false;
             for &u in heads {
                 if sc.memo_gen[u as usize] != gen {
+                    // td-lint: allow(hot-alloc) stack retains warmed capacity across queries
                     sc.stack.push(u);
                     pending = true;
                 }

@@ -1,3 +1,6 @@
+// td-lint: reader-path
+// (query-side file: no locks, no channels — readers never block)
+
 //! Time-dependent Dijkstra for a fixed departure time.
 //!
 //! Under FIFO, growing the settled set by earliest *arrival time* is correct
@@ -29,12 +32,12 @@ impl PartialOrd for HeapEntry {
 }
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: smaller arrival = greater priority. Arrival times are
-        // always finite (no NaN by Plf invariant).
+        // Reverse: smaller arrival = greater priority. `total_cmp` keeps the
+        // comparison panic-free (arrivals are finite by Plf invariant, and a
+        // NaN would order deterministically rather than abort a query).
         other
             .arrival
-            .partial_cmp(&self.arrival)
-            .expect("arrival times are finite")
+            .total_cmp(&self.arrival)
             .then_with(|| other.vertex.cmp(&self.vertex))
     }
 }
@@ -112,6 +115,7 @@ pub fn one_to_all(g: &TdGraph, s: VertexId, t: f64) -> Vec<f64> {
 /// the hot path: flat adjacency walks, SoA breakpoint evaluation, and
 /// per-edge `min_cost` lower bounds pruning relaxations that provably cannot
 /// improve the tentative target arrival.
+// td-lint: hot
 pub fn shortest_path_cost_frozen_with(
     scratch: &mut DijkstraScratch,
     fg: &FrozenGraph,
@@ -120,6 +124,7 @@ pub fn shortest_path_cost_frozen_with(
     t: f64,
 ) -> Option<f64> {
     run_frozen(scratch, fg, s, Some(d), t);
+    debug_assert!((d as usize) < scratch.arrival.len());
     scratch.arrival[d as usize].map(|a| a - t)
 }
 
@@ -145,6 +150,7 @@ pub fn shortest_path_frozen_with(
     Some((arr - t, Path::new(vertices)))
 }
 
+// td-lint: hot
 fn run_frozen(
     scratch: &mut DijkstraScratch,
     fg: &FrozenGraph,
@@ -153,6 +159,7 @@ fn run_frozen(
     t: f64,
 ) {
     let n = fg.num_vertices();
+    debug_assert!((s as usize) < n, "source out of range");
     let DijkstraScratch {
         arrival,
         best,
@@ -167,6 +174,7 @@ fn run_frozen(
     parent.resize(n, u32::MAX);
     heap.clear();
     best[s as usize] = t;
+    // td-lint: allow(hot-alloc) heap retains warmed capacity across queries
     heap.push(HeapEntry {
         arrival: t,
         vertex: s,
@@ -206,6 +214,7 @@ fn run_frozen(
                 if target == Some(v) {
                     target_best = cand;
                 }
+                // td-lint: allow(hot-alloc) heap retains warmed capacity across queries
                 heap.push(HeapEntry {
                     arrival: cand,
                     vertex: v,

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # td-gen — synthetic road networks, travel-time profiles and workloads
 //!
 //! The paper evaluates on five real DIMACS road networks (CAL, SF, COL, FLA,

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # td-graph — time-dependent directed road networks
 //!
 //! Implements Def. 1 of the paper: a directed graph `G(V, E, W)` whose every

@@ -66,9 +66,11 @@ impl NodeMatrix {
 
     /// Frozen entry `from → to`: `(breakpoint slice, min cost bound)`.
     #[inline]
+    // td-lint: hot
     fn entry_frozen(&self, from: VertexId, to: VertexId) -> Option<(PlfSlice<'_>, f64)> {
         let i = *self.pos.get(&from)?;
         let j = *self.pos.get(&to)?;
+        debug_assert!(i * self.anchors.len() + j < self.ids.len());
         let id = self.ids[i * self.anchors.len() + j];
         if id == NO_PLF {
             return None;
@@ -203,6 +205,7 @@ impl TdGtree {
 
     /// Travel cost query reusing `scratch` (no fresh hash maps after
     /// warm-up).
+    // td-lint: hot
     pub fn query_cost_with(
         &self,
         scratch: &mut GtreeScratch,
@@ -213,6 +216,7 @@ impl TdGtree {
         if s == d {
             return Some(0.0);
         }
+        debug_assert!((s as usize) < self.pt.leaf_of.len() && (d as usize) < self.pt.leaf_of.len());
         let ls = self.pt.leaf_of[s as usize];
         let ld = self.pt.leaf_of[d as usize];
         if ls == ld {
@@ -316,15 +320,14 @@ impl TdGtree {
                 }
             }
         }
-        layers.push(cur);
         for &(n, tgt) in &plan {
-            let prev = layers.last().expect("seeded above");
-            let next = relax_pred(&self.mats[n], prev, &self.pt.nodes[tgt].borders);
-            layers.push(next);
+            let next = relax_pred(&self.mats[n], &cur, &self.pt.nodes[tgt].borders);
+            layers.push(std::mem::replace(&mut cur, next));
         }
+        layers.push(cur);
 
         // Into d: pick the best final border.
-        let last = layers.last().expect("seeded above");
+        let last = layers.last()?;
         let mut best: Option<(f64, VertexId)> = None;
         let mut finals: Vec<VertexId> = last.keys().copied().collect();
         finals.sort_unstable();
@@ -384,12 +387,12 @@ impl TdGtree {
         }
         let child_d = path_d[path_d.len() - 2];
         cost = relax_profile(&self.mats[lca], &cost, &self.pt.nodes[child_d].borders);
-        for &n in path_d[1..path_d.len() - 1].iter().rev() {
-            let next_down: Vec<VertexId> = if n == path_d[1] {
+        for pi in (1..path_d.len() - 1).rev() {
+            let n = path_d[pi];
+            let next_down: Vec<VertexId> = if pi == 1 {
                 self.pt.nodes[ld].borders.clone()
             } else {
-                let below = path_d[path_d.iter().position(|&x| x == n).unwrap() - 1];
-                self.pt.nodes[below].borders.clone()
+                self.pt.nodes[path_d[pi - 1]].borders.clone()
             };
             cost = relax_profile(&self.mats[n], &cost, &next_down);
         }
@@ -455,6 +458,15 @@ fn anchor_set(pt: &PartitionTree, idx: usize) -> Vec<VertexId> {
     anchors
 }
 
+/// Adds a local edge whose endpoints came out of a `local_of` map and are
+/// therefore dense indices below the builder's vertex count; an out-of-range
+/// error is impossible by construction, so release builds drop the edge
+/// instead of aborting a long index build.
+fn add_local_edge(b: &mut GraphBuilder, x: u32, y: u32, f: Plf) {
+    let r = b.edge(x, y, f);
+    debug_assert!(r.is_ok(), "local ids are dense by construction");
+}
+
 /// Builds the local supergraph over `anchors`:
 /// * leaf: induced original edges;
 /// * internal: children's border-to-border matrix entries + crossing edges;
@@ -477,9 +489,8 @@ fn supergraph(
         // Induced subgraph.
         for &v in anchors {
             for &(u, e) in g.out_edges(v) {
-                if let Some(&lu) = local_of.get(&u) {
-                    b.edge(local_of[&v], lu, g.weight(e).clone())
-                        .expect("valid local edge");
+                if let (Some(&lv), Some(&lu)) = (local_of.get(&v), local_of.get(&u)) {
+                    add_local_edge(&mut b, lv, lu, g.weight(e).clone());
                 }
             }
         }
@@ -492,9 +503,10 @@ fn supergraph(
                     if x == y {
                         continue;
                     }
-                    if let Some(f) = mats[c].entry(x, y) {
-                        b.edge(local_of[&x], local_of[&y], f.clone())
-                            .expect("valid");
+                    if let (Some(f), Some(&lx), Some(&ly)) =
+                        (mats[c].entry(x, y), local_of.get(&x), local_of.get(&y))
+                    {
+                        add_local_edge(&mut b, lx, ly, f.clone());
                     }
                 }
             }
@@ -502,12 +514,11 @@ fn supergraph(
         // Crossing edges between children (both endpoints are borders).
         for &v in anchors {
             for &(u, e) in g.out_edges(v) {
-                if let Some(&lu) = local_of.get(&u) {
+                if let (Some(&lv), Some(&lu)) = (local_of.get(&v), local_of.get(&u)) {
                     // Only add original edges that cross children (edges
                     // inside one child are subsumed by its matrix, but adding
                     // them again is harmless thanks to min-merging).
-                    b.edge(local_of[&v], lu, g.weight(e).clone())
-                        .expect("valid");
+                    add_local_edge(&mut b, lv, lu, g.weight(e).clone());
                 }
             }
         }
@@ -516,7 +527,7 @@ fn supergraph(
         for (x, y, f) in extra {
             if let (Some(&lx), Some(&ly)) = (local_of.get(x), local_of.get(y)) {
                 if lx != ly {
-                    b.edge(lx, ly, f.clone()).expect("valid");
+                    add_local_edge(&mut b, lx, ly, f.clone());
                 }
             }
         }
@@ -571,13 +582,20 @@ fn all_pairs(
                     break;
                 }
                 let prof = profile_search_frozen(g, &fg, i as u32);
-                *rows[i].lock().expect("no poisoning") = prof.dist;
+                // A poisoned lock only means another worker panicked after
+                // finishing its own row; this row's slot is still writable.
+                *rows[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = prof.dist;
             });
         }
     });
     let mut mat: Vec<Option<Plf>> = Vec::with_capacity(k * k);
     for row in rows {
-        mat.extend(row.into_inner().expect("no poisoning"));
+        mat.extend(
+            row.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
     }
     let mut pos = HashMap::with_capacity(k);
     for (i, &v) in anchors.iter().enumerate() {
@@ -597,6 +615,7 @@ fn all_pairs(
 /// earliest arrivals at `targets`. Runs on the frozen arena layout, skipping
 /// the breakpoint evaluation whenever `arrival + min_cost` already fails to
 /// beat the running best (the min bound is admissible, so the skip is exact).
+// td-lint: hot
 fn relax_scalar_into(
     m: &NodeMatrix,
     arr: &HashMap<VertexId, f64>,

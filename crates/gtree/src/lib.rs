@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # td-gtree — the TD-G-tree baseline
 //!
 //! Re-implementation of the paper's main competitor, TD-G-tree \[29\]

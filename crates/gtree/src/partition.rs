@@ -113,12 +113,17 @@ pub fn bisect(g: &TdGraph, vertices: &[VertexId]) -> (Vec<VertexId>, Vec<VertexI
             right.push(v);
         }
     }
-    // Degenerate guard: never return an empty side.
+    // Degenerate guard: never return an empty side (with fewer than two
+    // vertices both sides stay as they are).
     if left.is_empty() {
-        left.push(right.pop().expect("nonempty region"));
+        if let Some(v) = right.pop() {
+            left.push(v);
+        }
     }
     if right.is_empty() {
-        right.push(left.pop().expect("nonempty region"));
+        if let Some(v) = left.pop() {
+            right.push(v);
+        }
     }
     (left, right)
 }
@@ -232,15 +237,29 @@ impl PartitionTree {
 
     /// The partition-tree LCA of two leaves.
     pub fn lca(&self, mut a: usize, mut b: usize) -> usize {
+        // The tree is built by `PartitionTree::build`, so every non-root node
+        // has a parent and the walks below always meet at the latest at the
+        // root; a missing parent can only mean a corrupted tree, where the
+        // current node is the most sensible answer left.
         while self.nodes[a].depth > self.nodes[b].depth {
-            a = self.nodes[a].parent.expect("deeper node has a parent");
+            let Some(p) = self.nodes[a].parent else {
+                return a;
+            };
+            a = p;
         }
         while self.nodes[b].depth > self.nodes[a].depth {
-            b = self.nodes[b].parent.expect("deeper node has a parent");
+            let Some(p) = self.nodes[b].parent else {
+                return b;
+            };
+            b = p;
         }
         while a != b {
-            a = self.nodes[a].parent.expect("distinct nodes have parents");
-            b = self.nodes[b].parent.expect("distinct nodes have parents");
+            let (Some(pa), Some(pb)) = (self.nodes[a].parent, self.nodes[b].parent) else {
+                debug_assert!(false, "equal-depth nodes must share an ancestor");
+                return a;
+            };
+            a = pa;
+            b = pb;
         }
         a
     }
@@ -259,7 +278,11 @@ impl PartitionTree {
         out.push(from);
         let mut cur = from;
         while cur != to {
-            cur = self.nodes[cur].parent.expect("`to` must be an ancestor");
+            let Some(p) = self.nodes[cur].parent else {
+                debug_assert!(false, "`to` must be an ancestor of `from`");
+                break;
+            };
+            cur = p;
             out.push(cur);
         }
     }

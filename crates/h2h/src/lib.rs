@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # td-h2h — the TD-H2H baseline
 //!
 //! TD-H2H extends the static H2H index \[21\] to time-dependent networks

@@ -1,0 +1,346 @@
+//! A minimal hand-rolled Rust lexer — just enough token structure for the
+//! rule checks in [`crate::rules`].
+//!
+//! No crates.io access means no `syn`/`proc-macro2`; fortunately the rules
+//! only need four things a full parser would give us:
+//!
+//! 1. **comments vs code** — markers (`// td-lint: ...`), `// SAFETY:`
+//!    comments and banned identifiers inside string literals must not be
+//!    confused with live code;
+//! 2. **identifiers with line numbers** — every diagnostic is `file:line`;
+//! 3. **punctuation adjacency** — `.unwrap(` is a method call, `"unwrap"`
+//!    is data, `unwrap:` is a field name;
+//! 4. **brace matching** — a `// td-lint: hot` marker covers the next
+//!    `fn`/`mod`/`impl` item's body, found by matching `{ ... }`.
+//!
+//! The lexer is intentionally forgiving: unknown characters become opaque
+//! punct tokens, and malformed input never panics — worst case a file is
+//! tokenized oddly and a human reads a strange diagnostic, which is the
+//! right failure mode for a lint that gates CI.
+
+/// What a token is. Only the distinctions the rules consume are kept.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `unwrap`, ...).
+    Ident,
+    /// `// ...` comment (doc comments included); text excludes the `//`.
+    LineComment,
+    /// `/* ... */` comment (possibly spanning lines); text is the interior.
+    BlockComment,
+    /// String/char/byte literal of any flavour; contents are opaque.
+    Literal,
+    /// Lifetime such as `'a` (kept distinct so `'a` is never a char literal).
+    Lifetime,
+    /// Single punctuation character (`.`, `(`, `[`, `!`, `#`, ...).
+    Punct(char),
+}
+
+/// One token with its source line (1-based).
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Identifier name or comment text; empty for punctuation/literals.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for an identifier token equal to `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// True for the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+
+    /// True for either comment flavour.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Tokenizes `src`. Never fails: anything unrecognised is passed through as
+/// punctuation.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::LineComment,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let tok_line = line;
+                let start = i + 2;
+                i += 2;
+                let mut depth = 1u32;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                toks.push(Tok {
+                    kind: TokKind::BlockComment,
+                    text: src[start..end].to_string(),
+                    line: tok_line,
+                });
+            }
+            '"' => {
+                let tok_line = line;
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line: tok_line,
+                });
+            }
+            'r' | 'b' if starts_raw_string(&src[i..]) => {
+                let tok_line = line;
+                // Skip the r/br/b prefix, count the `#`s, find `"`.
+                while i < bytes.len() && bytes[i] != b'#' && bytes[i] != b'"' {
+                    i += 1;
+                }
+                let mut hashes = 0usize;
+                while i < bytes.len() && bytes[i] == b'#' {
+                    hashes += 1;
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'"' {
+                    i += 1;
+                    // Scan for `"` followed by `hashes` `#`s.
+                    'scan: while i < bytes.len() {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        } else if bytes[i] == b'"' {
+                            let mut k = 0usize;
+                            while k < hashes && bytes.get(i + 1 + k) == Some(&b'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                i += 1 + hashes;
+                                break 'scan;
+                            }
+                        }
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line: tok_line,
+                });
+            }
+            '\'' => {
+                // Lifetime (`'a`, `'static`) vs char literal (`'x'`, `'\n'`).
+                let rest = &bytes[i + 1..];
+                let is_lifetime = match rest.first() {
+                    Some(&c2) if (c2 as char).is_alphabetic() || c2 == b'_' => {
+                        // `'a'` is a char literal; `'ab` is a lifetime.
+                        rest.get(1) != Some(&b'\'')
+                    }
+                    _ => false,
+                };
+                if is_lifetime {
+                    i += 1;
+                    let start = i;
+                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: src[start..i].to_string(),
+                        line,
+                    });
+                } else {
+                    let tok_line = line;
+                    i += 1;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            b'\\' => i += 2,
+                            b'\'' => {
+                                i += 1;
+                                break;
+                            }
+                            b'\n' => {
+                                // Unterminated char literal; bail at EOL.
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line: tok_line,
+                    });
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_alphanumeric() || b == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                // Numeric literal (possibly with underscores, dots, suffix
+                // letters, exponent signs). Consumed greedily and dropped —
+                // no rule looks at numbers. A trailing range like `0..n` is
+                // kept intact because `..` starts with a second dot.
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_alphanumeric()
+                        || b == '_'
+                        || (b == '.' && bytes.get(i + 1).is_some_and(|&n| n.is_ascii_digit()))
+                    {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+            }
+            c => {
+                toks.push(Tok {
+                    kind: TokKind::Punct(c),
+                    text: String::new(),
+                    line,
+                });
+                i += c.len_utf8();
+            }
+        }
+    }
+    toks
+}
+
+/// Does `rest` begin a raw (byte) string literal: `r"`, `r#`, `br"`, `b"`...?
+fn starts_raw_string(rest: &str) -> bool {
+    let b = rest.as_bytes();
+    match b.first() {
+        Some(b'r') => matches!(b.get(1), Some(b'"') | Some(b'#')),
+        Some(b'b') => match b.get(1) {
+            Some(b'"') => true,
+            Some(b'r') => matches!(b.get(2), Some(b'"') | Some(b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_strings_and_idents_are_separated() {
+        let toks = lex("let x = \"unwrap()\"; // td-lint: hot\nfoo.unwrap();");
+        assert!(toks.iter().any(|t| t.is_ident("let")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::LineComment && t.text.contains("td-lint: hot")));
+        // The "unwrap()" inside the string must NOT produce an ident.
+        let unwraps: Vec<&Tok> = toks.iter().filter(|t| t.is_ident("unwrap")).collect();
+        assert_eq!(unwraps.len(), 1);
+        assert_eq!(unwraps[0].line, 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Literal));
+        // The char literal 'x' must not swallow the closing brace.
+        assert!(toks.iter().any(|t| t.is_punct('}')));
+    }
+
+    #[test]
+    fn raw_strings_are_opaque() {
+        let toks = lex("let s = r#\"panic! assert! Mutex\"#; done");
+        assert!(!toks.iter().any(|t| t.is_ident("panic")));
+        assert!(!toks.iter().any(|t| t.is_ident("Mutex")));
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let toks = lex("/* a /* b */ c */ live");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Ident).count(),
+            1,
+            "only `live` is code"
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let toks = lex("a\n\"x\ny\"\nb");
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn numeric_range_is_not_swallowed() {
+        let toks = lex("for i in 0..n { arr[i]; }");
+        assert!(toks.iter().any(|t| t.is_ident("n")));
+        assert!(toks.iter().any(|t| t.is_punct('[')));
+    }
+}

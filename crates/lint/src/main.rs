@@ -1,0 +1,61 @@
+#![forbid(unsafe_code)]
+// The CLI's whole job is printing diagnostics.
+#![allow(clippy::print_stdout)]
+//! `td-lint` command line: `td-lint check [--root <path>]`.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: td-lint check [--root <workspace-root>]
+
+Checks every .rs file under the root against the project rules R1-R5
+(hot-path purity, unsafe hygiene, reader-path lock discipline, Send/Sync
+pin registry, assert policy). See crates/lint/README.md.";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    if command != "check" {
+        eprintln!("td-lint: unknown command `{command}`\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("td-lint: --root needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("td-lint: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(td_lint::default_root);
+    match td_lint::check_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("td-lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("td-lint: {} violation(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("td-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+
+// td-lint: hot
+pub fn get(xs: &[f64]) -> f64 {
+    // td-lint: allow(hot-panic)
+    *xs.first().unwrap()
+}

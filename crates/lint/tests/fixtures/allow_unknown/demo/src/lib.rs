@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+
+// td-lint: warm
+pub fn f() {}

@@ -1,0 +1,10 @@
+#![forbid(unsafe_code)]
+
+// td-lint: hot
+pub fn hot_fn(x: u64) -> u64 {
+    x + 1
+}
+
+pub fn check(x: u64) {
+    assert!(x > 0);
+}

@@ -1,0 +1,8 @@
+#![forbid(unsafe_code)]
+
+// td-lint: hot
+pub fn get(xs: &[f64]) -> f64 {
+    debug_assert!(!xs.is_empty());
+    // td-lint: allow(hot-panic) empty input is rejected by the caller
+    *xs.first().unwrap()
+}

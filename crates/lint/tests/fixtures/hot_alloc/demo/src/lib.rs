@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+
+// td-lint: hot
+pub fn scratch() -> Vec<u64> {
+    Vec::new()
+}

@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+
+// td-lint: hot
+pub fn pick(xs: &[f64], i: usize) -> f64 {
+    xs[i]
+}

@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+// td-lint: reader-path
+
+use std::sync::Mutex;

@@ -1,0 +1,6 @@
+#![deny(unsafe_code)]
+
+#[allow(unsafe_code)]
+pub fn read_raw(p: *const u32) -> u32 {
+    unsafe { *p }
+}

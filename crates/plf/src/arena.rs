@@ -1,3 +1,6 @@
+// td-lint: reader-path
+// (query-side file: no locks, no channels — readers never block)
+
 //! [`PlfArena`]: all interpolation points of a *frozen* function set in
 //! contiguous structure-of-arrays storage, plus [`PlfSlice`], the borrowed
 //! zero-copy view the hot query loops evaluate.
@@ -99,7 +102,9 @@ impl PlfArena {
 
     /// Interpolation points of function `id`.
     #[inline]
+    // td-lint: hot
     pub fn points_of(&self, id: PlfId) -> usize {
+        debug_assert!((id as usize) < self.len());
         (self.first_pt[id as usize + 1] - self.first_pt[id as usize]) as usize
     }
 
@@ -114,6 +119,7 @@ impl PlfArena {
         debug_assert!(!pts.is_empty(), "a PLF needs at least one point");
         debug_assert!(pts.windows(2).all(|w| w[0].t < w[1].t));
         let id = self.len() as PlfId;
+        // td-lint: allow(assert-policy) build-time overflow guard; push never runs on the query path
         assert!(id != NO_PLF, "PlfArena overflow (u32::MAX functions)");
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
@@ -132,7 +138,9 @@ impl PlfArena {
 
     /// The borrowed view of function `id`.
     #[inline]
+    // td-lint: hot
     pub fn slice(&self, id: PlfId) -> PlfSlice<'_> {
+        debug_assert!((id as usize) < self.len());
         let lo = self.first_pt[id as usize] as usize;
         let hi = self.first_pt[id as usize + 1] as usize;
         PlfSlice {
@@ -145,13 +153,17 @@ impl PlfArena {
     /// Precomputed minimum value of function `id` over all departure times —
     /// an admissible lower bound on any evaluation.
     #[inline]
+    // td-lint: hot
     pub fn min_cost(&self, id: PlfId) -> f64 {
+        debug_assert!((id as usize) < self.min_cost.len());
         self.min_cost[id as usize]
     }
 
     /// Precomputed maximum value of function `id` over all departure times.
     #[inline]
+    // td-lint: hot
     pub fn max_cost(&self, id: PlfId) -> f64 {
+        debug_assert!((id as usize) < self.max_cost.len());
         self.max_cost[id as usize]
     }
 
@@ -248,7 +260,9 @@ impl<'a> PlfSlice<'a> {
     /// Index of the segment containing `t`: largest `i` with `times[i] ≤ t`,
     /// or `None` for the left ray.
     #[inline]
+    // td-lint: hot
     fn segment_index(&self, t: f64) -> Option<usize> {
+        debug_assert!(!self.times.is_empty());
         if t < self.times[0] {
             return None;
         }
@@ -257,7 +271,9 @@ impl<'a> PlfSlice<'a> {
 
     /// Evaluates at departure time `t` (Eq. 1), identical to [`Plf::eval`].
     #[inline]
+    // td-lint: hot
     pub fn eval(&self, t: f64) -> f64 {
+        debug_assert!(!self.times.is_empty());
         match self.segment_index(t) {
             None => self.values[0],
             Some(i) if i + 1 == self.times.len() => self.values[i],
@@ -274,7 +290,9 @@ impl<'a> PlfSlice<'a> {
     /// Evaluates at `t` and returns the witness of the serving segment,
     /// identical to [`Plf::eval_with_via`].
     #[inline]
+    // td-lint: hot
     pub fn eval_with_via(&self, t: f64) -> (f64, Via) {
+        debug_assert!(!self.times.is_empty());
         match self.segment_index(t) {
             None => (self.values[0], self.vias[0]),
             Some(i) if i + 1 == self.times.len() => (self.values[i], self.vias[i]),
@@ -298,8 +316,10 @@ impl<'a> PlfSlice<'a> {
     /// binary search. `hint` is updated in place; any starting value is
     /// correct (it is only a speed hint).
     #[inline]
+    // td-lint: hot
     pub fn eval_with_hint(&self, t: f64, hint: &mut usize) -> f64 {
         let n = self.times.len();
+        debug_assert!(n > 0);
         let mut i = (*hint).min(n - 1);
         if self.times[i] <= t {
             // Walk forward from the hint while the next breakpoint still

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # td-plf — piecewise-linear travel-cost functions
 //!
 //! This crate implements the function algebra that underpins every algorithm in

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # td-store — versioned binary snapshot persistence (`.tdx`)
 //!
 //! The paper's whole point is paying a heavy one-time preprocessing cost

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # td-treedec — tree decomposition of time-dependent road networks
 //!
 //! Implements §3 of the paper:

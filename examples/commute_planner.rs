@@ -1,3 +1,4 @@
+#![allow(clippy::print_stdout)]
 //! Departure-time optimisation: the cost *function* query in action.
 //!
 //! A single profile query `f_{s,d}(t)` answers "when should I leave?" for a

@@ -1,3 +1,4 @@
+#![allow(clippy::print_stdout)]
 //! Live traffic updates under load: §5.2's index-update scenario, served
 //! concurrently.
 //!

@@ -1,3 +1,4 @@
+#![allow(clippy::print_stdout)]
 //! Quickstart: build a time-dependent road network, index it behind the
 //! unified `RoutingIndex` trait, and run the three query types of the paper
 //! through an allocation-free `QuerySession`.

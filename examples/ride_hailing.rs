@@ -1,3 +1,4 @@
+#![allow(clippy::print_stdout)]
 //! Ride hailing dispatch: the workload that motivates the paper's index —
 //! thousands of ETA (travel cost) queries per second between drivers and
 //! riders, on a network whose congestion varies through the day.

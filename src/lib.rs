@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # td-road — time-dependent road network shortest paths with shortcuts
 //!
 //! A from-scratch Rust reproduction of *"Querying Shortest Path on Large

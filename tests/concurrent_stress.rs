@@ -1,3 +1,4 @@
+#![allow(clippy::print_stdout)]
 //! Racing reader/writer stress: reader threads hammer
 //! `ParallelExecutor::query_batch` on `LiveIndex` snapshots while a writer
 //! pushes live-traffic batches through the double-buffer epoch swap.
