@@ -19,8 +19,8 @@
 
 use td_ch::ContractionHierarchy;
 use td_dijkstra::{
-    astar_cost_frozen_with, astar_path_frozen_with, profile_search_to, AStarScratch, ChPotential,
-    ChPotentialScratch,
+    astar_cost_frozen_bounded_with, astar_cost_frozen_with, astar_path_frozen_with,
+    profile_search_to, AStarScratch, BoundedCost, ChPotential, ChPotentialScratch, QueryBudget,
 };
 use td_graph::{FrozenGraph, Path, TdGraph, VertexId};
 use td_plf::Plf;
@@ -83,6 +83,22 @@ impl AStarChIndex {
     ) -> Option<f64> {
         let mut pot = ChPotential::new(&self.ch, &mut scratch.potential);
         astar_cost_frozen_with(&mut scratch.search, &self.frozen, &mut pot, s, d, t)
+    }
+
+    /// [`AStarChIndex::query_cost_with`] under a [`QueryBudget`]: identical
+    /// (bit-identical when complete), but exhaustion degrades to a
+    /// bracketing interval whose lower bound comes from the CH-potential
+    /// frontier keys.
+    pub fn query_cost_bounded_with(
+        &self,
+        scratch: &mut AStarChScratch,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+        budget: &QueryBudget,
+    ) -> BoundedCost {
+        let mut pot = ChPotential::new(&self.ch, &mut scratch.potential);
+        astar_cost_frozen_bounded_with(&mut scratch.search, &self.frozen, &mut pot, s, d, t, budget)
     }
 
     /// Cost function query by a full profile search from `s` (the potential

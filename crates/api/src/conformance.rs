@@ -17,12 +17,20 @@
 //!    ([`check_concurrent_agreement`]);
 //! 8. snapshot round-trip: saving the index as a `.tdx` stream and loading
 //!    it back yields an index answering cost, profile and path queries
-//!    **bit-identically** ([`check_snapshot_roundtrip`]).
+//!    **bit-identically** ([`check_snapshot_roundtrip`]);
+//! 9. bounded queries honour the degradation ladder: under every budget,
+//!    `query_cost_bounded` either answers **bit-identically** to
+//!    `query_cost`, or returns a flagged interval containing the exact
+//!    answer, or a typed error — never an unflagged wrong exact claim
+//!    ([`check_bounded_queries`]).
 //!
 //! The suite is instantiated for every backend in this crate's tests and is
 //! public so downstream crates can run it against new backends.
 
-use crate::{build_index, Backend, IndexConfig, ParallelExecutor, QuerySession, RoutingIndex};
+use crate::{
+    build_index, Backend, BoundedAnswer, IndexConfig, ParallelExecutor, QueryBudget, QueryError,
+    QuerySession, RoutingIndex,
+};
 use td_graph::{TdGraph, VertexId};
 
 /// Absolute tolerance for cost comparisons. TD-G-tree assembles answers
@@ -129,6 +137,70 @@ pub fn check_backend(
 
     // 8. Snapshot round-trip is bit-identical.
     check_snapshot_roundtrip(index.as_ref(), queries);
+
+    // 9. Bounded queries walk the degradation ladder soundly.
+    check_bounded_queries(index.as_ref(), queries);
+}
+
+/// Conformance step 9: [`RoutingIndex::query_cost_bounded`] under a sweep
+/// of budgets — tiny to unlimited settle caps plus an already-expired
+/// deadline — must never make an unflagged wrong claim. Exact answers are
+/// **bit-identical** to `query_cost`; approximate answers are flagged
+/// intervals containing the exact cost (and never claim unreachability);
+/// errors are typed. Invalid inputs surface as
+/// [`QueryError::InvalidQuery`], never panics.
+pub fn check_bounded_queries(index: &dyn RoutingIndex, queries: &[(VertexId, VertexId, f64)]) {
+    let name = index.backend_name();
+    let budgets = [
+        QueryBudget::UNLIMITED,
+        QueryBudget::settles(0),
+        QueryBudget::settles(1),
+        QueryBudget::settles(16),
+        QueryBudget::settles(256),
+        QueryBudget::settles(4096),
+        QueryBudget::timeout(std::time::Duration::ZERO),
+    ];
+    for &(s, d, t) in queries {
+        let exact = index.query_cost(s, d, t);
+        for (i, budget) in budgets.iter().enumerate() {
+            let ctx = format!("s={s} d={d} t={t} budget#{i}");
+            match index.query_cost_bounded(s, d, t, budget) {
+                Ok(answer) => {
+                    assert!(
+                        answer.is_consistent_with(exact, COST_EPS),
+                        "{name} {ctx}: {answer:?} inconsistent with exact {exact:?}"
+                    );
+                    if let BoundedAnswer::Exact(cost) = answer {
+                        assert_eq!(
+                            cost.map(f64::to_bits),
+                            exact.map(f64::to_bits),
+                            "{name} {ctx}: exact claim diverges from query_cost"
+                        );
+                    }
+                }
+                // Label/matrix backends under an expired deadline: refusal
+                // is the honest answer when they cannot degrade.
+                Err(QueryError::BudgetExhausted) => {}
+                Err(e) => panic!("{name} {ctx}: unexpected error: {e}"),
+            }
+        }
+        // An unlimited budget must never degrade.
+        let answer = index
+            .query_cost_bounded(s, d, t, &QueryBudget::UNLIMITED)
+            .unwrap_or_else(|e| panic!("{name}: unlimited budget errored: {e}"));
+        assert!(
+            answer.is_exact(),
+            "{name} s={s} d={d}: unlimited budget degraded to {answer:?}"
+        );
+    }
+    // Out-of-range endpoints and unusable departure times are typed.
+    let n = index.graph().num_vertices() as VertexId;
+    for (s, d, t) in [(n, 0, 0.0), (0, n + 7, 0.0), (0, 0, f64::NAN), (0, 0, -1.0)] {
+        match index.query_cost_bounded(s, d, t, &QueryBudget::UNLIMITED) {
+            Err(QueryError::InvalidQuery(_)) => {}
+            other => panic!("{name} s={s} d={d} t={t}: expected InvalidQuery, got {other:?}"),
+        }
+    }
 }
 
 /// Conformance step 8: `load(save(index))` must answer the whole workload

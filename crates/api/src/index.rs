@@ -1,9 +1,11 @@
 //! The [`RoutingIndex`] trait and its implementations for every backend.
 
 use crate::astar_ch::{AStarChIndex, AStarChScratch};
+use crate::bounded::{BoundedAnswer, QueryError};
 use crate::oracle::DijkstraOracle;
 use crate::session::{QuerySession, SessionScratch};
 use td_core::{CostScratch, ProfileScratch, TdTreeIndex, UpdateStats};
+use td_dijkstra::QueryBudget;
 use td_graph::{Path, TdGraph, VertexId};
 use td_gtree::{GtreeScratch, TdGtree};
 use td_h2h::TdH2h;
@@ -94,6 +96,42 @@ pub trait RoutingIndex: Send + Sync {
     ) -> Option<(f64, Path)> {
         let _ = scratch;
         self.query_path(s, d, t)
+    }
+
+    /// Budget-bounded travel cost query: validates the inputs, then answers
+    /// along the degradation ladder **exact → bounded → error**. A completed
+    /// search returns [`BoundedAnswer::Exact`], bit-identical to
+    /// [`RoutingIndex::query_cost`]. When the budget runs out, search
+    /// backends (TD-Dijkstra, TD-A\*-CH) degrade to a flagged
+    /// [`BoundedAnswer::Approximate`] interval proved by their frontier;
+    /// label/matrix backends answer exactly in near-constant time, so for
+    /// them the settle cap is inapplicable and only an already-expired
+    /// deadline turns into [`QueryError::BudgetExhausted`].
+    fn query_cost_bounded(
+        &self,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+        budget: &QueryBudget,
+    ) -> Result<BoundedAnswer, QueryError> {
+        let mut scratch = self.new_scratch();
+        self.query_cost_bounded_in(&mut scratch, s, d, t, budget)
+    }
+
+    /// [`RoutingIndex::query_cost_bounded`] reusing `scratch` — the hot path.
+    fn query_cost_bounded_in(
+        &self,
+        scratch: &mut SessionScratch,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+        budget: &QueryBudget,
+    ) -> Result<BoundedAnswer, QueryError> {
+        crate::bounded::validate_query(self.graph().num_vertices(), s, d, t)?;
+        if budget.deadline_passed() {
+            return Err(QueryError::BudgetExhausted);
+        }
+        Ok(BoundedAnswer::Exact(self.query_cost_in(scratch, s, d, t)))
     }
 
     /// Writes this index as a complete `.tdx` snapshot stream — header
@@ -444,6 +482,22 @@ impl RoutingIndex for DijkstraOracle {
         td_dijkstra::shortest_path_frozen_with(sc, self.frozen(), s, d, t)
     }
 
+    fn query_cost_bounded_in(
+        &self,
+        scratch: &mut SessionScratch,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+        budget: &QueryBudget,
+    ) -> Result<BoundedAnswer, QueryError> {
+        crate::bounded::validate_query(self.graph().num_vertices(), s, d, t)?;
+        let sc: &mut td_dijkstra::DijkstraScratch = scratch.get_or_default();
+        Ok(
+            td_dijkstra::shortest_path_cost_frozen_bounded_with(sc, self.frozen(), s, d, t, budget)
+                .into(),
+        )
+    }
+
     fn write_snapshot(&self, mut w: &mut dyn std::io::Write) -> Result<(), td_store::StoreError> {
         td_store::write_snapshot(self, td_store::BackendTag::Dijkstra, &mut w)
     }
@@ -512,6 +566,19 @@ impl RoutingIndex for AStarChIndex {
     ) -> Option<(f64, Path)> {
         let sc: &mut AStarChScratch = scratch.get_or_default();
         self.query_path_with(sc, s, d, t)
+    }
+
+    fn query_cost_bounded_in(
+        &self,
+        scratch: &mut SessionScratch,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+        budget: &QueryBudget,
+    ) -> Result<BoundedAnswer, QueryError> {
+        crate::bounded::validate_query(self.graph().num_vertices(), s, d, t)?;
+        let sc: &mut AStarChScratch = scratch.get_or_default();
+        Ok(self.query_cost_bounded_with(sc, s, d, t, budget).into())
     }
 
     fn write_snapshot(&self, mut w: &mut dyn std::io::Write) -> Result<(), td_store::StoreError> {

@@ -42,6 +42,7 @@
 
 mod astar_ch;
 mod backend;
+mod bounded;
 pub mod conformance;
 mod index;
 mod oracle;
@@ -51,9 +52,14 @@ mod snapshot;
 
 pub use astar_ch::{AStarChIndex, AStarChScratch};
 pub use backend::{build_index, Backend, IndexConfig};
+pub use bounded::{BoundedAnswer, QueryError};
 pub use index::{IncrementalIndex, IndexStats, RoutingIndex, RoutingIndexExt};
 pub use oracle::DijkstraOracle;
-pub use parallel::{CostQuery, LiveIndex, ParallelExecutor};
+pub use parallel::{CostQuery, LiveIndex, ParallelExecutor, UpdateError};
 pub use session::{QuerySession, SessionScratch};
-pub use snapshot::{load_index, load_index_from, load_tree_index, save_index, save_index_to};
+pub use snapshot::{
+    load_index, load_index_from, load_tree_index, save_index, save_index_to,
+    save_index_with_kill_point, KillPoint,
+};
+pub use td_dijkstra::QueryBudget;
 pub use td_store::{BackendTag, StoreError};

@@ -19,16 +19,31 @@
 //! still holding it drain. Queries never observe a half-updated index and
 //! never block on the repair.
 
+use crate::bounded::{BoundedAnswer, QueryError};
 use crate::index::{IncrementalIndex, RoutingIndex};
 use crate::session::SessionScratch;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use td_core::UpdateStats;
+use td_dijkstra::QueryBudget;
 use td_graph::{Path, VertexId};
 use td_plf::Plf;
 
 /// A `(source, destination, departure)` travel-cost query.
 pub type CostQuery = (VertexId, VertexId, f64);
+
+/// Renders a caught panic payload for a typed error. Panic messages are
+/// `&str` or `String` in practice; anything else stays opaque.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
 
 /// Shared write access to disjoint result slots. The atomic cursor in
 /// [`ParallelExecutor::run`] hands each index to exactly one worker, so
@@ -172,6 +187,63 @@ impl<'a, I: RoutingIndex + ?Sized> ParallelExecutor<'a, I> {
         });
     }
 
+    /// Panic-contained [`ParallelExecutor::query_batch`]: every query is
+    /// validated, then run inside [`std::panic::catch_unwind`], so one
+    /// poisoned query (a backend bug, a corrupt weight) surfaces as a typed
+    /// [`QueryError::Panicked`] in its own slot while the other results of
+    /// the batch arrive untouched and bit-identical to a clean run. A
+    /// worker whose scratch was mid-mutation when the panic unwound gets a
+    /// fresh scratch, so later queries never see torn state.
+    pub fn try_query_batch(
+        &mut self,
+        queries: &[CostQuery],
+    ) -> Vec<Result<Option<f64>, QueryError>> {
+        let mut out = vec![Ok(None); queries.len()];
+        let index = self.index;
+        let num_vertices = index.graph().num_vertices();
+        self.run(queries.len(), &mut out, |scratch, i| {
+            let (s, d, t) = queries[i];
+            crate::bounded::validate_query(num_vertices, s, d, t)?;
+            match catch_unwind(AssertUnwindSafe(|| index.query_cost_in(scratch, s, d, t))) {
+                Ok(cost) => Ok(cost),
+                Err(payload) => {
+                    // The scratch may hold half-written search state;
+                    // replace it rather than reuse it.
+                    *scratch = index.new_scratch();
+                    Err(QueryError::Panicked(panic_message(payload)))
+                }
+            }
+        });
+        out
+    }
+
+    /// Budget-bounded, panic-contained batch: each query runs
+    /// [`RoutingIndex::query_cost_bounded_in`] under the shared `budget`
+    /// (validation and the exact → bounded → error degradation ladder
+    /// included) inside the same containment as
+    /// [`ParallelExecutor::try_query_batch`].
+    pub fn query_batch_bounded(
+        &mut self,
+        queries: &[CostQuery],
+        budget: &QueryBudget,
+    ) -> Vec<Result<BoundedAnswer, QueryError>> {
+        let mut out = vec![Ok(BoundedAnswer::Exact(None)); queries.len()];
+        let index = self.index;
+        self.run(queries.len(), &mut out, |scratch, i| {
+            let (s, d, t) = queries[i];
+            match catch_unwind(AssertUnwindSafe(|| {
+                index.query_cost_bounded_in(scratch, s, d, t, budget)
+            })) {
+                Ok(answer) => answer,
+                Err(payload) => {
+                    *scratch = index.new_scratch();
+                    Err(QueryError::Panicked(panic_message(payload)))
+                }
+            }
+        });
+        out
+    }
+
     /// Answers a batch of cost-function (profile) queries on all workers.
     pub fn profile_batch(&mut self, pairs: &[(VertexId, VertexId)]) -> Vec<Option<Plf>> {
         let mut out = vec![None; pairs.len()];
@@ -218,11 +290,42 @@ impl<'a, I: RoutingIndex + ?Sized> ParallelExecutor<'a, I> {
 /// Writers are serialised by the standby lock. Writers never block readers,
 /// and readers never block writers — a snapshot held forever (even by the
 /// writer's own thread, across `apply`) costs one index clone, not a stall.
+///
+/// **Failure model.** Both locks recover from poisoning with
+/// [`PoisonError::into_inner`]: the protected values are plain `Arc` slots
+/// whose every mutation is a whole-value replacement or swap, so a panic
+/// mid-critical-section cannot leave them torn, and a crashed writer thread
+/// must not wedge every future reader. A failing [`IncrementalIndex::
+/// update_edges`] (surfaced by [`LiveIndex::try_apply`]) rolls the standby
+/// back to a clone of the published snapshot: the epoch does not move and
+/// readers never observe any part of the failed batch.
 pub struct LiveIndex<I> {
     active: Mutex<Arc<I>>,
     standby: Mutex<Arc<I>>,
     epoch: AtomicU64,
 }
+
+/// Why a live update batch was not applied.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UpdateError {
+    /// [`IncrementalIndex::update_edges`] panicked (e.g. a change referred
+    /// to a nonexistent edge). The standby copy was rolled back to a clone
+    /// of the published snapshot; the epoch did not move and readers were
+    /// never exposed to the partial batch.
+    UpdatePanicked(String),
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::UpdatePanicked(msg) => {
+                write!(f, "live update panicked (standby rolled back): {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
 
 impl<I: Clone> LiveIndex<I> {
     /// Wraps `index`, cloning it once for the standby buffer. Epoch 0 is the
@@ -245,14 +348,20 @@ impl<I> LiveIndex<I> {
     /// An immutable snapshot of the active index. The snapshot stays valid —
     /// and frozen at its epoch's edge weights — for as long as the `Arc` is
     /// held, across any number of concurrent [`LiveIndex::apply`] calls.
+    /// A poisoned lock (a reader or writer thread that panicked while
+    /// holding it) is recovered, never propagated: the slot is always a
+    /// whole, valid `Arc`.
     pub fn snapshot(&self) -> Arc<I> {
-        self.active.lock().expect("reader lock").clone()
+        self.active
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// [`LiveIndex::snapshot`] paired with the epoch it belongs to. The two
     /// are read under one lock, so a concurrent swap cannot tear the pair.
     pub fn snapshot_with_epoch(&self) -> (u64, Arc<I>) {
-        let guard = self.active.lock().expect("reader lock");
+        let guard = self.active.lock().unwrap_or_else(PoisonError::into_inner);
         (self.epoch.load(Ordering::Acquire), guard.clone())
     }
 }
@@ -261,35 +370,72 @@ impl<I: IncrementalIndex + Clone> LiveIndex<I> {
     /// Applies one batch of absolute edge-weight changes, making them
     /// visible to new snapshots atomically. Returns the standby repair's
     /// statistics (levelling the retired copy is not double-counted).
+    /// Panics if the repair fails — but only *after* [`LiveIndex::try_apply`]
+    /// has rolled the standby back and released both locks, so even then no
+    /// lock is poisoned and readers keep answering from the published epoch.
     pub fn apply(&self, changes: &[(VertexId, VertexId, Plf)]) -> UpdateStats {
-        let mut standby = self.standby.lock().expect("writer lock");
-        // The standby copy is always unique: readers clone only the active
-        // Arc, and the tail of the previous `apply` left this slot with
-        // either a drained retired copy or a fresh clone.
-        let stats = Arc::get_mut(&mut standby)
-            .expect("standby is never shared")
-            .update_edges(changes);
+        self.try_apply(changes)
+            .unwrap_or_else(|e| panic!("live update failed: {e}"))
+    }
+
+    /// [`LiveIndex::apply`] with the failure rung made a typed value: if
+    /// [`IncrementalIndex::update_edges`] panics (a change naming a
+    /// nonexistent edge, a backend bug), the half-repaired standby is
+    /// discarded for a clone of the published snapshot, the epoch stays
+    /// put, and the error reports the contained panic. Readers are
+    /// unaffected throughout, and the next valid batch applies normally.
+    pub fn try_apply(
+        &self,
+        changes: &[(VertexId, VertexId, Plf)],
+    ) -> Result<UpdateStats, UpdateError> {
+        let mut standby = self.standby.lock().unwrap_or_else(PoisonError::into_inner);
+        // The standby copy is normally unique: readers clone only the
+        // active Arc, and the tail of the previous `try_apply` left this
+        // slot with either a drained retired copy or a fresh clone. Should
+        // it ever be shared, `Arc::make_mut` clones instead of panicking —
+        // the slot's content is always level with the published state.
+        let repair = catch_unwind(AssertUnwindSafe(|| {
+            Arc::make_mut(&mut *standby).update_edges(changes)
+        }));
+        let stats = match repair {
+            Ok(stats) => stats,
+            Err(payload) => {
+                // Roll back: discard the half-applied copy for a clone of
+                // what readers currently see. Epoch unchanged.
+                let published = self
+                    .active
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone();
+                *standby = Arc::new((*published).clone());
+                return Err(UpdateError::UpdatePanicked(panic_message(payload)));
+            }
+        };
         let published = {
-            let mut active = self.active.lock().expect("reader lock");
+            let mut active = self.active.lock().unwrap_or_else(PoisonError::into_inner);
             std::mem::swap(&mut *active, &mut *standby);
             self.epoch.fetch_add(1, Ordering::Release);
             active.clone()
         };
         // Level the retired copy for the next batch. No reference can
         // *appear* between the check and the mutation: this slot is
-        // unreachable from `snapshot`, so the strong count only falls.
-        match Arc::get_mut(&mut standby) {
-            Some(retired) => {
+        // unreachable from `snapshot`, so the strong count only falls. The
+        // replay is contained too — these changes just applied cleanly
+        // once, but a panic here must not leave a torn copy in the slot.
+        let levelled = match Arc::get_mut(&mut standby) {
+            Some(retired) => catch_unwind(AssertUnwindSafe(|| {
                 retired.update_edges(changes);
-            }
-            None => {
-                // In-flight readers still hold the retired epoch; leave it
-                // to them and start the next double buffer from the state
-                // just published.
-                *standby = Arc::new((*published).clone());
-            }
+            }))
+            .is_ok(),
+            // In-flight readers still hold the retired epoch; leave it to
+            // them and start the next double buffer from the state just
+            // published.
+            None => false,
+        };
+        if !levelled {
+            *standby = Arc::new((*published).clone());
         }
-        stats
+        Ok(stats)
     }
 }
 
@@ -380,5 +526,116 @@ mod tests {
         live.apply(&[(0, 1, Plf::constant(60.0))]);
         assert_eq!(live.epoch(), 2);
         assert_eq!(live.snapshot().query_cost(0, 2, 0.0).unwrap(), old_cost);
+    }
+
+    #[test]
+    fn try_query_batch_agrees_and_types_invalid_inputs() {
+        let index = build_index(tiny_graph(), Backend::TdBasic, &IndexConfig::default());
+        let queries: Vec<CostQuery> = vec![
+            (0, 2, 0.0),
+            (9, 0, 0.0), // source out of range
+            (1, 3, 100.0),
+            (0, 0, f64::NAN), // non-finite departure
+            (2, 0, -5.0),     // negative departure
+            (3, 1, 1_000.0),
+        ];
+        for threads in [1, 4] {
+            let mut exec = ParallelExecutor::new(index.as_ref(), threads);
+            let got = exec.try_query_batch(&queries);
+            for (i, (q, r)) in queries.iter().zip(got.iter()).enumerate() {
+                match i {
+                    1 | 3 | 4 => assert!(
+                        matches!(r, Err(QueryError::InvalidQuery(_))),
+                        "slot {i}: {r:?}"
+                    ),
+                    _ => assert_eq!(
+                        r.as_ref().unwrap().map(f64::to_bits),
+                        index.query_cost(q.0, q.1, q.2).map(f64::to_bits),
+                        "slot {i}"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_batch_walks_the_degradation_ladder() {
+        let index = build_index(tiny_graph(), Backend::AStarCh, &IndexConfig::default());
+        let queries: Vec<CostQuery> = vec![(0, 2, 0.0), (4, 0, 0.0), (3, 1, 50.0)];
+        let mut exec = ParallelExecutor::new(index.as_ref(), 2);
+        // Unlimited: exact everywhere (except the invalid slot).
+        let got = exec.query_batch_bounded(&queries, &QueryBudget::UNLIMITED);
+        assert_eq!(
+            got[0],
+            Ok(BoundedAnswer::Exact(index.query_cost(0, 2, 0.0)))
+        );
+        assert!(matches!(got[1], Err(QueryError::InvalidQuery(_))));
+        assert_eq!(
+            got[2],
+            Ok(BoundedAnswer::Exact(index.query_cost(3, 1, 50.0)))
+        );
+        // A zero-settle budget degrades the search backend to intervals
+        // that still bracket the truth.
+        let got = exec.query_batch_bounded(&queries, &QueryBudget::settles(0));
+        for (i, r) in got.iter().enumerate() {
+            if i == 1 {
+                continue;
+            }
+            let exact = index.query_cost(queries[i].0, queries[i].1, queries[i].2);
+            assert!(
+                r.as_ref().unwrap().is_consistent_with(exact, 1e-9),
+                "slot {i}: {r:?} vs exact {exact:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisoned_locks_recover_instead_of_wedging() {
+        let live = LiveIndex::new(crate::AStarChIndex::new(tiny_graph()));
+        let before = live.snapshot().query_cost(0, 2, 0.0);
+        // Poison both locks: panic while holding each guard.
+        for poison in [true, false] {
+            let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                let _guard = if poison {
+                    live.active.lock().unwrap()
+                } else {
+                    live.standby.lock().unwrap()
+                };
+                panic!("deliberate poisoning");
+            }));
+            assert!(r.is_err());
+        }
+        assert!(live.active.is_poisoned());
+        assert!(live.standby.is_poisoned());
+        // Readers and writers must keep working on the recovered locks.
+        assert_eq!(live.snapshot().query_cost(0, 2, 0.0), before);
+        assert_eq!(live.snapshot_with_epoch().0, 0);
+        live.apply(&[(0, 1, Plf::constant(600.0))]);
+        assert_eq!(live.epoch(), 1);
+        assert!(live.snapshot().query_cost(0, 2, 0.0).unwrap() > before.unwrap());
+    }
+
+    #[test]
+    fn failed_update_rolls_standby_back_and_epoch_stays() {
+        let live = LiveIndex::new(crate::AStarChIndex::new(tiny_graph()));
+        let before = live.snapshot().query_cost(0, 2, 0.0);
+        // Edge 0 -> 2 does not exist: update_edges panics mid-batch after
+        // having already applied the 0 -> 1 change.
+        let err = live
+            .try_apply(&[(0, 1, Plf::constant(600.0)), (0, 2, Plf::constant(1.0))])
+            .unwrap_err();
+        assert!(matches!(err, UpdateError::UpdatePanicked(_)));
+        assert!(err.to_string().contains("does not exist"));
+        // Epoch unmoved, readers unaffected, no partial batch visible.
+        assert_eq!(live.epoch(), 0);
+        assert_eq!(live.snapshot().query_cost(0, 2, 0.0), before);
+        // The rolled-back standby accepts the next valid batch.
+        live.apply(&[(0, 1, Plf::constant(600.0))]);
+        assert_eq!(live.epoch(), 1);
+        let after = live.snapshot().query_cost(0, 2, 0.0).unwrap();
+        assert!((after - 135.0).abs() < 1e-9);
+        // And the retired copy levelled correctly for the batch after that.
+        live.apply(&[(0, 1, Plf::constant(60.0))]);
+        assert_eq!(live.snapshot().query_cost(0, 2, 0.0), before);
     }
 }

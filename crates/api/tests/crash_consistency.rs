@@ -1,0 +1,190 @@
+//! Crash-consistency kill-point sweep over the snapshot save pipeline.
+//!
+//! Every simulated crash point in [`save_index`]'s temp-write → fsync →
+//! double-rename pipeline — including a mid-write I/O fault at every swept
+//! byte offset of the snapshot — must leave the `.tdx` / `.tdx.prev`
+//! generation pair in a state where [`load_index`] succeeds and answers
+//! bit-identically to a complete generation. Never a panic, never an `Err`,
+//! never a silently wrong index (when any complete generation exists).
+
+use td_api::{
+    build_index, load_index, save_index, save_index_with_kill_point, Backend, IndexConfig,
+    KillPoint, RoutingIndex,
+};
+use td_gen::random_graph::seeded_graph;
+use td_graph::TdGraph;
+use td_plf::Plf;
+
+const PROBES: [(u32, u32, f64); 4] = [
+    (0, 39, 100.0),
+    (5, 17, 40_000.0),
+    (30, 2, 80_000.0),
+    (3, 33, 10_000.0),
+];
+
+fn base_graph() -> TdGraph {
+    seeded_graph(21, 40, 25, 3)
+}
+
+/// The same network with one edge slowed enough to move some probe answer,
+/// standing in for the next index generation.
+fn next_generation_graph() -> TdGraph {
+    let mut g = base_graph();
+    let w = g.edges()[0].weight.eval(0.0);
+    g.set_weight(0, Plf::constant(w + 5_000.0)).expect("valid");
+    g
+}
+
+fn cfg() -> IndexConfig {
+    IndexConfig {
+        budget: 1_500,
+        max_leaf: 8,
+        threads: 1,
+        ..Default::default()
+    }
+}
+
+/// Bit-exact probe fingerprint of an index.
+fn fingerprint(index: &dyn RoutingIndex) -> Vec<Option<u64>> {
+    PROBES
+        .iter()
+        .map(|&(s, d, t)| index.query_cost(s, d, t).map(f64::to_bits))
+        .collect()
+}
+
+/// A fresh empty scratch directory unique to this test + process.
+fn scenario_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join("td-road-crash-tests")
+        .join(format!("{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scenario dir");
+    dir
+}
+
+#[test]
+fn every_kill_point_leaves_a_loadable_generation() {
+    let gen1 = build_index(base_graph(), Backend::AStarCh, &cfg());
+    let gen2 = build_index(next_generation_graph(), Backend::AStarCh, &cfg());
+    let fp1 = fingerprint(gen1.as_ref());
+    let fp2 = fingerprint(gen2.as_ref());
+    assert_ne!(fp1, fp2, "generations must be distinguishable");
+
+    let mut snapshot = Vec::new();
+    td_api::save_index_to(gen2.as_ref(), &mut snapshot).expect("save to bytes");
+    let len = snapshot.len() as u64;
+
+    // Mid-write faults swept across the whole snapshot, plus the structural
+    // kill points around the renames. `expected` is None where either
+    // generation is acceptable, Some(fp) where exactly one must be visible.
+    let mut kills: Vec<(KillPoint, Option<&Vec<Option<u64>>>)> = Vec::new();
+    let stride = (len / 13).max(1);
+    let mut n = 0;
+    while n < len {
+        kills.push((KillPoint::DuringTempWrite(n), Some(&fp1)));
+        n += stride;
+    }
+    kills.push((KillPoint::DuringTempWrite(len - 1), Some(&fp1)));
+    kills.push((KillPoint::BeforeBackupRename, Some(&fp1)));
+    kills.push((KillPoint::BetweenRenames, Some(&fp1)));
+    kills.push((KillPoint::BeforeDirSync, Some(&fp2)));
+
+    let dir = scenario_dir("kill-sweep");
+    for (i, (kill, expected)) in kills.iter().enumerate() {
+        let path = dir.join(format!("net-{i}.tdx"));
+        save_index(gen1.as_ref(), &path).expect("seed generation 1");
+        save_index_with_kill_point(gen2.as_ref(), &path, *kill)
+            .unwrap_or_else(|e| panic!("{kill:?}: simulated crash must not error: {e}"));
+        let loaded =
+            load_index(&path).unwrap_or_else(|e| panic!("{kill:?}: load must succeed: {e}"));
+        let fp = fingerprint(loaded.as_ref());
+        match expected {
+            Some(want) => assert_eq!(&&fp, want, "{kill:?}"),
+            None => assert!(fp == fp1 || fp == fp2, "{kill:?}: {fp:?}"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kill_sweep_holds_across_a_second_generation() {
+    // After two complete saves (path = gen2, prev = gen1), a crashed third
+    // save must still leave gen2 loadable.
+    let gen1 = build_index(base_graph(), Backend::AStarCh, &cfg());
+    let gen2 = build_index(next_generation_graph(), Backend::AStarCh, &cfg());
+    let fp2 = fingerprint(gen2.as_ref());
+
+    let dir = scenario_dir("second-gen");
+    for (i, kill) in [
+        KillPoint::DuringTempWrite(64),
+        KillPoint::BeforeBackupRename,
+        KillPoint::BetweenRenames,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let path = dir.join(format!("net-{i}.tdx"));
+        save_index(gen1.as_ref(), &path).expect("generation 1");
+        save_index(gen2.as_ref(), &path).expect("generation 2");
+        save_index_with_kill_point(gen1.as_ref(), &path, kill).expect("simulated crash");
+        let loaded = load_index(&path).expect("load after crash");
+        assert_eq!(fingerprint(loaded.as_ref()), fp2, "{kill:?}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_primary_falls_back_to_the_previous_generation() {
+    let gen1 = build_index(base_graph(), Backend::AStarCh, &cfg());
+    let gen2 = build_index(next_generation_graph(), Backend::AStarCh, &cfg());
+    let fp1 = fingerprint(gen1.as_ref());
+
+    let dir = scenario_dir("bit-flip");
+    let path = dir.join("net.tdx");
+    save_index(gen1.as_ref(), &path).expect("generation 1");
+    save_index(gen2.as_ref(), &path).expect("generation 2");
+
+    // Bit-rot in the middle of the current generation: the CRC rejects it
+    // and the load silently serves the previous generation instead.
+    let mut bytes = std::fs::read(&path).expect("read");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).expect("write corruption");
+
+    let loaded = load_index(&path).expect("fallback load");
+    assert_eq!(fingerprint(loaded.as_ref()), fp1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn first_generation_crash_errors_instead_of_panicking() {
+    // With no previous generation there is nothing to fall back to: the
+    // load must surface a typed StoreError, not panic or fabricate state.
+    let gen1 = build_index(base_graph(), Backend::AStarCh, &cfg());
+    let dir = scenario_dir("first-gen");
+    let path = dir.join("net.tdx");
+    save_index_with_kill_point(gen1.as_ref(), &path, KillPoint::DuringTempWrite(10))
+        .expect("simulated crash");
+    assert!(!path.exists(), "a crashed first save must not publish");
+    assert!(load_index(&path).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tree_index_load_shares_the_fallback() {
+    let gen1 = build_index(base_graph(), Backend::TdAppro, &cfg());
+    let fp1 = fingerprint(gen1.as_ref());
+
+    let dir = scenario_dir("tree-fallback");
+    let path = dir.join("net.tdx");
+    save_index(gen1.as_ref(), &path).expect("generation 1");
+    save_index(gen1.as_ref(), &path).expect("generation 2 (identical)");
+    let mut bytes = std::fs::read(&path).expect("read");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path, &bytes).expect("write corruption");
+
+    let tree = td_api::load_tree_index(&path).expect("fallback load");
+    assert_eq!(fingerprint(&tree), fp1);
+    std::fs::remove_dir_all(&dir).ok();
+}

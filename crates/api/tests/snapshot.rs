@@ -112,6 +112,17 @@ fn load_tree_index_accepts_tree_family_only() {
 
     let gtree = build_index(small_graph(), Backend::TdGtree, &cfg());
     save_index(gtree.as_ref(), &path).expect("save");
+    // Saving the G-tree demoted the TD-appro snapshot to `<path>.prev`, so
+    // the wrong-backend primary falls back to that previous generation.
+    let fallback = load_tree_index(&path).expect("previous generation serves");
+    assert_eq!(
+        fallback.query_cost(0, 39, 100.0),
+        tree.query_cost(0, 39, 100.0)
+    );
+    // With no previous generation, the mismatch is a typed error.
+    let mut prev = path.clone().into_os_string();
+    prev.push(".prev");
+    std::fs::remove_file(&prev).expect("previous generation exists");
     match load_tree_index(&path) {
         Err(StoreError::Invalid(msg)) => {
             assert!(msg.contains("TD-tree-family"), "unhelpful error: {msg}")

@@ -1,0 +1,187 @@
+//! Budget-checkpoint overhead gate: the same exact TD-A\*-CH query path
+//! with (A) the frozen unbounded entry point versus (B) the bounded entry
+//! point carrying a huge-but-finite [`QueryBudget`] (settle cap + far
+//! deadline, so both checkpoint branches stay live and nothing degrades),
+//! on the CAL-sized medium network.
+//!
+//! Timings are interleaved (one A rep, one B rep, repeat) so thermal and
+//! scheduler drift cancels. Before timing, every query is cross-checked
+//! **bit-identically** between the two entry points, and the bounded path
+//! is asserted to perform **zero** heap allocations per query on a warmed
+//! scratch — the budget lives in two registers, not in memory.
+//!
+//! Acceptance bar (ISSUE 7): the bounded path costs ≤ 2% over the frozen
+//! unbounded path. A miss warns loudly by default; set BUDGET_ASSERT=1 to
+//! make it fatal (quiet perf-regression gate).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use td_api::{AStarChIndex, AStarChScratch};
+use td_dijkstra::{BoundedCost, QueryBudget};
+use td_gen::Dataset;
+use td_plf::DAY;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to `System` plus a relaxed counter bump; every
+// contract (layout validity, pointer provenance) is forwarded unchanged.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: delegates to `System.alloc` with the caller's layout.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    // SAFETY: delegates to `System.dealloc`; `ptr` came from this allocator.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    // SAFETY: delegates to `System.realloc` with the caller's layout/size.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocs(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+/// Interleaved A/B timing: mean ns per rep of each side after a warm-up.
+fn compare2(mut a: impl FnMut(), mut b: impl FnMut(), budget_ms: u128) -> (f64, f64) {
+    a();
+    b();
+    let (mut ta, mut tb, mut reps) = (0u128, 0u128, 0u64);
+    let start = Instant::now();
+    while start.elapsed().as_millis() < budget_ms {
+        let s = Instant::now();
+        a();
+        ta += s.elapsed().as_nanos();
+        let s = Instant::now();
+        b();
+        tb += s.elapsed().as_nanos();
+        reps += 1;
+    }
+    let r = reps as f64;
+    (ta as f64 / r, tb as f64 / r)
+}
+
+fn bench_budget_overhead(criterion: &mut Criterion) {
+    let g = Dataset::Cal.spec().build_scaled(3, 1.0, 42); // ~5.2k vertices
+    let n = g.num_vertices();
+    let index = AStarChIndex::new(g);
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let qs: Vec<(u32, u32, f64)> = (0..64)
+        .map(|_| {
+            (
+                rng.gen_range(0..n) as u32,
+                rng.gen_range(0..n) as u32,
+                rng.gen_range(0.0..DAY),
+            )
+        })
+        .collect();
+
+    // Huge but *finite* budget: both checkpoint branches (settle compare +
+    // strided clock read) stay live, and no query degrades.
+    let budget = QueryBudget::settles(u64::MAX / 2).with_timeout(Duration::from_secs(3600));
+
+    // Correctness gate before any timing: bounded == unbounded, bit for bit.
+    let mut sc_a = AStarChScratch::default();
+    let mut sc_b = AStarChScratch::default();
+    for &(s, d, t) in &qs {
+        let want = index.query_cost_with(&mut sc_a, s, d, t);
+        match index.query_cost_bounded_with(&mut sc_b, s, d, t, &budget) {
+            BoundedCost::Exact(got) => assert_eq!(
+                got.map(f64::to_bits),
+                want.map(f64::to_bits),
+                "s={s} d={d} t={t}"
+            ),
+            other => panic!("s={s} d={d} t={t}: huge budget degraded to {other:?}"),
+        }
+    }
+
+    // Allocation gate: zero allocations per bounded query on warm scratch.
+    let per_query = allocs(|| {
+        for &(s, d, t) in &qs {
+            black_box(index.query_cost_bounded_with(&mut sc_b, s, d, t, &budget));
+        }
+    }) as f64
+        / qs.len() as f64;
+    println!("allocations/query (bounded, warmed scratch): {per_query:.2}");
+    assert_eq!(
+        per_query, 0.0,
+        "budget checkpoints must not add allocations to the query path"
+    );
+
+    // Interleaved overhead measurement over the whole workload.
+    let (ta, tb) = compare2(
+        || {
+            for &(s, d, t) in &qs {
+                black_box(index.query_cost_with(&mut sc_a, s, d, t));
+            }
+        },
+        || {
+            for &(s, d, t) in &qs {
+                black_box(index.query_cost_bounded_with(&mut sc_b, s, d, t, &budget));
+            }
+        },
+        1_500,
+    );
+    let overhead = (tb - ta) / ta;
+    println!(
+        "unbounded {:.0} ns/batch, bounded {:.0} ns/batch, overhead {:+.2}%",
+        ta,
+        tb,
+        overhead * 100.0
+    );
+    if overhead > 0.02 {
+        let msg = format!(
+            "budget checkpoints cost {:.2}% on the TD-A*-CH path (bar: <= 2%)",
+            overhead * 100.0
+        );
+        if std::env::var_os("BUDGET_ASSERT").is_some() {
+            panic!("{msg}");
+        }
+        eprintln!("WARNING: {msg}");
+    }
+
+    // Criterion visibility for trend tracking.
+    let mut group = criterion.benchmark_group("budget_overhead");
+    {
+        let mut i = 0usize;
+        group.bench_function("unbounded", |b| {
+            b.iter(|| {
+                i = (i + 1) % qs.len();
+                let (s, d, t) = qs[i];
+                black_box(index.query_cost_with(&mut sc_a, s, d, t))
+            })
+        });
+    }
+    {
+        let mut i = 0usize;
+        group.bench_function("bounded_unlimited_headroom", |b| {
+            b.iter(|| {
+                i = (i + 1) % qs.len();
+                let (s, d, t) = qs[i];
+                black_box(index.query_cost_bounded_with(&mut sc_b, s, d, t, &budget))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_budget_overhead);
+criterion_main!(benches);

@@ -22,7 +22,7 @@
 
 use crate::select::Candidate;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use td_graph::VertexId;
 use td_plf::{ops::min_into, Plf};
 use td_treedec::TreeDecomposition;
@@ -343,11 +343,19 @@ fn run_pass(
                         &mut local,
                     );
                 }
-                collected.lock().expect("no poisoning").push(local);
+                // Poison only means another worker panicked after pushing
+                // a complete `local`; the Vec itself is still well-formed.
+                collected
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(local);
             });
         }
     });
-    for local in collected.into_inner().expect("no poisoning") {
+    for local in collected
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+    {
         output.candidates.extend(local.candidates);
         output.stored.extend(local.stored);
     }

@@ -22,6 +22,7 @@
 //!   [`crate::ChPotential`] to get the fast exact query path, or
 //!   [`crate::FullPotential`] for the full-backward-Dijkstra baseline.
 
+use crate::budget::{BoundedCost, FrozenOutcome, QueryBudget};
 use crate::potential::Potential;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -243,7 +244,38 @@ pub fn astar_cost_frozen_with<P: Potential>(
     d: VertexId,
     t: f64,
 ) -> Option<f64> {
-    run_frozen(scratch, fg, pot, s, d, t).map(|arr| arr - t)
+    match run_frozen(scratch, fg, pot, s, d, t, &QueryBudget::UNLIMITED) {
+        FrozenOutcome::Reached(arr) => Some(arr - t),
+        // An unlimited budget never exhausts.
+        FrozenOutcome::Unreachable | FrozenOutcome::Exhausted { .. } => None,
+    }
+}
+
+/// [`astar_cost_frozen_with`] under a [`QueryBudget`]: the identical search
+/// (bit-identical float operations when it completes), stopping at the
+/// budget's checkpoints. On exhaustion the frontier's minimum `arrival + h`
+/// key is an admissible lower bound on the destination's arrival (for a
+/// consistent potential with `h(d) = 0` — exactly what [`crate::ChPotential`]
+/// and [`crate::FullPotential`] provide), and the tentative target label
+/// (if a path was found) an upper bound.
+// td-lint: hot
+pub fn astar_cost_frozen_bounded_with<P: Potential>(
+    scratch: &mut AStarScratch,
+    fg: &FrozenGraph,
+    pot: &mut P,
+    s: VertexId,
+    d: VertexId,
+    t: f64,
+    budget: &QueryBudget,
+) -> BoundedCost {
+    match run_frozen(scratch, fg, pot, s, d, t, budget) {
+        FrozenOutcome::Reached(arr) => BoundedCost::Exact(Some(arr - t)),
+        FrozenOutcome::Unreachable => BoundedCost::Exact(None),
+        FrozenOutcome::Exhausted {
+            frontier_key,
+            target_best,
+        } => BoundedCost::exhausted_from_arrivals(frontier_key, target_best, t),
+    }
 }
 
 /// [`astar_cost_frozen_with`] also reconstructing the path (the returned
@@ -256,7 +288,10 @@ pub fn astar_path_frozen_with<P: Potential>(
     d: VertexId,
     t: f64,
 ) -> Option<(f64, Path)> {
-    let arr = run_frozen(scratch, fg, pot, s, d, t)?;
+    let arr = match run_frozen(scratch, fg, pot, s, d, t, &QueryBudget::UNLIMITED) {
+        FrozenOutcome::Reached(arr) => arr,
+        FrozenOutcome::Unreachable | FrozenOutcome::Exhausted { .. } => return None,
+    };
     let mut vertices = vec![d];
     let mut cur = d;
     while cur != s {
@@ -278,17 +313,18 @@ fn run_frozen<P: Potential>(
     s: VertexId,
     d: VertexId,
     t: f64,
-) -> Option<f64> {
+    budget: &QueryBudget,
+) -> FrozenOutcome {
     if s == d {
         // Arrival = departure; skip the potential setup entirely.
-        return Some(t);
+        return FrozenOutcome::Reached(t);
     }
     debug_assert!((s as usize) < fg.num_vertices() && (d as usize) < fg.num_vertices());
     let gen = scratch.reset(fg.num_vertices());
     pot.init(d, t);
     let hs = pot.h(s);
     if hs.is_infinite() {
-        return None;
+        return FrozenOutcome::Unreachable;
     }
     scratch.best[s as usize] = t;
     scratch.parent[s as usize] = u32::MAX;
@@ -302,14 +338,24 @@ fn run_frozen<P: Potential>(
     // admissible, no relaxation whose optimistic arrival `a + min + h(v)`
     // reaches it can improve the answer.
     let mut target_best = f64::INFINITY;
-    while let Some(Entry { key: _, vertex: u }) = scratch.heap.pop() {
+    let mut settles: u64 = 0;
+    while let Some(Entry { key, vertex: u }) = scratch.heap.pop() {
         if scratch.stamp[u as usize] == gen + 1 {
             continue; // already settled; stale heap entry
         }
+        // Budget checkpoint. Settling the destination itself is always
+        // free — it finishes the query without relaxing a single edge.
+        if u != d && budget.exhausted(settles) {
+            return FrozenOutcome::Exhausted {
+                frontier_key: key,
+                target_best,
+            };
+        }
+        settles += 1;
         scratch.stamp[u as usize] = gen + 1;
         let a = scratch.best[u as usize];
         if u == d {
-            return Some(a);
+            return FrozenOutcome::Reached(a);
         }
         let (heads, edges, mins) = fg.out_slices_with_min(u);
         for ((&v, &e), &min) in heads.iter().zip(edges.iter()).zip(mins.iter()) {
@@ -347,7 +393,7 @@ fn run_frozen<P: Potential>(
             }
         }
     }
-    None
+    FrozenOutcome::Unreachable
 }
 
 // Compile-time pin: per-worker scratch moves to its thread.

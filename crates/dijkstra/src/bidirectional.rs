@@ -21,6 +21,7 @@
 //! which `benches/potentials.rs` makes measurable.
 
 use crate::astar::{AStarScratch, Entry, LowerBounds};
+use crate::budget::{BoundedCost, FrozenOutcome, QueryBudget};
 use crate::potential::Potential;
 use std::collections::BinaryHeap;
 use td_graph::{FrozenGraph, TdGraph, VertexId};
@@ -45,25 +46,79 @@ pub fn bidirectional_cost_frozen_with<P: Potential>(
     d: VertexId,
     t: f64,
 ) -> Option<f64> {
+    match run_corridor(scratch, fg, pot, s, d, t, &QueryBudget::UNLIMITED) {
+        FrozenOutcome::Reached(arr) => Some(arr - t),
+        // An unlimited budget never exhausts.
+        FrozenOutcome::Unreachable | FrozenOutcome::Exhausted { .. } => None,
+    }
+}
+
+/// [`bidirectional_cost_frozen_with`] under a [`QueryBudget`]: the identical
+/// corridor search (bit-identical when it completes), stopping at the
+/// budget's checkpoints. The forward search orders by plain arrival, so on
+/// exhaustion the frontier's minimum key is an admissible lower bound on the
+/// destination's arrival (edge costs are non-negative) and the tentative
+/// arrival at `d` (if a path was found) an upper bound.
+// td-lint: hot
+pub fn bidirectional_cost_frozen_bounded_with<P: Potential>(
+    scratch: &mut BidirectionalScratch,
+    fg: &FrozenGraph,
+    pot: &mut P,
+    s: VertexId,
+    d: VertexId,
+    t: f64,
+    budget: &QueryBudget,
+) -> BoundedCost {
+    match run_corridor(scratch, fg, pot, s, d, t, budget) {
+        FrozenOutcome::Reached(arr) => BoundedCost::Exact(Some(arr - t)),
+        FrozenOutcome::Unreachable => BoundedCost::Exact(None),
+        FrozenOutcome::Exhausted {
+            frontier_key,
+            target_best,
+        } => BoundedCost::exhausted_from_arrivals(frontier_key, target_best, t),
+    }
+}
+
+/// The shared corridor search; returns the arrival time at `d`.
+// td-lint: hot
+fn run_corridor<P: Potential>(
+    scratch: &mut BidirectionalScratch,
+    fg: &FrozenGraph,
+    pot: &mut P,
+    s: VertexId,
+    d: VertexId,
+    t: f64,
+    budget: &QueryBudget,
+) -> FrozenOutcome {
     if s == d {
         // Arrival = departure; skip the potential setup entirely.
-        return Some(0.0);
+        return FrozenOutcome::Reached(t);
     }
     debug_assert!((s as usize) < fg.num_vertices() && (d as usize) < fg.num_vertices());
     let gen = scratch.reset(fg.num_vertices());
     pot.init(d, t);
     if pot.h(s).is_infinite() {
-        return None;
+        return FrozenOutcome::Unreachable;
     }
     scratch.best[s as usize] = t;
     scratch.stamp[s as usize] = gen;
     // td-lint: allow(hot-alloc) heap retains warmed capacity across queries
     scratch.heap.push(Entry { key: t, vertex: s });
     let mut best_to_d = f64::INFINITY;
-    while let Some(Entry { key: _, vertex: u }) = scratch.heap.pop() {
+    let mut settles: u64 = 0;
+    while let Some(Entry { key, vertex: u }) = scratch.heap.pop() {
         if scratch.stamp[u as usize] == gen + 1 {
             continue; // stale
         }
+        // Budget checkpoint. Settling the destination itself is always
+        // free — it finishes the query without relaxing a single edge.
+        if u != d && budget.exhausted(settles) {
+            return FrozenOutcome::Exhausted {
+                frontier_key: key,
+                target_best: best_to_d,
+            };
+        }
+        settles += 1;
         scratch.stamp[u as usize] = gen + 1;
         let arr = scratch.best[u as usize];
         if u == d {
@@ -109,9 +164,9 @@ pub fn bidirectional_cost_frozen_with<P: Potential>(
         }
     }
     if best_to_d.is_finite() {
-        Some(best_to_d - t)
+        FrozenOutcome::Reached(best_to_d)
     } else {
-        None
+        FrozenOutcome::Unreachable
     }
 }
 

@@ -22,20 +22,29 @@
 
 pub mod astar;
 pub mod bidirectional;
+pub mod budget;
 pub mod potential;
 pub mod profile;
 pub mod scalar;
 
 pub use astar::{
-    astar_cost, astar_cost_frozen_with, astar_path_frozen_with, AStarScratch, LowerBounds,
-    LowerBoundsScratch,
+    astar_cost, astar_cost_frozen_bounded_with, astar_cost_frozen_with, astar_path_frozen_with,
+    AStarScratch, LowerBounds, LowerBoundsScratch,
 };
-pub use bidirectional::{bidirectional_cost, bidirectional_cost_frozen_with, BidirectionalScratch};
+pub use bidirectional::{
+    bidirectional_cost, bidirectional_cost_frozen_bounded_with, bidirectional_cost_frozen_with,
+    BidirectionalScratch,
+};
+pub use budget::{BoundedCost, QueryBudget, DEADLINE_STRIDE};
 pub use potential::{
     ChPotential, ChPotentialScratch, FullPotential, FullPotentialScratch, Potential,
 };
-pub use profile::{profile_search, profile_search_frozen, profile_search_to, ProfileResult};
+pub use profile::{
+    profile_search, profile_search_frozen, profile_search_frozen_bounded, profile_search_to,
+    ProfileResult,
+};
 pub use scalar::{
-    one_to_all, shortest_path, shortest_path_cost, shortest_path_cost_frozen_with,
-    shortest_path_cost_with, shortest_path_frozen_with, shortest_path_with, DijkstraScratch,
+    one_to_all, shortest_path, shortest_path_cost, shortest_path_cost_frozen_bounded_with,
+    shortest_path_cost_frozen_with, shortest_path_cost_with, shortest_path_frozen_with,
+    shortest_path_with, DijkstraScratch,
 };

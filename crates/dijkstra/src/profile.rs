@@ -13,6 +13,7 @@
 //! as the correctness oracle for every index in the workspace, and as the
 //! matrix builder inside TD-G-tree.
 
+use crate::budget::QueryBudget;
 use std::collections::VecDeque;
 use td_graph::{FrozenGraph, Path, TdGraph, VertexId};
 use td_plf::Plf;
@@ -73,6 +74,24 @@ pub fn profile_search(g: &TdGraph, s: VertexId) -> ProfileResult {
 /// most re-relaxations of already-tight labels, which is where the
 /// label-correcting search spends its time.
 pub fn profile_search_frozen(g: &TdGraph, fg: &FrozenGraph, s: VertexId) -> ProfileResult {
+    let (result, complete) = profile_search_frozen_bounded(g, fg, s, &QueryBudget::UNLIMITED);
+    debug_assert!(complete, "unlimited budget cannot exhaust");
+    result
+}
+
+/// [`profile_search_frozen`] under a [`QueryBudget`]: the settle cap counts
+/// relaxation rounds (queue pops) and the deadline is checked on the same
+/// stride as the scalar searches. Returns the labels plus a completeness
+/// flag: when `false`, the search stopped early and every present label is
+/// a pointwise *upper bound* on the true cost function (label-correcting
+/// labels only ever decrease), while absent labels say nothing — exactly
+/// the safe side for an anytime profile answer.
+pub fn profile_search_frozen_bounded(
+    g: &TdGraph,
+    fg: &FrozenGraph,
+    s: VertexId,
+    budget: &QueryBudget,
+) -> (ProfileResult, bool) {
     debug_assert_eq!(g.num_vertices(), fg.num_vertices());
     debug_assert_eq!(g.num_edges(), fg.num_edges());
     let n = g.num_vertices();
@@ -95,6 +114,9 @@ pub fn profile_search_frozen(g: &TdGraph, fg: &FrozenGraph, s: VertexId) -> Prof
     let mut pops = 0usize;
     let pop_limit = 64 * n * n + 1024;
     while let Some(u) = queue.pop_front() {
+        if budget.exhausted(pops as u64) {
+            return (ProfileResult { source: s, dist }, false);
+        }
         pops += 1;
         assert!(
             pops <= pop_limit,
@@ -150,7 +172,7 @@ pub fn profile_search_frozen(g: &TdGraph, fg: &FrozenGraph, s: VertexId) -> Prof
             }
         }
     }
-    ProfileResult { source: s, dist }
+    (ProfileResult { source: s, dist }, true)
 }
 
 /// Profile search from `s`, restricted to vertices for which `keep` returns

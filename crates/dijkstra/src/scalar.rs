@@ -8,6 +8,7 @@
 //! popped, its arrival label is final. Complexity `O((n log n + m) · c)` as
 //! quoted in §6 of the paper.
 
+use crate::budget::{BoundedCost, QueryBudget, RunStatus};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use td_graph::{FrozenGraph, Path, TdGraph, VertexId};
@@ -123,9 +124,39 @@ pub fn shortest_path_cost_frozen_with(
     d: VertexId,
     t: f64,
 ) -> Option<f64> {
-    run_frozen(scratch, fg, s, Some(d), t);
+    run_frozen(scratch, fg, s, Some(d), t, &QueryBudget::UNLIMITED);
     debug_assert!((d as usize) < scratch.arrival.len());
     scratch.arrival[d as usize].map(|a| a - t)
+}
+
+/// [`shortest_path_cost_frozen_with`] under a [`QueryBudget`]: runs the
+/// identical search (bit-identical float operations, so a completed run
+/// returns the bit-identical exact answer) but stops at the budget's
+/// checkpoints. On exhaustion the frontier's minimum arrival key lower-
+/// bounds the destination's arrival and the tentative target label (if a
+/// path was found) upper-bounds it, so the caller gets a bracketing
+/// interval, never a wrong exact claim.
+// td-lint: hot
+pub fn shortest_path_cost_frozen_bounded_with(
+    scratch: &mut DijkstraScratch,
+    fg: &FrozenGraph,
+    s: VertexId,
+    d: VertexId,
+    t: f64,
+    budget: &QueryBudget,
+) -> BoundedCost {
+    debug_assert!((d as usize) < fg.num_vertices(), "destination out of range");
+    match run_frozen(scratch, fg, s, Some(d), t, budget) {
+        RunStatus::Complete => {
+            debug_assert!((d as usize) < scratch.arrival.len());
+            BoundedCost::Exact(scratch.arrival[d as usize].map(|a| a - t))
+        }
+        RunStatus::Exhausted { frontier_key } => {
+            // `best[d]` is the tentative arrival at d (INFINITY if no path
+            // to d has been relaxed yet) — an upper bound by construction.
+            BoundedCost::exhausted_from_arrivals(frontier_key, scratch.best[d as usize], t)
+        }
+    }
 }
 
 /// [`shortest_path_with`] over the frozen representation.
@@ -136,7 +167,7 @@ pub fn shortest_path_frozen_with(
     d: VertexId,
     t: f64,
 ) -> Option<(f64, Path)> {
-    run_frozen(scratch, fg, s, Some(d), t);
+    run_frozen(scratch, fg, s, Some(d), t, &QueryBudget::UNLIMITED);
     let arr = scratch.arrival[d as usize]?;
     let mut vertices = vec![d];
     let mut cur = d;
@@ -157,7 +188,8 @@ fn run_frozen(
     s: VertexId,
     target: Option<VertexId>,
     t: f64,
-) {
+    budget: &QueryBudget,
+) -> RunStatus {
     let n = fg.num_vertices();
     debug_assert!((s as usize) < n, "source out of range");
     let DijkstraScratch {
@@ -183,6 +215,7 @@ fn run_frozen(
     // cannot beat it is useless for the s → d answer (edge costs are
     // non-negative, so the bound is admissible).
     let mut target_best = f64::INFINITY;
+    let mut settles: u64 = 0;
     while let Some(HeapEntry {
         arrival: a,
         vertex: u,
@@ -191,6 +224,12 @@ fn run_frozen(
         if arrival[u as usize].is_some() {
             continue; // stale entry
         }
+        // Budget checkpoint. Settling the target itself is always free —
+        // it finishes the query without relaxing a single edge.
+        if target != Some(u) && budget.exhausted(settles) {
+            return RunStatus::Exhausted { frontier_key: a };
+        }
+        settles += 1;
         arrival[u as usize] = Some(a);
         if target == Some(u) {
             break;
@@ -222,6 +261,7 @@ fn run_frozen(
             }
         }
     }
+    RunStatus::Complete
 }
 
 fn run(scratch: &mut DijkstraScratch, g: &TdGraph, s: VertexId, target: Option<VertexId>, t: f64) {
@@ -391,6 +431,55 @@ mod tests {
                         (None, None) => {}
                         other => panic!("s={s} d={d} t={t}: {:?}", other.0.map(|_| ())),
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_search_brackets_the_exact_answer() {
+        use crate::budget::{BoundedCost, QueryBudget};
+        let g = fig1_subnetwork();
+        let fg = g.freeze();
+        let mut sc = DijkstraScratch::default();
+        for t in [0.0, 10.0, 40.0, 70.0] {
+            for s in 0..4u32 {
+                for d in 0..4u32 {
+                    let exact = shortest_path_cost_frozen_with(&mut sc, &fg, s, d, t);
+                    for cap in [0u64, 1, 2, 3, u64::MAX] {
+                        let budget = QueryBudget::settles(cap);
+                        match shortest_path_cost_frozen_bounded_with(&mut sc, &fg, s, d, t, &budget)
+                        {
+                            BoundedCost::Exact(got) => assert_eq!(
+                                got.map(f64::to_bits),
+                                exact.map(f64::to_bits),
+                                "s={s} d={d} t={t} cap={cap}"
+                            ),
+                            BoundedCost::Exhausted { lower, upper } => {
+                                assert!(lower <= upper, "s={s} d={d} t={t} cap={cap}");
+                                match exact {
+                                    Some(c) => assert!(
+                                        lower <= c + 1e-9 && c <= upper + 1e-9,
+                                        "s={s} d={d} t={t} cap={cap}: {c} not in [{lower}, {upper}]"
+                                    ),
+                                    // Exhaustion must never imply reachability.
+                                    None => assert!(upper.is_infinite()),
+                                }
+                            }
+                        }
+                    }
+                    // An unlimited budget is bit-identical exact.
+                    assert_eq!(
+                        shortest_path_cost_frozen_bounded_with(
+                            &mut sc,
+                            &fg,
+                            s,
+                            d,
+                            t,
+                            &QueryBudget::UNLIMITED
+                        ),
+                        BoundedCost::Exact(exact)
+                    );
                 }
             }
         }

@@ -1,0 +1,224 @@
+//! Deterministic I/O fault injection for crash-consistency tests.
+//!
+//! Real crashes — power cuts, OOM kills, full disks — truncate or tear a
+//! write at an arbitrary byte. [`FaultyWriter`] and [`FaultyReader`]
+//! reproduce that deterministically: they pass bytes through to an inner
+//! stream until a configured byte offset, then fail with a recognisable
+//! [`std::io::Error`], and can additionally cap every call to a maximum
+//! chunk so code paths that mishandle short reads/writes get exercised.
+//! The kill-point sweep over `save_index` (see the td-api crash-consistency
+//! tests) drives snapshot writes through these shims to prove that every
+//! fault byte leaves a loadable previous-generation `.tdx` behind.
+
+use std::io::{Error, Read, Write};
+
+/// The message every injected fault carries, so tests can tell injected
+/// failures from real ones.
+pub const INJECTED_FAULT: &str = "injected I/O fault";
+
+fn injected(at: u64) -> Error {
+    Error::other(format!("{INJECTED_FAULT} at byte {at}"))
+}
+
+/// True when `err` was produced by one of this module's shims.
+pub fn is_injected(err: &Error) -> bool {
+    err.to_string().contains(INJECTED_FAULT)
+}
+
+/// A [`Write`] adapter that fails once a configured byte offset is reached,
+/// and optionally serves short writes before that.
+#[derive(Debug)]
+pub struct FaultyWriter<W> {
+    inner: W,
+    written: u64,
+    fail_at: Option<u64>,
+    max_chunk: Option<usize>,
+}
+
+impl<W: Write> FaultyWriter<W> {
+    /// A transparent pass-through over `inner` (configure with the builder
+    /// methods).
+    pub fn new(inner: W) -> FaultyWriter<W> {
+        FaultyWriter {
+            inner,
+            written: 0,
+            fail_at: None,
+            max_chunk: None,
+        }
+    }
+
+    /// Fail every write attempted at or beyond byte offset `n` (the first
+    /// `n` bytes pass through unharmed — possibly split across calls).
+    #[must_use]
+    pub fn fail_at_byte(mut self, n: u64) -> FaultyWriter<W> {
+        self.fail_at = Some(n);
+        self
+    }
+
+    /// Accept at most `max` bytes per `write` call (short writes): correct
+    /// callers use `write_all` semantics and are unaffected; callers that
+    /// ignore the returned count corrupt their stream and fail checksums.
+    #[must_use]
+    pub fn short_writes(mut self, max: usize) -> FaultyWriter<W> {
+        assert!(max > 0, "a zero-byte cap would violate the Write contract");
+        self.max_chunk = Some(max);
+        self
+    }
+
+    /// Bytes successfully accepted so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.written
+    }
+
+    /// The inner writer back (e.g. to inspect a partially-written buffer).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let mut len = buf.len();
+        if let Some(cap) = self.max_chunk {
+            len = len.min(cap);
+        }
+        if let Some(fail_at) = self.fail_at {
+            let remaining = fail_at.saturating_sub(self.written);
+            if remaining == 0 && !buf.is_empty() {
+                return Err(injected(fail_at));
+            }
+            len = len.min(remaining.try_into().unwrap_or(usize::MAX));
+        }
+        let n = self.inner.write(&buf[..len])?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A [`Read`] adapter that fails once a configured byte offset is reached,
+/// and optionally serves short reads before that.
+#[derive(Debug)]
+pub struct FaultyReader<R> {
+    inner: R,
+    read: u64,
+    fail_at: Option<u64>,
+    max_chunk: Option<usize>,
+}
+
+impl<R: Read> FaultyReader<R> {
+    /// A transparent pass-through over `inner` (configure with the builder
+    /// methods).
+    pub fn new(inner: R) -> FaultyReader<R> {
+        FaultyReader {
+            inner,
+            read: 0,
+            fail_at: None,
+            max_chunk: None,
+        }
+    }
+
+    /// Fail every read attempted at or beyond byte offset `n`.
+    #[must_use]
+    pub fn fail_at_byte(mut self, n: u64) -> FaultyReader<R> {
+        self.fail_at = Some(n);
+        self
+    }
+
+    /// Serve at most `max` bytes per `read` call (short reads).
+    #[must_use]
+    pub fn short_reads(mut self, max: usize) -> FaultyReader<R> {
+        assert!(max > 0, "a zero-byte cap would look like EOF");
+        self.max_chunk = Some(max);
+        self
+    }
+
+    /// Bytes successfully served so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.read
+    }
+}
+
+impl<R: Read> Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let mut len = buf.len();
+        if let Some(cap) = self.max_chunk {
+            len = len.min(cap);
+        }
+        if let Some(fail_at) = self.fail_at {
+            let remaining = fail_at.saturating_sub(self.read);
+            if remaining == 0 && !buf.is_empty() {
+                return Err(injected(fail_at));
+            }
+            len = len.min(remaining.try_into().unwrap_or(usize::MAX));
+        }
+        let n = self.inner.read(&mut buf[..len])?;
+        self.read += n as u64;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_passes_through_until_the_fault_byte() {
+        let mut w = FaultyWriter::new(Vec::new()).fail_at_byte(5);
+        assert!(w.write_all(b"abc").is_ok());
+        let err = w.write_all(b"defg").unwrap_err();
+        assert!(is_injected(&err), "{err}");
+        assert_eq!(w.bytes_written(), 5);
+        assert_eq!(w.into_inner(), b"abcde");
+    }
+
+    #[test]
+    fn short_writes_still_deliver_everything_via_write_all() {
+        let mut w = FaultyWriter::new(Vec::new()).short_writes(3);
+        w.write_all(b"hello world, this is a longer buffer")
+            .unwrap();
+        assert_eq!(w.into_inner(), b"hello world, this is a longer buffer");
+    }
+
+    #[test]
+    fn snapshot_through_short_writes_is_byte_identical() {
+        // write_snapshot must tolerate arbitrary write splits.
+        struct Blob;
+        impl crate::Persist for Blob {
+            fn write_into<W: Write>(&self, w: &mut W) -> Result<(), crate::StoreError> {
+                crate::section::write_bytes(w, crate::section::tag4(*b"BLOB"), &[7u8; 300])
+            }
+            fn read_from<R: Read>(_: &mut R) -> Result<Blob, crate::StoreError> {
+                Ok(Blob)
+            }
+        }
+        let mut plain = Vec::new();
+        crate::write_snapshot(&Blob, crate::BackendTag::Dijkstra, &mut plain).unwrap();
+        let mut shim = FaultyWriter::new(Vec::new()).short_writes(2);
+        crate::write_snapshot(&Blob, crate::BackendTag::Dijkstra, &mut shim).unwrap();
+        assert_eq!(plain, shim.into_inner());
+    }
+
+    #[test]
+    fn reader_passes_through_until_the_fault_byte() {
+        let mut r = FaultyReader::new(&b"abcdefgh"[..]).fail_at_byte(4);
+        let mut buf = [0u8; 4];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"abcd");
+        let err = r.read_exact(&mut buf).unwrap_err();
+        assert!(is_injected(&err), "{err}");
+        assert_eq!(r.bytes_read(), 4);
+    }
+
+    #[test]
+    fn short_reads_still_fill_via_read_exact() {
+        let data: Vec<u8> = (0..=255).collect();
+        let mut r = FaultyReader::new(&data[..]).short_reads(7);
+        let mut buf = vec![0u8; 256];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(buf, data);
+    }
+}

@@ -23,17 +23,22 @@
 //!   is performed anywhere (payloads are decoded with explicit little-endian
 //!   `from_le_bytes` conversions);
 //! * a semantics-free section walker ([`section::walk_sections`]) powering
-//!   the `tdx inspect` / `tdx verify` CLI.
+//!   the `tdx inspect` / `tdx verify` CLI;
+//! * deterministic I/O [`fault`] shims ([`FaultyWriter`] / [`FaultyReader`])
+//!   that fail at byte *N* or serve short reads/writes, powering the
+//!   crash-consistency kill-point sweeps in td-api.
 //!
 //! The full byte-level layout, checksum rules and versioning policy are
 //! specified in `crates/store/FORMAT.md`.
 
 pub mod crc;
 pub mod error;
+pub mod fault;
 pub mod format;
 pub mod section;
 
 pub use error::StoreError;
+pub use fault::{FaultyReader, FaultyWriter};
 pub use format::{BackendTag, Header, FORMAT_VERSION, MAGIC};
 
 use std::io::{Read, Write};

@@ -72,9 +72,9 @@ pub use td_treedec as treedec;
 /// The most common imports in one place.
 pub mod prelude {
     pub use td_api::{
-        build_index, load_index, load_tree_index, save_index, Backend, DijkstraOracle,
-        IncrementalIndex, IndexConfig, LiveIndex, ParallelExecutor, QuerySession, RoutingIndex,
-        RoutingIndexExt, StoreError,
+        build_index, load_index, load_tree_index, save_index, Backend, BoundedAnswer,
+        DijkstraOracle, IncrementalIndex, IndexConfig, LiveIndex, ParallelExecutor, QueryBudget,
+        QueryError, QuerySession, RoutingIndex, RoutingIndexExt, StoreError, UpdateError,
     };
     pub use td_core::{IndexOptions, SelectionStrategy, TdTreeIndex};
     pub use td_gen::{Dataset, ProfileConfig, Query, Workload, WorkloadConfig};

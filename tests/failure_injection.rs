@@ -79,3 +79,39 @@ fn profile_search_handles_zero_cost_cycles() {
     assert_eq!(prof.cost(1, 0.0), Some(0.0));
     assert_eq!(prof.cost(2, 0.0), Some(1.0));
 }
+
+#[test]
+fn invalid_queries_surface_as_typed_errors_not_panics() {
+    use td_road::prelude::*;
+
+    let mut g = TdGraph::with_vertices(3);
+    g.add_edge(0, 1, Plf::constant(30.0)).unwrap();
+    g.add_edge(1, 2, Plf::constant(40.0)).unwrap();
+    let index = build_index(g, Backend::Dijkstra, &IndexConfig::default());
+
+    // Out-of-range endpoints, non-finite and negative departure times all
+    // land in QueryError::InvalidQuery with a message naming the culprit.
+    for (s, d, t, needle) in [
+        (3, 0, 0.0, "source"),
+        (0, 9, 0.0, "destination"),
+        (0, 2, f64::NAN, "not finite"),
+        (0, 2, f64::INFINITY, "not finite"),
+        (0, 2, -5.0, "negative"),
+    ] {
+        match index.query_cost_bounded(s, d, t, &QueryBudget::UNLIMITED) {
+            Err(QueryError::InvalidQuery(why)) => assert!(
+                why.contains(needle),
+                "s={s} d={d} t={t}: message {why:?} does not mention {needle:?}"
+            ),
+            other => panic!("s={s} d={d} t={t}: expected InvalidQuery, got {other:?}"),
+        }
+    }
+
+    // A valid query on the same index still answers exactly.
+    assert_eq!(
+        index
+            .query_cost_bounded(0, 2, 0.0, &QueryBudget::UNLIMITED)
+            .unwrap(),
+        BoundedAnswer::Exact(Some(70.0))
+    );
+}
