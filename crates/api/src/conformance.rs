@@ -22,7 +22,11 @@
 //!    `query_cost_bounded` either answers **bit-identically** to
 //!    `query_cost`, or returns a flagged interval containing the exact
 //!    answer, or a typed error — never an unflagged wrong exact claim
-//!    ([`check_bounded_queries`]).
+//!    ([`check_bounded_queries`]);
+//! 10. the corridor-bounded profile searches — one-to-all rails and the
+//!     targeted `s → d` variant — are **value-identical** to the unbounded
+//!     label-correcting oracle on the union probe grid
+//!     ([`check_corridor_profiles`]).
 //!
 //! The suite is instantiated for every backend in this crate's tests and is
 //! public so downstream crates can run it against new backends.
@@ -140,6 +144,90 @@ pub fn check_backend(
 
     // 9. Bounded queries walk the degradation ladder soundly.
     check_bounded_queries(index.as_ref(), queries);
+
+    // 10. Corridor-bounded profile searches (one-to-all and targeted) are
+    // value-exact against the unbounded oracle.
+    check_corridor_profiles(graph, queries);
+}
+
+/// Conformance step 10: the corridor-bounded profile search
+/// ([`td_dijkstra::profile_search_frozen_corridor`]) must return **exact**
+/// labels: identical reachability, and value-identical envelopes at every
+/// breakpoint of *either* representation, every midpoint between them, and
+/// both rays. The corridor may only skip compounds whose min bound clears
+/// the scalar upper rail by more than ε — such candidates never touch any
+/// envelope, so pruning cannot change *what* the search computes.
+///
+/// The comparison is on function **values**, not interpolation points:
+/// both searches simplify with the ε-tolerant collinearity rule, and
+/// merging a provably-hopeless candidate (which the corridor skips and the
+/// baseline performs) subdivides segments, so near-flat regions may keep
+/// tolerance-equal but differently-anchored representations. The values
+/// agree to float noise (~1e-14 observed); [`COST_EPS`] is the assertion
+/// bound, consistent with the rest of the suite.
+///
+/// The *targeted* search
+/// ([`td_dijkstra::profile_search_frozen_corridor_to`]) is checked on every
+/// `(s, d)` pair of the workload under the same contract: its destination
+/// label must be value-identical to the unbounded one-to-all oracle's, and
+/// its reachability verdict must agree.
+pub fn check_corridor_profiles(graph: &TdGraph, queries: &[(VertexId, VertexId, f64)]) {
+    let fg = graph.freeze();
+    let mut sources: Vec<VertexId> = queries.iter().map(|&(s, _, _)| s).collect();
+    sources.sort_unstable();
+    sources.dedup();
+    for s in sources {
+        let want = td_dijkstra::profile_search_frozen(graph, &fg, s);
+        let (got, stats) = td_dijkstra::profile_search_frozen_corridor(graph, &fg, s);
+        assert_eq!(
+            want.dist.len(),
+            got.dist.len(),
+            "corridor s={s}: label count diverges"
+        );
+        for (v, (w, g)) in want.dist.iter().zip(&got.dist).enumerate() {
+            let ctx = format!(
+                "corridor s={s} v={v} (skipped={}, relaxed={})",
+                stats.skipped, stats.relaxed
+            );
+            match (w, g) {
+                (None, None) => {}
+                (Some(a), Some(b)) => assert_plf_value_identical(a, b, &ctx),
+                other => panic!("{ctx}: reachability disagreement {other:?}"),
+            }
+        }
+        // Targeted s → d corridor search against the same oracle, on every
+        // destination the workload actually queries from this source.
+        for &(qs, d, _) in queries.iter().filter(|&&(qs, _, _)| qs == s) {
+            let (label, tstats) = td_dijkstra::profile_search_frozen_corridor_to(graph, &fg, qs, d);
+            let ctx = format!(
+                "targeted corridor s={qs} d={d} (skipped={}, relaxed={})",
+                tstats.skipped, tstats.relaxed
+            );
+            match (&want.dist[d as usize], &label) {
+                (None, None) => {}
+                (Some(a), Some(b)) => assert_plf_value_identical(a, b, &ctx),
+                other => panic!("{ctx}: reachability disagreement {other:?}"),
+            }
+        }
+    }
+}
+
+/// Value-identity on the union probe grid: every breakpoint of either
+/// representation, every midpoint between adjacent probes, and both rays.
+fn assert_plf_value_identical(a: &td_plf::Plf, b: &td_plf::Plf, ctx: &str) {
+    let mut ts: Vec<f64> = a.points().iter().chain(b.points()).map(|p| p.t).collect();
+    ts.sort_unstable_by(f64::total_cmp);
+    ts.dedup();
+    let mut probes = vec![ts[0] - 1.0, ts[ts.len() - 1] + 1.0];
+    probes.extend_from_slice(&ts);
+    probes.extend(ts.windows(2).map(|w| 0.5 * (w[0] + w[1])));
+    for &t in &probes {
+        let (va, vb) = (a.eval(t), b.eval(t));
+        assert!(
+            (va - vb).abs() < COST_EPS,
+            "{ctx}: value diverges at t={t}: {va} vs {vb}"
+        );
+    }
 }
 
 /// Conformance step 9: [`RoutingIndex::query_cost_bounded`] under a sweep

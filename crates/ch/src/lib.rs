@@ -36,6 +36,7 @@
 //!   three produce bit-identical hierarchies.
 
 use td_graph::{EdgeId, FrozenGraph, VertexId};
+use td_plf::eval_times_into;
 
 pub mod persist;
 
@@ -155,6 +156,38 @@ fn suffix_min(fg: &FrozenGraph, e: EdgeId, from: f64) -> f64 {
         m = m.min(v);
     }
     m
+}
+
+/// [`suffix_min`] for **all** window starts of one edge in a single pass:
+/// the batch kernel evaluates the function at every (sorted ascending)
+/// start in one hint-chained walk, then one right-to-left sweep folds the
+/// breakpoint suffix minima shared between adjacent windows. Bit-identical
+/// to calling `suffix_min` per window — all weights are finite and
+/// non-negative, so the `f64::min` fold is order-insensitive.
+fn suffix_min_all(fg: &FrozenGraph, e: EdgeId, starts: &[f64], evals: &mut [f64], out: &mut [f64]) {
+    debug_assert_eq!(starts.len(), evals.len());
+    debug_assert_eq!(starts.len(), out.len());
+    debug_assert!(starts.windows(2).all(|w| w[0] < w[1]));
+    let w = fg.weight(e);
+    eval_times_into(w, starts, evals);
+    let times = w.times();
+    let values = w.values();
+    // Walk windows from the last start down, extending the suffix minimum
+    // of `values[cut..]` as the cut moves left.
+    let mut idx = times.len();
+    let mut suf = f64::INFINITY;
+    for k in (0..starts.len()).rev() {
+        let cut = times[..idx].partition_point(|&t| t <= starts[k]);
+        for &v in &values[cut..idx] {
+            suf = suf.min(v);
+        }
+        idx = cut;
+        out[k] = evals[k].min(suf);
+    }
+    debug_assert!(out
+        .iter()
+        .zip(starts)
+        .all(|(&m, &s)| m.to_bits() == suffix_min(fg, e, s).to_bits()));
 }
 
 /// The dynamic graph a contraction pass works on: per-vertex forward and
@@ -466,19 +499,26 @@ impl ContractionHierarchy {
         let mut order: Vec<VertexId> = (0..n as u32).collect();
         order.sort_unstable_by_key(|&v| self.rank[v as usize]);
 
-        self.metrics = self
-            .starts
+        // Per-out-slot suffix minima for every window, parallel to the CSR
+        // heads — edge-major so each edge's breakpoints are walked once for
+        // all windows (batched evaluation + one shared suffix-min sweep)
+        // instead of once per window.
+        let nw = self.starts.len();
+        let mut slot_weights: Vec<Vec<f64>> = vec![Vec::new(); nw];
+        let mut evals = vec![0.0f64; nw];
+        let mut mins = vec![0.0f64; nw];
+        for v in 0..n as u32 {
+            let (_, edges) = fg.csr.out_slices(v);
+            for &e in edges {
+                suffix_min_all(fg, e, &self.starts, &mut evals, &mut mins);
+                for (k, &m) in mins.iter().enumerate() {
+                    slot_weights[k].push(m);
+                }
+            }
+        }
+        self.metrics = slot_weights
             .iter()
-            .map(|&from| {
-                // Per-out-slot suffix minima, parallel to the CSR heads.
-                let slot_weights: Vec<f64> = (0..n as u32)
-                    .flat_map(|v| {
-                        let (_, edges) = fg.csr.out_slices(v);
-                        edges.iter().map(|&e| suffix_min(fg, e, from))
-                    })
-                    .collect();
-                Self::customize_metric(fg, &order, &slot_weights)
-            })
+            .map(|sw| Self::customize_metric(fg, &order, sw))
             .collect();
     }
 
@@ -721,6 +761,27 @@ mod tests {
             }
         }
         dist[d as usize]
+    }
+
+    #[test]
+    fn batched_suffix_minima_match_scalar_per_edge_and_window() {
+        for seed in 0..4u64 {
+            let g = seeded_graph(seed, 40, 30, 4);
+            let fg = g.freeze();
+            let nw = DEFAULT_WINDOW_STARTS.len();
+            let mut evals = vec![0.0; nw];
+            let mut mins = vec![0.0; nw];
+            for e in 0..fg.num_edges() as u32 {
+                suffix_min_all(&fg, e, &DEFAULT_WINDOW_STARTS, &mut evals, &mut mins);
+                for (k, &from) in DEFAULT_WINDOW_STARTS.iter().enumerate() {
+                    assert_eq!(
+                        mins[k].to_bits(),
+                        suffix_min(&fg, e, from).to_bits(),
+                        "seed={seed} e={e} window={k}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -24,9 +24,11 @@
 
 use crate::budget::{BoundedCost, FrozenOutcome, QueryBudget};
 use crate::potential::Potential;
+use crate::scalar::RELAX_CHUNK;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use td_graph::{FrozenGraph, Path, TdGraph, VertexId};
+use td_plf::eval_ids_at;
 
 /// Reusable backward lower bounds to a fixed destination.
 #[derive(Clone, Debug)]
@@ -358,39 +360,78 @@ fn run_frozen<P: Potential>(
             return FrozenOutcome::Reached(a);
         }
         let (heads, edges, mins) = fg.out_slices_with_min(u);
-        for ((&v, &e), &min) in heads.iter().zip(edges.iter()).zip(mins.iter()) {
-            if scratch.stamp[v as usize] == gen + 1 {
-                continue;
-            }
-            // Min-bound prune before touching breakpoints or the potential:
-            // the true candidate is ≥ a + min_cost(e).
-            let lb = a + min;
-            let known = if scratch.stamp[v as usize] >= gen {
-                scratch.best[v as usize]
-            } else {
-                f64::INFINITY
-            };
-            if lb >= known || lb >= target_best {
-                continue;
-            }
-            let hv = pot.h(v);
-            if hv.is_infinite() || lb + hv >= target_best {
-                continue;
-            }
-            let cand = a + fg.weight(e).eval(a);
-            if cand < known {
-                scratch.best[v as usize] = cand;
-                scratch.parent[v as usize] = u;
-                scratch.stamp[v as usize] = gen;
-                if v == d {
-                    target_best = cand;
+        // Batched relaxation (same shape as `scalar::run_frozen`): per
+        // chunk, min-bound + potential prunes gather the surviving edges,
+        // one `eval_ids_at` arena pass produces their costs at `a`, then the
+        // label updates run in edge order against the freshest `best`.
+        let deg = heads.len();
+        let mut ids = [0u32; RELAX_CHUNK];
+        let mut slots = [0u32; RELAX_CHUNK];
+        let mut hvs = [0.0f64; RELAX_CHUNK];
+        let mut vals = [0.0f64; RELAX_CHUNK];
+        let mut base = 0usize;
+        while base < deg {
+            let stop = (base + RELAX_CHUNK).min(deg);
+            let mut m = 0usize;
+            for idx in base..stop {
+                // debug_assert-documented indexing: the three out-slices
+                // share one length, and idx < stop ≤ deg.
+                debug_assert!(idx < heads.len() && idx < edges.len() && idx < mins.len());
+                let v = heads[idx];
+                if scratch.stamp[v as usize] == gen + 1 {
+                    continue;
                 }
-                // td-lint: allow(hot-alloc) heap retains warmed capacity across queries
-                scratch.heap.push(Entry {
-                    key: cand + hv,
-                    vertex: v,
-                });
+                // Min-bound prune before touching breakpoints or the
+                // potential: the true candidate is ≥ a + min_cost(e).
+                let lb = a + mins[idx];
+                let known = if scratch.stamp[v as usize] >= gen {
+                    scratch.best[v as usize]
+                } else {
+                    f64::INFINITY
+                };
+                if lb >= known || lb >= target_best {
+                    continue;
+                }
+                let hv = pot.h(v);
+                if hv.is_infinite() || lb + hv >= target_best {
+                    continue;
+                }
+                // debug_assert-documented indexing: m ≤ idx - base < RELAX_CHUNK.
+                debug_assert!(m < RELAX_CHUNK);
+                ids[m] = edges[idx];
+                slots[m] = idx as u32;
+                hvs[m] = hv;
+                m += 1;
             }
+            eval_ids_at(&fg.weights, &ids[..m], a, &mut vals[..m]);
+            for j in 0..m {
+                // debug_assert-documented indexing: j < m ≤ RELAX_CHUNK, and
+                // slots[j] was written from an in-range idx above.
+                debug_assert!(j < slots.len() && j < vals.len() && j < hvs.len());
+                let idx = slots[j] as usize;
+                debug_assert!(idx < heads.len());
+                let v = heads[idx];
+                let cand = a + vals[j];
+                let known = if scratch.stamp[v as usize] >= gen {
+                    scratch.best[v as usize]
+                } else {
+                    f64::INFINITY
+                };
+                if cand < known {
+                    scratch.best[v as usize] = cand;
+                    scratch.parent[v as usize] = u;
+                    scratch.stamp[v as usize] = gen;
+                    if v == d {
+                        target_best = cand;
+                    }
+                    // td-lint: allow(hot-alloc) heap retains warmed capacity across queries
+                    scratch.heap.push(Entry {
+                        key: cand + hvs[j],
+                        vertex: v,
+                    });
+                }
+            }
+            base = stop;
         }
     }
     FrozenOutcome::Unreachable

@@ -40,8 +40,9 @@ pub use potential::{
     ChPotential, ChPotentialScratch, FullPotential, FullPotentialScratch, Potential,
 };
 pub use profile::{
-    profile_search, profile_search_frozen, profile_search_frozen_bounded, profile_search_to,
-    ProfileResult,
+    profile_corridor, profile_search, profile_search_frozen, profile_search_frozen_bounded,
+    profile_search_frozen_corridor, profile_search_frozen_corridor_to, profile_search_to,
+    CorridorStats, ProfileCorridor, ProfileResult,
 };
 pub use scalar::{
     one_to_all, shortest_path, shortest_path_cost, shortest_path_cost_frozen_bounded_with,

@@ -12,6 +12,12 @@ use crate::budget::{BoundedCost, QueryBudget, RunStatus};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use td_graph::{FrozenGraph, Path, TdGraph, VertexId};
+use td_plf::eval_ids_at;
+
+/// Out-edge relaxations are batched in chunks of this many edges: prunes
+/// first, then one [`eval_ids_at`] arena pass over the survivors, then the
+/// label updates. Stack arrays of this size hold the gathered chunk.
+pub(crate) const RELAX_CHUNK: usize = 32;
 
 /// Max-heap entry ordered by *smallest* arrival time.
 #[derive(Copy, Clone, Debug)]
@@ -235,30 +241,61 @@ fn run_frozen(
             break;
         }
         let (heads, edges, mins) = fg.out_slices_with_min(u);
-        for ((&v, &e), &min) in heads.iter().zip(edges.iter()).zip(mins.iter()) {
-            if arrival[v as usize].is_some() {
-                continue;
-            }
-            // Lower-bound prune before touching the breakpoints: the true
-            // candidate is ≥ a + min_cost(e), and the bound streams in with
-            // the adjacency walk itself.
-            let lb = a + min;
-            if lb >= best[v as usize] || (target.is_some() && lb >= target_best) {
-                continue;
-            }
-            let cand = a + fg.weight(e).eval(a);
-            if cand < best[v as usize] {
-                best[v as usize] = cand;
-                parent[v as usize] = u;
-                if target == Some(v) {
-                    target_best = cand;
+        // Batched relaxation: per chunk, run the streaming lower-bound
+        // prunes first (the true candidate is ≥ a + min_cost(e)), gather the
+        // survivors' weight-function ids, evaluate them all at `a` in one
+        // arena pass, then apply the label updates in edge order. The
+        // updates still compare against the freshest `best`, so duplicate
+        // heads within a chunk resolve exactly as the scalar loop did.
+        let deg = heads.len();
+        let mut ids = [0u32; RELAX_CHUNK];
+        let mut slots = [0u32; RELAX_CHUNK];
+        let mut vals = [0.0f64; RELAX_CHUNK];
+        let mut base = 0usize;
+        while base < deg {
+            let stop = (base + RELAX_CHUNK).min(deg);
+            let mut m = 0usize;
+            for idx in base..stop {
+                // debug_assert-documented indexing: the three out-slices
+                // share one length, and idx < stop ≤ deg.
+                debug_assert!(idx < heads.len() && idx < edges.len() && idx < mins.len());
+                let v = heads[idx];
+                if arrival[v as usize].is_some() {
+                    continue;
                 }
-                // td-lint: allow(hot-alloc) heap retains warmed capacity across queries
-                heap.push(HeapEntry {
-                    arrival: cand,
-                    vertex: v,
-                });
+                let lb = a + mins[idx];
+                if lb >= best[v as usize] || (target.is_some() && lb >= target_best) {
+                    continue;
+                }
+                // debug_assert-documented indexing: m ≤ idx - base < RELAX_CHUNK.
+                debug_assert!(m < RELAX_CHUNK);
+                ids[m] = edges[idx];
+                slots[m] = idx as u32;
+                m += 1;
             }
+            eval_ids_at(&fg.weights, &ids[..m], a, &mut vals[..m]);
+            for j in 0..m {
+                // debug_assert-documented indexing: j < m ≤ RELAX_CHUNK, and
+                // slots[j] was written from an in-range idx above.
+                debug_assert!(j < slots.len() && j < vals.len());
+                let idx = slots[j] as usize;
+                debug_assert!(idx < heads.len());
+                let v = heads[idx];
+                let cand = a + vals[j];
+                if cand < best[v as usize] {
+                    best[v as usize] = cand;
+                    parent[v as usize] = u;
+                    if target == Some(v) {
+                        target_best = cand;
+                    }
+                    // td-lint: allow(hot-alloc) heap retains warmed capacity across queries
+                    heap.push(HeapEntry {
+                        arrival: cand,
+                        vertex: v,
+                    });
+                }
+            }
+            base = stop;
         }
     }
     RunStatus::Complete

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 use td_dijkstra::{profile_search_frozen, shortest_path};
 use td_graph::{GraphBuilder, Path, TdGraph, VertexId};
-use td_plf::{ops::min_into, Plf, PlfArena, PlfId, PlfSlice, NO_PLF};
+use td_plf::{eval_ids_at, ops::min_into, Plf, PlfArena, PlfId, PlfSlice, NO_PLF};
 
 /// Reusable scratch for TD-G-tree scalar queries: the stage plan, the two
 /// partition-tree paths and the two arrival hash maps are recycled across
@@ -18,6 +18,25 @@ pub struct GtreeScratch {
     path_d: Vec<usize>,
     cur: HashMap<VertexId, f64>,
     next: HashMap<VertexId, f64>,
+    sweep: SweepScratch,
+}
+
+/// Reusable buffers for the batched border-matrix sweep
+/// ([`relax_scalar_into`]): column lookups, running bests and the gathered
+/// id/value runs handed to the `td-plf` batch kernel. `resize` reuses the
+/// retained capacity, so warmed-up queries stop allocating here too.
+#[derive(Clone, Debug, Default)]
+struct SweepScratch {
+    /// Column index per target (`usize::MAX` = not an anchor of this matrix).
+    cols: Vec<usize>,
+    /// Running best arrival per target, seeded from the carry-over arrivals.
+    best: Vec<f64>,
+    /// Arena ids surviving the min-bound prune for the current source.
+    ids: Vec<PlfId>,
+    /// Target slot of each gathered id, parallel to `ids`.
+    slots: Vec<u32>,
+    /// Batched evaluations, parallel to `ids`.
+    vals: Vec<f64>,
 }
 
 /// Configuration of the TD-G-tree.
@@ -229,6 +248,7 @@ impl TdGtree {
             path_d,
             cur,
             next,
+            sweep,
         } = scratch;
         self.stage_plan_into(ls, ld, plan, path_s, path_d);
 
@@ -242,7 +262,7 @@ impl TdGtree {
         }
         // Relax through the staged border sets.
         for &(n, tgt) in plan.iter() {
-            relax_scalar_into(&self.mats[n], cur, &self.pt.nodes[tgt].borders, next);
+            relax_scalar_into(&self.mats[n], cur, &self.pt.nodes[tgt].borders, sweep, next);
             std::mem::swap(cur, next);
         }
         // Into d.
@@ -612,35 +632,75 @@ fn all_pairs(
 }
 
 /// Scalar relaxation through a node matrix into `out` (cleared first):
-/// earliest arrivals at `targets`. Runs on the frozen arena layout, skipping
-/// the breakpoint evaluation whenever `arrival + min_cost` already fails to
-/// beat the running best (the min bound is admissible, so the skip is exact).
+/// earliest arrivals at `targets`. Runs source-major on the frozen arena
+/// layout: all of one source's matrix entries evaluate at the *same*
+/// departure time, so the survivors of the `arrival + min_cost` prune (the
+/// min bound is admissible, so the skip is exact) batch through the
+/// `td-plf` arena kernel in one call. Final bests are a plain `min` fold,
+/// so the sweep order cannot change the result.
 // td-lint: hot
 fn relax_scalar_into(
     m: &NodeMatrix,
     arr: &HashMap<VertexId, f64>,
     targets: &[VertexId],
+    sweep: &mut SweepScratch,
     out: &mut HashMap<VertexId, f64>,
 ) {
     out.clear();
-    for &b2 in targets {
-        let mut best: Option<f64> = arr.get(&b2).copied();
-        for (&b1, &a) in arr {
-            if b1 == b2 {
+    let k = m.anchors.len();
+    let nt = targets.len();
+    sweep.cols.clear();
+    sweep.best.clear();
+    sweep.cols.resize(nt, usize::MAX);
+    sweep.best.resize(nt, f64::INFINITY);
+    sweep.ids.resize(nt, NO_PLF);
+    sweep.slots.resize(nt, 0);
+    sweep.vals.resize(nt, 0.0);
+    for (j, &b2) in targets.iter().enumerate() {
+        debug_assert!(j < sweep.cols.len() && j < sweep.best.len());
+        sweep.cols[j] = m.pos.get(&b2).copied().unwrap_or(usize::MAX);
+        // Carry-over: a border already reached stays reachable even when the
+        // matrix holds no incoming entry for it.
+        if let Some(&a0) = arr.get(&b2) {
+            sweep.best[j] = a0;
+        }
+    }
+    for (&b1, &a) in arr {
+        let Some(&row) = m.pos.get(&b1) else { continue };
+        // Gather this source's surviving entries …
+        let mut cnt = 0usize;
+        for (j, &b2) in targets.iter().enumerate() {
+            debug_assert!(j < sweep.cols.len());
+            let col = sweep.cols[j];
+            if b2 == b1 || col == usize::MAX {
                 continue;
             }
-            if let Some((f, min)) = m.entry_frozen(b1, b2) {
-                if best.is_some_and(|x| a + min >= x) {
-                    continue;
-                }
-                let cand = a + f.eval(a);
-                if best.is_none_or(|x| cand < x) {
-                    best = Some(cand);
-                }
+            debug_assert!(row * k + col < m.ids.len());
+            let id = m.ids[row * k + col];
+            if id == NO_PLF || a + m.arena.min_cost(id) >= sweep.best[j] {
+                continue;
+            }
+            debug_assert!(cnt < sweep.ids.len());
+            sweep.ids[cnt] = id;
+            sweep.slots[cnt] = j as u32;
+            cnt += 1;
+        }
+        // … evaluate them in one batched arena pass …
+        eval_ids_at(&m.arena, &sweep.ids[..cnt], a, &mut sweep.vals[..cnt]);
+        // … and fold the candidates into the running bests.
+        for i in 0..cnt {
+            debug_assert!(i < sweep.slots.len() && i < sweep.vals.len());
+            let j = sweep.slots[i] as usize;
+            let cand = a + sweep.vals[i];
+            if cand < sweep.best[j] {
+                sweep.best[j] = cand;
             }
         }
-        if let Some(a) = best {
-            out.insert(b2, a);
+    }
+    for (j, &b2) in targets.iter().enumerate() {
+        debug_assert!(j < sweep.best.len());
+        if sweep.best[j] < f64::INFINITY {
+            out.insert(b2, sweep.best[j]);
         }
     }
 }

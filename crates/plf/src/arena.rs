@@ -23,7 +23,7 @@
 //! The arena is append-only; mutation stays on [`Plf`]. Build with the PLF
 //! algebra, freeze with [`PlfArena::push`], query through [`PlfSlice`].
 
-use crate::approx::lerp;
+use crate::approx::clamped_segment_value;
 use crate::plf::{Plf, Pt, Via};
 
 /// Index of a function inside a [`PlfArena`].
@@ -269,6 +269,22 @@ impl<'a> PlfSlice<'a> {
         Some(self.times.partition_point(|&x| x <= t) - 1)
     }
 
+    /// Value of the segment starting at breakpoint `i` evaluated at `t`,
+    /// routed through the shared right-ray clamp
+    /// ([`clamped_segment_value`]) so every entry point — and the batch
+    /// kernels — extrapolate identically past the last breakpoint.
+    #[inline]
+    // td-lint: hot
+    fn value_on_segment(&self, i: usize, t: f64) -> f64 {
+        debug_assert!(i < self.times.len());
+        let next = if i + 1 < self.times.len() {
+            Some((self.times[i + 1], self.values[i + 1]))
+        } else {
+            None
+        };
+        clamped_segment_value(self.times[i], self.values[i], next, t)
+    }
+
     /// Evaluates at departure time `t` (Eq. 1), identical to [`Plf::eval`].
     #[inline]
     // td-lint: hot
@@ -276,14 +292,7 @@ impl<'a> PlfSlice<'a> {
         debug_assert!(!self.times.is_empty());
         match self.segment_index(t) {
             None => self.values[0],
-            Some(i) if i + 1 == self.times.len() => self.values[i],
-            Some(i) => lerp(
-                self.times[i],
-                self.values[i],
-                self.times[i + 1],
-                self.values[i + 1],
-                t,
-            ),
+            Some(i) => self.value_on_segment(i, t),
         }
     }
 
@@ -295,17 +304,7 @@ impl<'a> PlfSlice<'a> {
         debug_assert!(!self.times.is_empty());
         match self.segment_index(t) {
             None => (self.values[0], self.vias[0]),
-            Some(i) if i + 1 == self.times.len() => (self.values[i], self.vias[i]),
-            Some(i) => (
-                lerp(
-                    self.times[i],
-                    self.values[i],
-                    self.times[i + 1],
-                    self.values[i + 1],
-                    t,
-                ),
-                self.vias[i],
-            ),
+            Some(i) => (self.value_on_segment(i, t), self.vias[i]),
         }
     }
 
@@ -342,17 +341,7 @@ impl<'a> PlfSlice<'a> {
             i = self.times.partition_point(|&x| x <= t) - 1;
         }
         *hint = i;
-        if i + 1 == n {
-            self.values[i]
-        } else {
-            lerp(
-                self.times[i],
-                self.values[i],
-                self.times[i + 1],
-                self.values[i + 1],
-                t,
-            )
-        }
+        self.value_on_segment(i, t)
     }
 
     /// Arrival time when departing at `t`.

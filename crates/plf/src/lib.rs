@@ -47,6 +47,7 @@
 pub mod approx;
 pub mod arena;
 pub mod arrival;
+pub mod batch;
 pub mod compound;
 pub mod minimum;
 pub mod ops;
@@ -56,6 +57,7 @@ pub mod simplify;
 
 pub use approx::{feq, fle, flt, EPS_COST, EPS_TIME};
 pub use arena::{PlfArena, PlfId, PlfSlice, NO_PLF};
+pub use batch::{eval_ids_at, eval_times_into};
 pub use plf::{Plf, PlfError, Pt, Via, NO_VIA};
 
 /// The canonical time domain used by the paper's evaluation: one day, in seconds.

@@ -1,6 +1,6 @@
 //! The [`Plf`] type: interpolation points, evaluation (Eq. 1) and validation.
 
-use crate::approx::{feq, lerp, EPS_COST, EPS_TIME};
+use crate::approx::{clamped_segment_value, feq, EPS_COST, EPS_TIME};
 
 /// Witness attached to a segment: the intermediate vertex through which the
 /// cost on that segment is achieved (Def. 2: "the intermediate vertex is also
@@ -177,24 +177,29 @@ impl Plf {
         Some(n - 1)
     }
 
+    /// Value of the segment starting at point `i` evaluated at `t`, routed
+    /// through the shared right-ray clamp ([`clamped_segment_value`]) so
+    /// owned and frozen evaluation cannot diverge past the last breakpoint.
+    #[inline]
+    fn value_on_segment(&self, i: usize, t: f64) -> f64 {
+        debug_assert!(i < self.pts.len());
+        let a = self.pts[i];
+        let next = self.pts.get(i + 1).map(|b| (b.t, b.v));
+        clamped_segment_value(a.t, a.v, next, t)
+    }
+
     /// Evaluates the function at departure time `t` per Eq. (1): clamped below
     /// `t_1` and above `t_k`, linear in between.
     ///
     /// All indexing below is provably in range (`segment_index` returns
-    /// `i < len`, and the `i + 1` arm is guarded), but the safe accesses are
-    /// kept: after inlining, LLVM elides the bounds checks against the slice
-    /// length already loaded for `partition_point`, so `unsafe` would buy
-    /// nothing measurable here.
+    /// `i < len`), but the safe accesses are kept: after inlining, LLVM
+    /// elides the bounds checks against the slice length already loaded for
+    /// `partition_point`, so `unsafe` would buy nothing measurable here.
     #[inline]
     pub fn eval(&self, t: f64) -> f64 {
         match self.segment_index(t) {
             None => self.pts[0].v,
-            Some(i) if i + 1 == self.pts.len() => self.pts[i].v,
-            Some(i) => {
-                let a = self.pts[i];
-                let b = self.pts[i + 1];
-                lerp(a.t, a.v, b.t, b.v, t)
-            }
+            Some(i) => self.value_on_segment(i, t),
         }
     }
 
@@ -203,12 +208,7 @@ impl Plf {
     pub fn eval_with_via(&self, t: f64) -> (f64, Via) {
         match self.segment_index(t) {
             None => (self.pts[0].v, self.pts[0].via),
-            Some(i) if i + 1 == self.pts.len() => (self.pts[i].v, self.pts[i].via),
-            Some(i) => {
-                let a = self.pts[i];
-                let b = self.pts[i + 1];
-                (lerp(a.t, a.v, b.t, b.v, t), a.via)
-            }
+            Some(i) => (self.value_on_segment(i, t), self.pts[i].via),
         }
     }
 

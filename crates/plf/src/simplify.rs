@@ -62,6 +62,14 @@ impl Plf {
         if out.len() >= 2 && (out[0].v - out[1].v).abs() <= tol && out[0].via == out[1].via {
             out.remove(0);
         }
+        // A single surviving point is the constant function; its anchor time
+        // is semantically meaningless (both rays clamp to the same value), so
+        // pin it to t = 0 like `Plf::constant`. Without this, two searches
+        // reaching the same constant through different merge orders would
+        // disagree on the leftover anchor even though the functions are equal.
+        if out.len() == 1 {
+            out[0].t = 0.0;
+        }
         debug_assert!(out.windows(2).all(|w| w[1].t - w[0].t > EPS_TIME));
         *pts = out;
     }
@@ -111,6 +119,19 @@ mod tests {
         assert_eq!(f.eval(-5.0), 7.0);
         assert_eq!(f.eval(15.0), 7.0);
         assert_eq!(f.eval(100.0), 7.0);
+    }
+
+    #[test]
+    fn constant_collapse_anchor_is_canonical() {
+        // Two constants with different time grids must collapse to the *same*
+        // representation — the anchor is pinned to t = 0 like `Plf::constant`.
+        let mut a = plf(&[(-100.0, 7.0), (40.0, 7.0)]);
+        let mut b = plf(&[(3.0, 7.0), (8.0, 7.0), (12.0, 7.0)]);
+        a.simplify();
+        b.simplify();
+        assert_eq!(a, b);
+        assert_eq!(a.first().t, 0.0);
+        assert_eq!(a.eval(-200.0), 7.0);
     }
 
     #[test]

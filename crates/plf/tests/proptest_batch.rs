@@ -1,0 +1,230 @@
+//! Property-based pins for the batch kernels (`td_plf::batch`) and the PLF
+//! edge-case sweep of ISSUE 8:
+//!
+//! * `eval_times_into` ≡ repeated `eval`, **bit-for-bit**, on sorted (fast
+//!   path) and unsorted (fallback path) departure vectors;
+//! * `eval_ids_at` ≡ per-slice `eval` across whole arenas;
+//! * every eval entry point (`Plf::eval`, `Plf::eval_with_via`,
+//!   `PlfSlice::eval`, `eval_with_via`, `eval_with_hint`, both batch
+//!   kernels) agrees at the right-ray boundary
+//!   `t ∈ {last_bp − ε, last_bp, last_bp + ε, 1e12}` — the shared
+//!   `clamped_segment_value` helper makes divergence structurally
+//!   impossible, and this test keeps it that way;
+//! * `eval_with_hint` gallop hand-off boundaries: hints exactly at/past the
+//!   8-step gallop threshold, `t` landing on breakpoints, and stale hints
+//!   ≥ `times.len()` after a re-freeze compaction shrinks the function —
+//!   proving index-for-index agreement with the binary-search segment rule.
+
+use proptest::prelude::*;
+use td_plf::{eval_ids_at, eval_times_into, Plf, PlfArena, NO_PLF};
+
+/// Same FIFO generator as `proptest_arena.rs`: 1..=12 points over roughly a
+/// day, values in [0, 3600].
+fn fifo_plf() -> impl Strategy<Value = Plf> {
+    (
+        proptest::collection::vec(0.1f64..3000.0, 0..11),
+        0.0f64..3600.0,
+        proptest::collection::vec(0.0f64..1.0, 12),
+    )
+        .prop_map(|(gaps, v0, vs)| {
+            let mut t = 0.0;
+            let mut pts = vec![(0.0, v0)];
+            for (i, gap) in gaps.iter().enumerate() {
+                t += gap + 1.0;
+                let prev = pts.last().unwrap().1;
+                let dt = gap + 1.0;
+                let lo = (prev - dt).max(0.0);
+                let hi = prev + dt;
+                let v = lo + vs[i] * (hi - lo);
+                pts.push((t, v));
+            }
+            Plf::from_pairs(&pts).expect("generated points are valid")
+        })
+}
+
+/// Random query times spanning the domain, including far outside it.
+fn query_times() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-500.0f64..40_000.0, 1..64)
+}
+
+/// The index `eval`'s binary search assigns to `t`: largest `i` with
+/// `times[i] ≤ t`, or 0 for the left ray (where the hint parks).
+fn expected_hint(times: &[f64], t: f64) -> usize {
+    if t < times[0] {
+        0
+    } else {
+        times.partition_point(|&x| x <= t) - 1
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn batch_sorted_is_bit_identical_to_repeated_eval(f in fifo_plf(), ts in query_times()) {
+        let mut sorted = ts;
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut arena = PlfArena::new();
+        let id = arena.push(&f);
+        let s = arena.slice(id);
+        let mut out = vec![0.0; sorted.len()];
+        eval_times_into(s, &sorted, &mut out);
+        for (&t, &got) in sorted.iter().zip(&out) {
+            prop_assert_eq!(got.to_bits(), s.eval(t).to_bits(), "t={}", t);
+            prop_assert_eq!(got.to_bits(), f.eval(t).to_bits(), "t={}", t);
+        }
+    }
+
+    #[test]
+    fn batch_unsorted_fallback_is_bit_identical(f in fifo_plf(), ts in query_times()) {
+        let mut arena = PlfArena::new();
+        let id = arena.push(&f);
+        let s = arena.slice(id);
+        let mut out = vec![0.0; ts.len()];
+        eval_times_into(s, &ts, &mut out);
+        for (&t, &got) in ts.iter().zip(&out) {
+            prop_assert_eq!(got.to_bits(), s.eval(t).to_bits(), "t={}", t);
+        }
+    }
+
+    #[test]
+    fn batch_ids_matches_per_slice_eval(
+        fs in proptest::collection::vec(fifo_plf(), 1..8),
+        t in -500.0f64..40_000.0,
+    ) {
+        let mut arena = PlfArena::new();
+        let mut ids: Vec<u32> = fs.iter().map(|f| arena.push(f)).collect();
+        ids.push(NO_PLF); // gap entries evaluate to "unreachable"
+        let mut out = vec![0.0; ids.len()];
+        eval_ids_at(&arena, &ids, t, &mut out);
+        for (&id, &got) in ids.iter().zip(&out) {
+            if id == NO_PLF {
+                prop_assert!(got.is_infinite());
+            } else {
+                prop_assert_eq!(got.to_bits(), arena.slice(id).eval(t).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn all_entry_points_agree_at_the_right_ray_boundary(f in fifo_plf()) {
+        let mut arena = PlfArena::new();
+        let id = arena.push(&f);
+        let s = arena.slice(id);
+        let last = f.last().t;
+        // Probes straddling the last breakpoint, plus deep extrapolation.
+        let eps = 1e-9 * last.abs().max(1.0);
+        let probes = [last - eps, last, last + eps, 1e12];
+        let mut batch = [0.0; 4];
+        eval_times_into(s, &probes, &mut batch);
+        let mut single = [0.0; 1];
+        for (&t, &b) in probes.iter().zip(&batch) {
+            let want = f.eval(t).to_bits();
+            prop_assert_eq!(f.eval_with_via(t).0.to_bits(), want, "t={}", t);
+            prop_assert_eq!(s.eval(t).to_bits(), want, "t={}", t);
+            prop_assert_eq!(s.eval_with_via(t).0.to_bits(), want, "t={}", t);
+            let mut hint = 0usize;
+            prop_assert_eq!(s.eval_with_hint(t, &mut hint).to_bits(), want, "t={}", t);
+            prop_assert_eq!(b.to_bits(), want, "t={}", t);
+            eval_ids_at(&arena, &[id], t, &mut single);
+            prop_assert_eq!(single[0].to_bits(), want, "t={}", t);
+        }
+    }
+
+    #[test]
+    fn hint_agrees_index_for_index_from_any_start(
+        f in fifo_plf(),
+        ts in query_times(),
+        start in 0usize..64,
+    ) {
+        // Any starting hint — in range, at the boundary, or far past the end
+        // (a re-freeze compaction can shrink the function under a cached
+        // hint) — must land on exactly the index eval's binary search picks.
+        let mut arena = PlfArena::new();
+        let id = arena.push(&f);
+        let s = arena.slice(id);
+        for &t in &ts {
+            let mut hint = start;
+            let got = s.eval_with_hint(t, &mut hint);
+            prop_assert_eq!(got.to_bits(), s.eval(t).to_bits(), "t={}", t);
+            prop_assert_eq!(hint, expected_hint(s.times(), t), "t={} start={}", t, start);
+        }
+    }
+}
+
+/// Deterministic gallop hand-off boundaries: a 64-segment staircase walked
+/// with hints placed exactly at, just before, and past the 8-step gallop
+/// threshold, with `t` landing between and exactly **on** breakpoints.
+#[test]
+fn gallop_handoff_boundaries_agree_index_for_index() {
+    let pts: Vec<(f64, f64)> = (0..64).map(|i| (i as f64 * 10.0, (i % 7) as f64)).collect();
+    let f = Plf::from_pairs(&pts).unwrap();
+    let mut arena = PlfArena::new();
+    let id = arena.push(&f);
+    let s = arena.slice(id);
+    let n = s.len();
+    for start in [0usize, 1, 7, 8, 9, 16, 62, 63, 64, 100, usize::MAX] {
+        for jump in [0usize, 1, 7, 8, 9, 10, 20, 63] {
+            // t lands exactly on breakpoint `jump`, and just before/after it.
+            let bp = pts[jump].0;
+            for t in [bp - 0.5, bp, bp + 0.5] {
+                let mut hint = start;
+                let got = s.eval_with_hint(t, &mut hint);
+                assert_eq!(
+                    got.to_bits(),
+                    s.eval(t).to_bits(),
+                    "start={start} jump={jump} t={t}"
+                );
+                assert_eq!(
+                    hint,
+                    expected_hint(s.times(), t),
+                    "start={start} jump={jump} t={t}"
+                );
+                assert!(hint < n);
+            }
+        }
+    }
+}
+
+/// A stale hint that survives a re-freeze compaction (the arena re-frozen
+/// with a *shorter* function under the same id) must clamp and stay correct.
+#[test]
+fn stale_hint_after_compaction_shrink_is_safe() {
+    let long: Vec<(f64, f64)> = (0..32).map(|i| (i as f64, 1.0 + (i % 3) as f64)).collect();
+    let mut arena = PlfArena::new();
+    let id = arena.push(&Plf::from_pairs(&long).unwrap());
+    let mut hint = 0usize;
+    // Drive the hint deep into the long function.
+    arena.slice(id).eval_with_hint(30.5, &mut hint);
+    assert_eq!(hint, 30);
+
+    // Re-freeze: a fresh arena where the same id now holds 2 points.
+    let mut refrozen = PlfArena::new();
+    let id2 = refrozen.push(&Plf::from_pairs(&[(0.0, 5.0), (10.0, 7.0)]).unwrap());
+    assert_eq!(id, id2);
+    let s = refrozen.slice(id2);
+    // The cached hint (30) is ≥ times.len() (2); every query must clamp it
+    // and agree with eval, left ray included.
+    for t in [-1.0, 0.0, 4.0, 10.0, 25.0] {
+        let got = s.eval_with_hint(t, &mut hint);
+        assert_eq!(got.to_bits(), s.eval(t).to_bits(), "t={t}");
+        assert!(hint < s.len(), "t={t}");
+    }
+}
+
+/// `t` exactly on every breakpoint, swept ascending through one hint chain —
+/// the hand-off between the 8-step walk and the gallop happens repeatedly.
+#[test]
+fn ascending_breakpoint_sweep_through_one_hint() {
+    let pts: Vec<(f64, f64)> = (0..40).map(|i| (i as f64 * 3.0, (i % 5) as f64)).collect();
+    let f = Plf::from_pairs(&pts).unwrap();
+    let mut arena = PlfArena::new();
+    let id = arena.push(&f);
+    let s = arena.slice(id);
+    let mut hint = 0usize;
+    for (i, &(t, _)) in pts.iter().enumerate() {
+        let got = s.eval_with_hint(t, &mut hint);
+        assert_eq!(got.to_bits(), s.eval(t).to_bits(), "i={i}");
+        assert_eq!(hint, i, "hint must land exactly on the breakpoint index");
+    }
+}
