@@ -59,6 +59,7 @@ impl Backend {
 
     /// Builds this backend's index over `graph`.
     pub fn build(self, graph: TdGraph, cfg: &IndexConfig) -> Box<dyn RoutingIndex> {
+        let _span = td_obs::ENABLED.then(|| td_obs::phase("build"));
         let tree_opts = |strategy| IndexOptions {
             strategy,
             threads: cfg.threads,

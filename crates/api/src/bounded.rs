@@ -75,9 +75,10 @@ impl BoundedAnswer {
 
     /// True when this answer is consistent with the known exact answer —
     /// the invariant the conformance suite checks for every backend: an
-    /// exact claim must match (to `eps`), an interval must bracket a
-    /// reachable cost and must not rule out an unreachable pair by
-    /// claiming a witnessed (finite) upper bound.
+    /// exact claim must match (to `eps`), an interval must be well-formed
+    /// (a finite lower bound, `lower <= upper`), must bracket a reachable
+    /// cost, and must not rule out an unreachable pair by claiming a
+    /// witnessed (finite) upper bound.
     pub fn is_consistent_with(&self, exact: Option<f64>, eps: f64) -> bool {
         match (self, exact) {
             (BoundedAnswer::Exact(a), e) => match (a, e) {
@@ -86,9 +87,11 @@ impl BoundedAnswer {
                 _ => false,
             },
             (BoundedAnswer::Approximate { lower, upper }, Some(c)) => {
-                *lower <= *upper && *lower <= c + eps && c <= *upper + eps
+                lower.is_finite() && *lower <= *upper && *lower <= c + eps && c <= *upper + eps
             }
-            (BoundedAnswer::Approximate { upper, .. }, None) => upper.is_infinite(),
+            (BoundedAnswer::Approximate { lower, upper }, None) => {
+                lower.is_finite() && *lower <= *upper && upper.is_infinite()
+            }
         }
     }
 }

@@ -258,6 +258,21 @@ pub fn check_bounded_queries(index: &dyn RoutingIndex, queries: &[(VertexId, Ver
                         answer.is_consistent_with(exact, COST_EPS),
                         "{name} {ctx}: {answer:?} inconsistent with exact {exact:?}"
                     );
+                    if let BoundedAnswer::Approximate { lower, upper } = answer {
+                        // Interval well-formedness, independent of the
+                        // exact answer: the lower bound is a finite
+                        // admissible bound (a witnessed upper in
+                        // particular must sit on a real interval), and
+                        // the bracket is never inverted.
+                        assert!(
+                            lower.is_finite() && lower >= 0.0,
+                            "{name} {ctx}: lower bound {lower} is not finite and non-negative"
+                        );
+                        assert!(
+                            lower <= upper,
+                            "{name} {ctx}: inverted interval [{lower}, {upper}]"
+                        );
+                    }
                     if let BoundedAnswer::Exact(cost) = answer {
                         assert_eq!(
                             cost.map(f64::to_bits),

@@ -9,6 +9,7 @@ use td_dijkstra::QueryBudget;
 use td_graph::{Path, TdGraph, VertexId};
 use td_gtree::{GtreeScratch, TdGtree};
 use td_h2h::TdH2h;
+use td_obs::{QueryTrace, SearchStats};
 use td_plf::Plf;
 
 /// Construction-time metrics every backend reports uniformly.
@@ -132,6 +133,44 @@ pub trait RoutingIndex: Send + Sync {
             return Err(QueryError::BudgetExhausted);
         }
         Ok(BoundedAnswer::Exact(self.query_cost_in(scratch, s, d, t)))
+    }
+
+    /// Drains the [`SearchStats`] the most recent `*_in` query left in
+    /// `scratch`. Search backends (TD-Dijkstra, TD-A\*-CH, TD-G-tree)
+    /// override this; the default `None` covers label/matrix backends whose
+    /// queries run no graph search. Draining resets the scratch counters,
+    /// so each query's stats are observed exactly once.
+    fn take_search_stats(&self, scratch: &mut SessionScratch) -> Option<SearchStats> {
+        let _ = scratch;
+        None
+    }
+
+    /// [`RoutingIndex::query_cost`] plus a per-query [`QueryTrace`] (wall
+    /// time and search counters). With `td-obs` built in `disabled` mode
+    /// the trace is all zeros and the clock is never read.
+    fn query_cost_traced(&self, s: VertexId, d: VertexId, t: f64) -> (Option<f64>, QueryTrace) {
+        let mut scratch = self.new_scratch();
+        self.query_cost_traced_in(&mut scratch, s, d, t)
+    }
+
+    /// [`RoutingIndex::query_cost_traced`] reusing `scratch` — the traced
+    /// hot path: the underlying query runs unchanged, then the scratch's
+    /// counters are drained (no allocation once the scratch is warmed).
+    fn query_cost_traced_in(
+        &self,
+        scratch: &mut SessionScratch,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+    ) -> (Option<f64>, QueryTrace) {
+        let start = td_obs::ENABLED.then(std::time::Instant::now);
+        let cost = self.query_cost_in(scratch, s, d, t);
+        let mut trace = QueryTrace::default();
+        if let Some(start) = start {
+            trace.stats = self.take_search_stats(scratch).unwrap_or_default();
+            trace.nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        }
+        (cost, trace)
     }
 
     /// Writes this index as a complete `.tdx` snapshot stream — header
@@ -418,6 +457,11 @@ impl RoutingIndex for TdGtree {
         self.query_cost_with(sc, s, d, t)
     }
 
+    fn take_search_stats(&self, scratch: &mut SessionScratch) -> Option<SearchStats> {
+        let sc: &mut GtreeScratch = scratch.get_or_default();
+        Some(sc.take_search_stats())
+    }
+
     fn write_snapshot(&self, mut w: &mut dyn std::io::Write) -> Result<(), td_store::StoreError> {
         td_store::write_snapshot(self, td_store::BackendTag::TdGtree, &mut w)
     }
@@ -496,6 +540,11 @@ impl RoutingIndex for DijkstraOracle {
             td_dijkstra::shortest_path_cost_frozen_bounded_with(sc, self.frozen(), s, d, t, budget)
                 .into(),
         )
+    }
+
+    fn take_search_stats(&self, scratch: &mut SessionScratch) -> Option<SearchStats> {
+        let sc: &mut td_dijkstra::DijkstraScratch = scratch.get_or_default();
+        Some(sc.stats.take())
     }
 
     fn write_snapshot(&self, mut w: &mut dyn std::io::Write) -> Result<(), td_store::StoreError> {
@@ -579,6 +628,11 @@ impl RoutingIndex for AStarChIndex {
         crate::bounded::validate_query(self.graph().num_vertices(), s, d, t)?;
         let sc: &mut AStarChScratch = scratch.get_or_default();
         Ok(self.query_cost_bounded_with(sc, s, d, t, budget).into())
+    }
+
+    fn take_search_stats(&self, scratch: &mut SessionScratch) -> Option<SearchStats> {
+        let sc: &mut AStarChScratch = scratch.get_or_default();
+        Some(sc.search.stats.take())
     }
 
     fn write_snapshot(&self, mut w: &mut dyn std::io::Write) -> Result<(), td_store::StoreError> {

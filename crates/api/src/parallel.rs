@@ -126,20 +126,22 @@ impl<'a, I: RoutingIndex + ?Sized> ParallelExecutor<'a, I> {
         self.workers.len()
     }
 
-    /// Runs `f(scratch, i)` for every `i in 0..n`, fanned out over the
-    /// worker pool, writing each result to `out[i]`.
+    /// Runs `f(scratch, w, i)` for every `i in 0..n`, fanned out over the
+    /// worker pool, writing each result to `out[i]`. `w` is the worker's
+    /// stable pool index — closures use it as the metric shard so telemetry
+    /// exports stay contention-free across workers.
     #[allow(unsafe_code)]
     fn run<T, F>(&mut self, n: usize, out: &mut [T], f: F)
     where
         T: Send,
-        F: Fn(&mut SessionScratch, usize) -> T + Sync,
+        F: Fn(&mut SessionScratch, usize, usize) -> T + Sync,
     {
         debug_assert_eq!(out.len(), n);
         if self.workers.len() <= 1 || n <= 1 {
             // Inline fast path: no reason to pay a thread spawn.
             let scratch = &mut self.workers[0];
             for (i, slot) in out.iter_mut().enumerate() {
-                *slot = f(scratch, i);
+                *slot = f(scratch, 0, i);
             }
             return;
         }
@@ -150,7 +152,7 @@ impl<'a, I: RoutingIndex + ?Sized> ParallelExecutor<'a, I> {
         let slots = ResultSlots::new(out);
         let (cursor, slots, f) = (&cursor, &slots, &f);
         std::thread::scope(|scope| {
-            for scratch in self.workers.iter_mut() {
+            for (w, scratch) in self.workers.iter_mut().enumerate() {
                 scope.spawn(move || loop {
                     let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                     if start >= n {
@@ -159,7 +161,7 @@ impl<'a, I: RoutingIndex + ?Sized> ParallelExecutor<'a, I> {
                     for i in start..(start + chunk).min(n) {
                         // SAFETY: the cursor hands [start, start+chunk) to
                         // this worker alone; `i` is written exactly once.
-                        unsafe { slots.write(i, f(scratch, i)) };
+                        unsafe { slots.write(i, f(scratch, w, i)) };
                     }
                 });
             }
@@ -181,9 +183,15 @@ impl<'a, I: RoutingIndex + ?Sized> ParallelExecutor<'a, I> {
         out.clear();
         out.resize(queries.len(), None);
         let index = self.index;
-        self.run(queries.len(), out, |scratch, i| {
+        self.run(queries.len(), out, |scratch, w, i| {
             let (s, d, t) = queries[i];
-            index.query_cost_in(scratch, s, d, t)
+            if td_obs::ENABLED {
+                let (cost, trace) = index.query_cost_traced_in(scratch, s, d, t);
+                td_obs::metrics().record_query(w, &trace);
+                cost
+            } else {
+                index.query_cost_in(scratch, s, d, t)
+            }
         });
     }
 
@@ -201,15 +209,31 @@ impl<'a, I: RoutingIndex + ?Sized> ParallelExecutor<'a, I> {
         let mut out = vec![Ok(None); queries.len()];
         let index = self.index;
         let num_vertices = index.graph().num_vertices();
-        self.run(queries.len(), &mut out, |scratch, i| {
+        self.run(queries.len(), &mut out, |scratch, w, i| {
             let (s, d, t) = queries[i];
-            crate::bounded::validate_query(num_vertices, s, d, t)?;
-            match catch_unwind(AssertUnwindSafe(|| index.query_cost_in(scratch, s, d, t))) {
+            if let Err(e) = crate::bounded::validate_query(num_vertices, s, d, t) {
+                if td_obs::ENABLED {
+                    td_obs::metrics().ladder_invalid.add_shard(w, 1);
+                }
+                return Err(e);
+            }
+            match catch_unwind(AssertUnwindSafe(|| {
+                if td_obs::ENABLED {
+                    let (cost, trace) = index.query_cost_traced_in(scratch, s, d, t);
+                    td_obs::metrics().record_query(w, &trace);
+                    cost
+                } else {
+                    index.query_cost_in(scratch, s, d, t)
+                }
+            })) {
                 Ok(cost) => Ok(cost),
                 Err(payload) => {
                     // The scratch may hold half-written search state;
                     // replace it rather than reuse it.
                     *scratch = index.new_scratch();
+                    if td_obs::ENABLED {
+                        td_obs::metrics().ladder_panicked.add_shard(w, 1);
+                    }
                     Err(QueryError::Panicked(panic_message(payload)))
                 }
             }
@@ -229,9 +253,10 @@ impl<'a, I: RoutingIndex + ?Sized> ParallelExecutor<'a, I> {
     ) -> Vec<Result<BoundedAnswer, QueryError>> {
         let mut out = vec![Ok(BoundedAnswer::Exact(None)); queries.len()];
         let index = self.index;
-        self.run(queries.len(), &mut out, |scratch, i| {
+        self.run(queries.len(), &mut out, |scratch, w, i| {
             let (s, d, t) = queries[i];
-            match catch_unwind(AssertUnwindSafe(|| {
+            let start = td_obs::ENABLED.then(std::time::Instant::now);
+            let answer = match catch_unwind(AssertUnwindSafe(|| {
                 index.query_cost_bounded_in(scratch, s, d, t, budget)
             })) {
                 Ok(answer) => answer,
@@ -239,7 +264,24 @@ impl<'a, I: RoutingIndex + ?Sized> ParallelExecutor<'a, I> {
                     *scratch = index.new_scratch();
                     Err(QueryError::Panicked(panic_message(payload)))
                 }
+            };
+            if let Some(start) = start {
+                let m = td_obs::metrics();
+                match &answer {
+                    Ok(BoundedAnswer::Exact(_)) => &m.ladder_exact,
+                    Ok(BoundedAnswer::Approximate { .. }) => &m.ladder_approximate,
+                    Err(QueryError::BudgetExhausted) => &m.ladder_budget_exhausted,
+                    Err(QueryError::Panicked(_)) => &m.ladder_panicked,
+                    Err(QueryError::InvalidQuery(_)) => &m.ladder_invalid,
+                }
+                .add_shard(w, 1);
+                let trace = td_obs::QueryTrace {
+                    stats: index.take_search_stats(scratch).unwrap_or_default(),
+                    nanos: start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                };
+                m.record_query(w, &trace);
             }
+            answer
         });
         out
     }
@@ -248,7 +290,7 @@ impl<'a, I: RoutingIndex + ?Sized> ParallelExecutor<'a, I> {
     pub fn profile_batch(&mut self, pairs: &[(VertexId, VertexId)]) -> Vec<Option<Plf>> {
         let mut out = vec![None; pairs.len()];
         let index = self.index;
-        self.run(pairs.len(), &mut out, |scratch, i| {
+        self.run(pairs.len(), &mut out, |scratch, _w, i| {
             let (s, d) = pairs[i];
             index.query_profile_in(scratch, s, d)
         });
@@ -259,7 +301,7 @@ impl<'a, I: RoutingIndex + ?Sized> ParallelExecutor<'a, I> {
     pub fn path_batch(&mut self, queries: &[CostQuery]) -> Vec<Option<(f64, Path)>> {
         let mut out = vec![None; queries.len()];
         let index = self.index;
-        self.run(queries.len(), &mut out, |scratch, i| {
+        self.run(queries.len(), &mut out, |scratch, _w, i| {
             let (s, d, t) = queries[i];
             index.query_path_in(scratch, s, d, t)
         });
@@ -388,6 +430,7 @@ impl<I: IncrementalIndex + Clone> LiveIndex<I> {
         &self,
         changes: &[(VertexId, VertexId, Plf)],
     ) -> Result<UpdateStats, UpdateError> {
+        let start = td_obs::ENABLED.then(std::time::Instant::now);
         let mut standby = self.standby.lock().unwrap_or_else(PoisonError::into_inner);
         // The standby copy is normally unique: readers clone only the
         // active Arc, and the tail of the previous `try_apply` left this
@@ -408,15 +451,25 @@ impl<I: IncrementalIndex + Clone> LiveIndex<I> {
                     .unwrap_or_else(PoisonError::into_inner)
                     .clone();
                 *standby = Arc::new((*published).clone());
+                if td_obs::ENABLED {
+                    td_obs::metrics().live_rollbacks_total.inc();
+                }
                 return Err(UpdateError::UpdatePanicked(panic_message(payload)));
             }
         };
-        let published = {
+        let (published, epoch) = {
             let mut active = self.active.lock().unwrap_or_else(PoisonError::into_inner);
             std::mem::swap(&mut *active, &mut *standby);
-            self.epoch.fetch_add(1, Ordering::Release);
-            active.clone()
+            let epoch = self.epoch.fetch_add(1, Ordering::Release) + 1;
+            (active.clone(), epoch)
         };
+        if let Some(start) = start {
+            let m = td_obs::metrics();
+            m.live_updates_total.inc();
+            m.live_update_seconds
+                .observe(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            m.live_epoch.set(epoch.min(i64::MAX as u64) as i64);
+        }
         // Level the retired copy for the next batch. No reference can
         // *appear* between the check and the mutation: this slot is
         // unreachable from `snapshot`, so the strong count only falls. The

@@ -122,6 +122,8 @@ pub(crate) fn prev_path(path: &Path) -> PathBuf {
 /// best-effort parent-directory fsync. At every intermediate state at least
 /// one of `<path>` / `<path>.prev` is a complete, loadable snapshot.
 pub fn save_index(index: &dyn RoutingIndex, path: impl AsRef<Path>) -> Result<(), StoreError> {
+    let _span = td_obs::ENABLED
+        .then(|| td_obs::PhaseTimer::observing(td_obs::metrics().snapshot_save_seconds.clone()));
     save_pipeline(index, path.as_ref(), None)
 }
 
@@ -191,6 +193,8 @@ fn load_with_fallback<T>(
     path: &Path,
     parse: impl Fn(&mut dyn Read) -> Result<T, StoreError>,
 ) -> Result<T, StoreError> {
+    let _span = td_obs::ENABLED
+        .then(|| td_obs::PhaseTimer::observing(td_obs::metrics().snapshot_load_seconds.clone()));
     let primary = std::fs::File::open(path)
         .map_err(StoreError::from)
         .and_then(|f| parse(&mut std::io::BufReader::new(f)));
@@ -204,6 +208,9 @@ fn load_with_fallback<T>(
         .and_then(|f| parse(&mut std::io::BufReader::new(f)));
     match fallback {
         Ok(value) => {
+            if td_obs::ENABLED {
+                td_obs::metrics().snapshot_fallback_total.inc();
+            }
             eprintln!(
                 "td-api: snapshot {} unreadable ({err}); \
                  loaded previous generation {}",

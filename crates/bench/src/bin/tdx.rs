@@ -7,22 +7,31 @@
 //!           [--track-supports]
 //! tdx inspect <path.tdx>
 //! tdx verify <path.tdx> [--queries 200] [--seed 42]
+//! tdx stats <path.tdx> [--queries 256] [--seed 42] [--threads 2]
 //! ```
 //!
 //! `verify` walks every section checksum, fully reloads the index, and
 //! (with `--queries N`) replays a seeded workload against a fresh
 //! TD-Dijkstra oracle over the snapshot's own graph — the same agreement
 //! the conformance suite demands.
+//!
+//! `stats` loads the snapshot, drives a seeded serving workload through the
+//! parallel executor (exact, budget-bounded and profile queries), then
+//! prints the process-wide metric catalog as a Prometheus text scrape on
+//! stdout — the workload summary goes to stderr, so the scrape pipes clean.
 
 use std::time::Instant;
-use td_api::{build_index, load_index, save_index, Backend, IndexConfig, QuerySession};
+use td_api::{
+    build_index, load_index, save_index, Backend, IndexConfig, ParallelExecutor, QueryBudget,
+    QuerySession,
+};
 use td_gen::Dataset;
 use td_store::error::tag_name;
 use td_store::section::{elem, walk_sections};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  tdx build --dataset <CAL|SF|COL|FLA|W-USA> --backend <name> --out <path> \\\n            [--scale X] [--seed N] [--c N] [--threads N] [--budget N] [--max-leaf N] [--track-supports]\n  tdx inspect <path.tdx>\n  tdx verify <path.tdx> [--queries N] [--seed N]"
+        "usage:\n  tdx build --dataset <CAL|SF|COL|FLA|W-USA> --backend <name> --out <path> \\\n            [--scale X] [--seed N] [--c N] [--threads N] [--budget N] [--max-leaf N] [--track-supports]\n  tdx inspect <path.tdx>\n  tdx verify <path.tdx> [--queries N] [--seed N]\n  tdx stats <path.tdx> [--queries N] [--seed N] [--threads N]"
     );
     std::process::exit(2);
 }
@@ -38,6 +47,7 @@ fn main() {
         Some("build") => cmd_build(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         _ => usage(),
     }
 }
@@ -154,27 +164,31 @@ fn cmd_inspect(args: &[String]) {
     let [path] = args else { usage() };
     let infos = walk(path);
     println!(
-        "{:<8} {:<5} {:>12} {:>14} {:>10}",
-        "section", "type", "count", "bytes", "crc32"
+        "{:<8} {:<5} {:>12} {:>14} {:>10} {:>10}",
+        "section", "type", "count", "bytes", "crc32", "load"
     );
-    td_bench::rule(54);
+    td_bench::rule(65);
     let mut total = 0u64;
+    let mut total_secs = 0.0f64;
     for s in &infos {
         println!(
-            "{:<8} {:<5} {:>12} {:>14} {:>10x}",
+            "{:<8} {:<5} {:>12} {:>14} {:>10x} {:>10}",
             tag_name(s.tag),
             elem_name(s.type_code),
             s.count,
             s.bytes,
-            s.crc
+            s.crc,
+            format!("{:.2}ms", s.load_secs * 1e3)
         );
         total += s.bytes;
+        total_secs += s.load_secs;
     }
-    td_bench::rule(54);
+    td_bench::rule(65);
     println!(
-        "{} sections, {} payload (all checksums OK)",
+        "{} sections, {} payload read in {:.2}ms (all checksums OK)",
         infos.len(),
-        td_bench::fmt_bytes(total as usize)
+        td_bench::fmt_bytes(total as usize),
+        total_secs * 1e3
     );
 }
 
@@ -220,13 +234,7 @@ fn cmd_verify(args: &[String]) {
         let mut session = QuerySession::new(index.as_ref());
         let mut checked = 0usize;
         for i in 0..queries as u64 {
-            // Deterministic splitmix-style probe points.
-            let mut x = seed ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            x ^= x >> 30;
-            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            let s = (x % n) as u32;
-            let d = ((x >> 20) % n) as u32;
-            let t = ((x >> 13) % 86_400) as f64;
+            let (s, d, t) = probe(seed, i, n);
             let want = oracle.query_cost(s, d, t);
             let got = session.query_cost(s, d, t);
             match (want, got) {
@@ -240,4 +248,72 @@ fn cmd_verify(args: &[String]) {
         println!("oracle agreement: {checked}/{queries} queries OK");
     }
     println!("verify: OK");
+}
+
+/// Deterministic splitmix-style probe query `i` over an `n`-vertex graph.
+fn probe(seed: u64, i: u64, n: u64) -> (u32, u32, f64) {
+    let mut x = seed ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let s = (x % n) as u32;
+    let d = ((x >> 20) % n) as u32;
+    let t = ((x >> 13) % 86_400) as f64;
+    (s, d, t)
+}
+
+fn cmd_stats(args: &[String]) {
+    let Some(path) = args.first() else { usage() };
+    let mut queries = 256usize;
+    let mut seed = 42u64;
+    let mut threads = 2usize;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| fail(format!("{arg} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--queries" => queries = val().parse().unwrap_or_else(|_| fail("bad --queries")),
+            "--seed" => seed = val().parse().unwrap_or_else(|_| fail("bad --seed")),
+            "--threads" => threads = val().parse().unwrap_or_else(|_| fail("bad --threads")),
+            other => fail(format!("unknown flag `{other}`")),
+        }
+    }
+
+    // The load itself feeds td_snapshot_load_seconds.
+    let index = load_index(path).unwrap_or_else(|e| fail(e));
+    let n = index.graph().num_vertices() as u64;
+    if n > 0 && queries > 0 {
+        let workload: Vec<td_api::CostQuery> =
+            (0..queries as u64).map(|i| probe(seed, i, n)).collect();
+        let mut exec = ParallelExecutor::new(index.as_ref(), threads);
+        let exact = exec.query_batch(&workload);
+        let reachable = exact.iter().filter(|c| c.is_some()).count();
+        // The bounded rung: a tight settle budget walks the degradation
+        // ladder, and one out-of-range probe exercises the error rung.
+        let mut bounded_load = workload.clone();
+        bounded_load.push((n as u32, 0, 0.0));
+        let bounded = exec.query_batch_bounded(&bounded_load, &QueryBudget::settles(16));
+        let degraded = bounded
+            .iter()
+            .filter(|r| matches!(r, Ok(a) if !a.is_exact()))
+            .count();
+        // A few cost-function (profile) queries for corridor telemetry.
+        let pairs: Vec<(u32, u32)> = workload.iter().take(4).map(|q| (q.0, q.1)).collect();
+        let profiles = exec.profile_batch(&pairs);
+        eprintln!(
+            "{path}: {} over |V|={n} |E|={}; {} cost queries ({reachable} reachable), \
+             {} bounded ({degraded} degraded), {} profiles, {} workers",
+            index.backend_name(),
+            index.graph().num_edges(),
+            workload.len(),
+            bounded_load.len(),
+            profiles.iter().filter(|p| p.is_some()).count(),
+            exec.num_workers(),
+        );
+    } else {
+        eprintln!("{path}: empty graph or --queries 0; scrape reflects the load only");
+    }
+    print!("{}", td_obs::metrics().registry.render_prometheus());
 }

@@ -1,0 +1,44 @@
+//! The scrape's metric-name set is a public interface: dashboards and
+//! alerts key on these names. This golden test pins the `# TYPE` lines of
+//! the process-wide catalog against the committed `crates/bench/metrics.txt`
+//! — CI additionally diffs a real `tdx stats` scrape of the CAL snapshot
+//! artifact against the same file, so the names cannot drift silently in
+//! either direction. The catalog pre-registers every family, so the name
+//! set is independent of which code paths a workload exercised.
+
+/// The `"name kind"` pairs of every `# TYPE` line, sorted.
+fn type_lines(scrape: &str) -> Vec<String> {
+    let mut out: Vec<String> = scrape
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .map(str::to_string)
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn scrape_metric_names_match_committed_golden() {
+    let golden = include_str!("../metrics.txt");
+    let want: Vec<String> = golden.lines().map(str::to_string).collect();
+    let got = type_lines(&td_obs::metrics().registry.render_prometheus());
+    assert_eq!(
+        got, want,
+        "metric-name set drifted from crates/bench/metrics.txt; \
+         if the change is intentional, regenerate the golden with\n  \
+         cargo run -p td-bench --bin tdx -- stats <any.tdx> | \
+         grep '^# TYPE' | awk '{{print $3, $4}}' | sort > crates/bench/metrics.txt"
+    );
+}
+
+#[test]
+fn scrape_is_deterministically_ordered() {
+    let a = td_obs::metrics().registry.render_prometheus();
+    let names_a = type_lines(&a);
+    let b = td_obs::metrics().registry.render_prometheus();
+    assert_eq!(names_a, type_lines(&b), "family order is not stable");
+    // Families arrive sorted by name.
+    let mut sorted = names_a.clone();
+    sorted.sort();
+    assert_eq!(names_a, sorted);
+}

@@ -28,6 +28,7 @@ use crate::scalar::RELAX_CHUNK;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use td_graph::{FrozenGraph, Path, TdGraph, VertexId};
+use td_obs::SearchStats;
 use td_plf::eval_ids_at;
 
 /// Reusable backward lower bounds to a fixed destination.
@@ -203,6 +204,9 @@ pub struct AStarScratch {
     pub(crate) stamp: Vec<u32>,
     gen: u32,
     pub(crate) heap: BinaryHeap<Entry>,
+    /// Counters for the most recent frozen run, reset at query start (plain
+    /// `u64`s — the hot loop records without touching shared state).
+    pub stats: SearchStats,
 }
 
 impl AStarScratch {
@@ -219,6 +223,7 @@ impl AStarScratch {
             self.gen = 0;
         }
         self.heap.clear();
+        self.stats.reset();
         // Two stamp values per query: gen (reached) and gen+1 (settled).
         // On wrap-around the stamps are cleared wholesale, as in
         // `crate::potential::bump_generation` (which steps by 1, not 2).
@@ -318,7 +323,9 @@ fn run_frozen<P: Potential>(
     budget: &QueryBudget,
 ) -> FrozenOutcome {
     if s == d {
-        // Arrival = departure; skip the potential setup entirely.
+        // Arrival = departure; skip the potential setup entirely (but drop
+        // the previous query's counters so a later export sees this query).
+        scratch.stats.reset();
         return FrozenOutcome::Reached(t);
     }
     debug_assert!((s as usize) < fg.num_vertices() && (d as usize) < fg.num_vertices());
@@ -354,6 +361,7 @@ fn run_frozen<P: Potential>(
             };
         }
         settles += 1;
+        scratch.stats.settle(1);
         scratch.stamp[u as usize] = gen + 1;
         let a = scratch.best[u as usize];
         if u == d {
@@ -390,10 +398,12 @@ fn run_frozen<P: Potential>(
                     f64::INFINITY
                 };
                 if lb >= known || lb >= target_best {
+                    scratch.stats.prune(1);
                     continue;
                 }
                 let hv = pot.h(v);
                 if hv.is_infinite() || lb + hv >= target_best {
+                    scratch.stats.prune(1);
                     continue;
                 }
                 // debug_assert-documented indexing: m ≤ idx - base < RELAX_CHUNK.
@@ -404,6 +414,8 @@ fn run_frozen<P: Potential>(
                 m += 1;
             }
             eval_ids_at(&fg.weights, &ids[..m], a, &mut vals[..m]);
+            scratch.stats.relax((stop - base) as u64);
+            scratch.stats.eval_batched(m as u64);
             for j in 0..m {
                 // debug_assert-documented indexing: j < m ≤ RELAX_CHUNK, and
                 // slots[j] was written from an in-range idx above.
@@ -424,6 +436,7 @@ fn run_frozen<P: Potential>(
                     if v == d {
                         target_best = cand;
                     }
+                    scratch.stats.heap_push(1);
                     // td-lint: allow(hot-alloc) heap retains warmed capacity across queries
                     scratch.heap.push(Entry {
                         key: cand + hvs[j],

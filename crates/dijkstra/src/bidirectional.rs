@@ -91,7 +91,9 @@ fn run_corridor<P: Potential>(
     budget: &QueryBudget,
 ) -> FrozenOutcome {
     if s == d {
-        // Arrival = departure; skip the potential setup entirely.
+        // Arrival = departure; skip the potential setup entirely (but drop
+        // the previous query's counters so a later export sees this query).
+        scratch.stats.reset();
         return FrozenOutcome::Reached(t);
     }
     debug_assert!((s as usize) < fg.num_vertices() && (d as usize) < fg.num_vertices());
@@ -119,6 +121,7 @@ fn run_corridor<P: Potential>(
             };
         }
         settles += 1;
+        scratch.stats.settle(1);
         scratch.stamp[u as usize] = gen + 1;
         let arr = scratch.best[u as usize];
         if u == d {
@@ -128,9 +131,11 @@ fn run_corridor<P: Potential>(
         // Corridor pruning: if even the static lower bound cannot beat the
         // best known arrival at d, this vertex cannot improve the answer.
         if arr + pot.h(u) >= best_to_d {
+            scratch.stats.corridor_kill(1);
             continue;
         }
         let (heads, edges, mins) = fg.out_slices_with_min(u);
+        scratch.stats.relax(heads.len() as u64);
         for ((&v, &e), &min) in heads.iter().zip(edges.iter()).zip(mins.iter()) {
             if scratch.stamp[v as usize] == gen + 1 {
                 continue;
@@ -142,19 +147,23 @@ fn run_corridor<P: Potential>(
             };
             // Min-bound prune before touching the breakpoints.
             if arr + min >= known || arr + min >= best_to_d {
+                scratch.stats.prune(1);
                 continue;
             }
             let hv = pot.h(v);
             if hv.is_infinite() {
+                scratch.stats.prune(1);
                 continue;
             }
             let cand = arr + fg.weight(e).eval(arr);
+            scratch.stats.eval_scalar(1);
             if cand < known && cand + hv < best_to_d {
                 scratch.best[v as usize] = cand;
                 scratch.stamp[v as usize] = gen;
                 if v == d {
                     best_to_d = best_to_d.min(cand);
                 }
+                scratch.stats.heap_push(1);
                 // td-lint: allow(hot-alloc) heap retains warmed capacity across queries
                 scratch.heap.push(Entry {
                     key: cand,

@@ -171,6 +171,20 @@ pub struct CorridorStats {
     pub relaxed: u64,
 }
 
+impl CorridorStats {
+    /// These counters mapped onto the workspace-wide [`td_obs::SearchStats`]
+    /// vocabulary, so profile searches export through the same telemetry
+    /// pipeline as the scalar/A* loops: skips become `corridor_kills`,
+    /// compounds become `relaxed`.
+    pub fn as_search_stats(&self) -> td_obs::SearchStats {
+        td_obs::SearchStats {
+            relaxed: self.relaxed,
+            corridor_kills: self.skipped,
+            ..td_obs::SearchStats::default()
+        }
+    }
+}
+
 /// Corridor-bounded profile search: [`profile_search_frozen`] plus the
 /// corridor win test. A candidate compound over edge `(u, v)` is linked and
 /// merged only if its scalar lower bound `min(dist[u]) + min_cost(e)` beats

@@ -12,6 +12,7 @@ use crate::budget::{BoundedCost, QueryBudget, RunStatus};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use td_graph::{FrozenGraph, Path, TdGraph, VertexId};
+use td_obs::SearchStats;
 use td_plf::eval_ids_at;
 
 /// Out-edge relaxations are batched in chunks of this many edges: prunes
@@ -58,6 +59,10 @@ pub struct DijkstraScratch {
     best: Vec<f64>,
     parent: Vec<VertexId>,
     heap: BinaryHeap<HeapEntry>,
+    /// Counters for the most recent frozen run, reset at query start. Plain
+    /// `u64`s resident in the scratch so the hot loop records without
+    /// touching shared state; callers export them via [`SearchStats::take`].
+    pub stats: SearchStats,
 }
 
 /// The travel cost of the shortest path `s → d` departing at `t`, or `None`
@@ -203,6 +208,7 @@ fn run_frozen(
         best,
         parent,
         heap,
+        stats,
     } = scratch;
     arrival.clear();
     arrival.resize(n, None);
@@ -211,6 +217,7 @@ fn run_frozen(
     parent.clear();
     parent.resize(n, u32::MAX);
     heap.clear();
+    stats.reset();
     best[s as usize] = t;
     // td-lint: allow(hot-alloc) heap retains warmed capacity across queries
     heap.push(HeapEntry {
@@ -236,6 +243,7 @@ fn run_frozen(
             return RunStatus::Exhausted { frontier_key: a };
         }
         settles += 1;
+        stats.settle(1);
         arrival[u as usize] = Some(a);
         if target == Some(u) {
             break;
@@ -265,6 +273,7 @@ fn run_frozen(
                 }
                 let lb = a + mins[idx];
                 if lb >= best[v as usize] || (target.is_some() && lb >= target_best) {
+                    stats.prune(1);
                     continue;
                 }
                 // debug_assert-documented indexing: m ≤ idx - base < RELAX_CHUNK.
@@ -274,6 +283,8 @@ fn run_frozen(
                 m += 1;
             }
             eval_ids_at(&fg.weights, &ids[..m], a, &mut vals[..m]);
+            stats.relax((stop - base) as u64);
+            stats.eval_batched(m as u64);
             for j in 0..m {
                 // debug_assert-documented indexing: j < m ≤ RELAX_CHUNK, and
                 // slots[j] was written from an in-range idx above.
@@ -288,6 +299,7 @@ fn run_frozen(
                     if target == Some(v) {
                         target_best = cand;
                     }
+                    stats.heap_push(1);
                     // td-lint: allow(hot-alloc) heap retains warmed capacity across queries
                     heap.push(HeapEntry {
                         arrival: cand,
@@ -308,6 +320,7 @@ fn run(scratch: &mut DijkstraScratch, g: &TdGraph, s: VertexId, target: Option<V
         best,
         parent,
         heap,
+        ..
     } = scratch;
     arrival.clear();
     arrival.resize(n, None);

@@ -37,6 +37,18 @@ struct SweepScratch {
     slots: Vec<u32>,
     /// Batched evaluations, parallel to `ids`.
     vals: Vec<f64>,
+    /// Per-query counters (reset by `query_cost_with`, drained through
+    /// [`GtreeScratch::take_search_stats`]): matrix-entry relaxations,
+    /// batched evaluations and min-bound prunes of the sweep.
+    stats: td_obs::SearchStats,
+}
+
+impl GtreeScratch {
+    /// Drains (returns and resets) the counters the most recent
+    /// [`TdGtree::query_cost_with`] left behind.
+    pub fn take_search_stats(&mut self) -> td_obs::SearchStats {
+        self.sweep.stats.take()
+    }
 }
 
 /// Configuration of the TD-G-tree.
@@ -232,6 +244,7 @@ impl TdGtree {
         d: VertexId,
         t: f64,
     ) -> Option<f64> {
+        scratch.sweep.stats.reset();
         if s == d {
             return Some(0.0);
         }
@@ -240,6 +253,7 @@ impl TdGtree {
         let ld = self.pt.leaf_of[d as usize];
         if ls == ld {
             // Same-leaf: the refined leaf matrix is globally exact.
+            scratch.sweep.stats.eval_scalar(1);
             return self.mats[ls].entry_frozen(s, d).map(|(f, _)| f.eval(t));
         }
         let GtreeScratch {
@@ -256,6 +270,7 @@ impl TdGtree {
         cur.clear();
         for &b in &self.pt.nodes[ls].borders {
             if let Some((f, _)) = self.mats[ls].entry_frozen(s, b) {
+                sweep.stats.eval_scalar(1);
                 let a = t + f.eval(t);
                 cur.entry(b).and_modify(|x| *x = x.min(a)).or_insert(a);
             }
@@ -271,8 +286,10 @@ impl TdGtree {
             if let Some((f, min)) = self.mats[ld].entry_frozen(b, d) {
                 // Lower-bound prune: the final hop costs at least `min`.
                 if best.is_some_and(|x| a + min >= x) {
+                    sweep.stats.prune(1);
                     continue;
                 }
+                sweep.stats.eval_scalar(1);
                 let total = a + f.eval(a);
                 if best.is_none_or(|x| total < x) {
                     best = Some(total);
@@ -677,7 +694,11 @@ fn relax_scalar_into(
             }
             debug_assert!(row * k + col < m.ids.len());
             let id = m.ids[row * k + col];
-            if id == NO_PLF || a + m.arena.min_cost(id) >= sweep.best[j] {
+            if id == NO_PLF {
+                continue;
+            }
+            if a + m.arena.min_cost(id) >= sweep.best[j] {
+                sweep.stats.prune(1);
                 continue;
             }
             debug_assert!(cnt < sweep.ids.len());
@@ -687,6 +708,8 @@ fn relax_scalar_into(
         }
         // … evaluate them in one batched arena pass …
         eval_ids_at(&m.arena, &sweep.ids[..cnt], a, &mut sweep.vals[..cnt]);
+        sweep.stats.relax(nt as u64);
+        sweep.stats.eval_batched(cnt as u64);
         // … and fold the candidates into the running bests.
         for i in 0..cnt {
             debug_assert!(i < sweep.slots.len() && i < sweep.vals.len());

@@ -5,6 +5,7 @@
 //! | `hot-panic`    | R1     | panic path (`unwrap`, `expect`, `panic!`, `assert!`, …) in a hot region |
 //! | `hot-alloc`    | R1     | allocation idiom (`Vec::new`, `.push`, `.collect`, `.clone`, `format!`, …) in a hot region |
 //! | `hot-index`    | R1     | `[]` indexing in a hot function with no `debug_assert!` bound check in that function |
+//! | `hot-obs`      | R1     | metrics-registry call (`metrics()`, `phase()`, `.counter()`, `.render_prometheus()`, …) in a hot region — hot code records via scratch-resident `SearchStats` only |
 //! | `unsafe-forbid`| R2     | crate root missing `#![forbid(unsafe_code)]` (or `#![deny]` for allowlisted crates) |
 //! | `unsafe-safety`| R2     | `unsafe` with no `// SAFETY:` / `# Safety` comment nearby |
 //! | `reader-lock`  | R3     | `Mutex`/`RwLock`/`mpsc`/`.lock()` in a `reader-path` file |
@@ -29,6 +30,7 @@ pub const KNOWN_RULES: &[&str] = &[
     "hot-panic",
     "hot-alloc",
     "hot-index",
+    "hot-obs",
     "unsafe-forbid",
     "unsafe-safety",
     "reader-lock",
@@ -61,6 +63,21 @@ const HOT_ALLOC_METHODS: &[&str] = &[
 ];
 /// Macros that allocate (R1).
 const HOT_ALLOC_MACROS: &[&str] = &["format", "vec"];
+/// Registry-side telemetry methods banned in hot regions (R1): they take
+/// the registry lock or allocate. Hot code fills scratch-resident
+/// `SearchStats` recorders; exports happen per query at the serving layer.
+const HOT_OBS_METHODS: &[&str] = &[
+    "counter",
+    "counter_with",
+    "gauge",
+    "histogram_seconds",
+    "histogram_seconds_with",
+    "declare",
+    "render_prometheus",
+];
+/// Catalog entry points banned in hot regions (R1), called bare or
+/// path-qualified (`td_obs::metrics()` / `td_obs::phase(...)`).
+const HOT_OBS_FNS: &[&str] = &["metrics", "phase"];
 /// Container types whose constructors are banned in hot regions (R1).
 const HOT_ALLOC_TYPES: &[&str] = &[
     "Vec",
@@ -274,6 +291,16 @@ pub fn check_file(rel_path: &str, src: &str, config: &Config) -> FileReport {
                             "hot-alloc",
                             format!("`.{name}()` may allocate inside a hot region"),
                         ));
+                    } else if HOT_OBS_METHODS.contains(&name) && !allowed("hot-obs", line) {
+                        diagnostics.push(Diagnostic::new(
+                            rel_path,
+                            line,
+                            "hot-obs",
+                            format!(
+                                "`.{name}()` touches the metrics registry inside a hot \
+                                 region; record via scratch-resident `SearchStats` instead"
+                            ),
+                        ));
                     }
                 }
                 if reader_path
@@ -326,6 +353,24 @@ pub fn check_file(rel_path: &str, src: &str, config: &Config) -> FileReport {
                             ),
                         ));
                     }
+                }
+                // `metrics(` / `td_obs::phase(` — catalog entry points lock
+                // the registry or read the clock; hot code must not.
+                if HOT_OBS_FNS.contains(&name)
+                    && hot_span_of(i).is_some()
+                    && code.get(i + 1).is_some_and(|n| n.is_punct('('))
+                    && (i == 0 || !code[i - 1].is_punct('.'))
+                    && !allowed("hot-obs", line)
+                {
+                    diagnostics.push(Diagnostic::new(
+                        rel_path,
+                        line,
+                        "hot-obs",
+                        format!(
+                            "`{name}(...)` reaches the metric catalog inside a hot region; \
+                             record via scratch-resident `SearchStats` instead"
+                        ),
+                    ));
                 }
                 // `Type::ctor(` — a container constructor.
                 if HOT_ALLOC_TYPES.contains(&name)

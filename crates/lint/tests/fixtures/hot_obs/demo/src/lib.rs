@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+
+// td-lint: hot
+pub fn settle(n: u64) -> u64 {
+    let m = td_obs::metrics();
+    m.queries_total.get() + n
+}

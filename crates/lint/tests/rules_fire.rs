@@ -45,6 +45,11 @@ fn hot_index_fires() {
 }
 
 #[test]
+fn hot_obs_fires() {
+    expect("hot_obs", &[("demo/src/lib.rs", 5, "hot-obs")]);
+}
+
+#[test]
 fn unsafe_forbid_fires() {
     expect("unsafe_forbid", &[("demo/src/lib.rs", 1, "unsafe-forbid")]);
 }

@@ -1,0 +1,244 @@
+//! The process-wide metric catalog.
+//!
+//! Every family the workspace emits is registered up front in
+//! [`Metrics::new`], so a scrape's metric-*name* set is deterministic: it
+//! never depends on which code paths a particular workload happened to
+//! exercise. Handles are plain fields — the serving path reads them through
+//! the `&'static Metrics` returned by [`metrics`] without ever touching the
+//! registry lock.
+
+use std::sync::{Arc, OnceLock};
+
+use crate::metric::{Counter, Gauge, Histogram};
+use crate::registry::Registry;
+use crate::span::PhaseTimer;
+use crate::stats::{QueryTrace, SearchStats};
+
+/// Handles to every metric family the workspace emits.
+pub struct Metrics {
+    pub registry: Registry,
+
+    // -- search (per-query counters, exported from `SearchStats`) --
+    pub search_settled: Arc<Counter>,
+    pub search_relaxed: Arc<Counter>,
+    pub search_plf_evals_scalar: Arc<Counter>,
+    pub search_plf_evals_batched: Arc<Counter>,
+    pub search_minbound_prunes: Arc<Counter>,
+    pub search_corridor_kills: Arc<Counter>,
+    pub search_heap_pushes: Arc<Counter>,
+
+    // -- queries --
+    pub queries_total: Arc<Counter>,
+    pub query_latency_seconds: Arc<Histogram>,
+
+    // -- degradation ladder --
+    pub ladder_exact: Arc<Counter>,
+    pub ladder_approximate: Arc<Counter>,
+    pub ladder_budget_exhausted: Arc<Counter>,
+    pub ladder_panicked: Arc<Counter>,
+    pub ladder_invalid: Arc<Counter>,
+
+    // -- live index lifecycle --
+    pub live_epoch: Arc<Gauge>,
+    pub live_updates_total: Arc<Counter>,
+    pub live_rollbacks_total: Arc<Counter>,
+    pub live_update_seconds: Arc<Histogram>,
+
+    // -- snapshots --
+    pub snapshot_save_seconds: Arc<Histogram>,
+    pub snapshot_load_seconds: Arc<Histogram>,
+    pub snapshot_fallback_total: Arc<Counter>,
+}
+
+const LADDER: &str = "td_ladder_outcomes_total";
+const LADDER_HELP: &str = "Degradation-ladder outcomes of bounded queries";
+const PHASE: &str = "td_phase_seconds";
+const PHASE_HELP: &str = "Wall time of coarse build/customization/load phases";
+
+impl Metrics {
+    fn new() -> Metrics {
+        let r = Registry::new();
+        let m = Metrics {
+            search_settled: r.counter(
+                "td_search_settled_total",
+                "Vertices settled by search loops",
+            ),
+            search_relaxed: r.counter(
+                "td_search_relaxed_total",
+                "Edge relaxations attempted by search loops",
+            ),
+            search_plf_evals_scalar: r.counter(
+                "td_search_plf_evals_scalar_total",
+                "PLF evaluations through the scalar path",
+            ),
+            search_plf_evals_batched: r.counter(
+                "td_search_plf_evals_batched_total",
+                "PLF evaluations through the batched eval_ids_at kernel",
+            ),
+            search_minbound_prunes: r.counter(
+                "td_search_minbound_prunes_total",
+                "Arcs skipped by min-cost / potential lower-bound pruning",
+            ),
+            search_corridor_kills: r.counter(
+                "td_search_corridor_kills_total",
+                "Profile labels skipped by the corridor filter",
+            ),
+            search_heap_pushes: r.counter(
+                "td_search_heap_pushes_total",
+                "Heap pushes (successful label improvements)",
+            ),
+            queries_total: r.counter(
+                "td_queries_total",
+                "Queries answered through the query APIs",
+            ),
+            query_latency_seconds: r
+                .histogram_seconds("td_query_latency_seconds", "End-to-end per-query wall time"),
+            ladder_exact: r.counter_with(LADDER, LADDER_HELP, "outcome", "exact"),
+            ladder_approximate: r.counter_with(LADDER, LADDER_HELP, "outcome", "approximate"),
+            ladder_budget_exhausted: r.counter_with(
+                LADDER,
+                LADDER_HELP,
+                "outcome",
+                "budget_exhausted",
+            ),
+            ladder_panicked: r.counter_with(LADDER, LADDER_HELP, "outcome", "panicked"),
+            ladder_invalid: r.counter_with(LADDER, LADDER_HELP, "outcome", "invalid"),
+            live_epoch: r.gauge("td_live_epoch", "Epoch of the most recent LiveIndex update"),
+            live_updates_total: r.counter(
+                "td_live_updates_total",
+                "LiveIndex updates applied successfully",
+            ),
+            live_rollbacks_total: r.counter(
+                "td_live_rollbacks_total",
+                "LiveIndex updates rolled back after a panic",
+            ),
+            live_update_seconds: r.histogram_seconds(
+                "td_live_update_seconds",
+                "Wall time of LiveIndex try_apply (repair + swap)",
+            ),
+            snapshot_save_seconds: r.histogram_seconds(
+                "td_snapshot_save_seconds",
+                "Wall time of crash-consistent snapshot saves",
+            ),
+            snapshot_load_seconds: r.histogram_seconds(
+                "td_snapshot_load_seconds",
+                "Wall time of snapshot loads (including fallback probing)",
+            ),
+            snapshot_fallback_total: r.counter(
+                "td_snapshot_fallback_total",
+                "Snapshot loads served from the .tdx.prev generation",
+            ),
+            registry: Registry::new(), // placeholder, replaced below
+        };
+        // Phase spans attach labeled children lazily; declare the family so
+        // the scrape's name set does not depend on which phases ran.
+        r.declare(PHASE, PHASE_HELP, true, "phase");
+        Metrics { registry: r, ..m }
+    }
+
+    /// Exports one query's search counters onto the worker's shard.
+    #[inline]
+    pub fn record_search(&self, shard: usize, st: &SearchStats) {
+        self.search_settled.add_shard(shard, st.settled);
+        self.search_relaxed.add_shard(shard, st.relaxed);
+        self.search_plf_evals_scalar
+            .add_shard(shard, st.plf_evals_scalar);
+        self.search_plf_evals_batched
+            .add_shard(shard, st.plf_evals_batched);
+        self.search_minbound_prunes
+            .add_shard(shard, st.minbound_prunes);
+        self.search_corridor_kills
+            .add_shard(shard, st.corridor_kills);
+        self.search_heap_pushes.add_shard(shard, st.heap_pushes);
+    }
+
+    /// Exports one query's full trace (latency + search counters) onto the
+    /// worker's shard.
+    #[inline]
+    pub fn record_query(&self, shard: usize, trace: &QueryTrace) {
+        self.queries_total.add_shard(shard, 1);
+        self.query_latency_seconds.observe_shard(shard, trace.nanos);
+        self.record_search(shard, &trace.stats);
+    }
+}
+
+/// The process-wide catalog. First call registers every family; later calls
+/// are a single atomic load.
+pub fn metrics() -> &'static Metrics {
+    static METRICS: OnceLock<Metrics> = OnceLock::new();
+    METRICS.get_or_init(Metrics::new)
+}
+
+/// Starts an RAII span that records into the labeled
+/// `td_phase_seconds{phase="<name>"}` histogram on drop.
+///
+/// Cold paths only (build, customize, snapshot I/O): the first call per
+/// label takes the registry lock to create the child.
+pub fn phase(name: &'static str) -> PhaseTimer {
+    let m = metrics();
+    PhaseTimer::observing(
+        m.registry
+            .histogram_seconds_with(PHASE, PHASE_HELP, "phase", name),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_registers_every_family_up_front() {
+        let text = metrics().registry.render_prometheus();
+        for name in [
+            "td_search_settled_total",
+            "td_search_relaxed_total",
+            "td_search_plf_evals_scalar_total",
+            "td_search_plf_evals_batched_total",
+            "td_search_minbound_prunes_total",
+            "td_search_corridor_kills_total",
+            "td_search_heap_pushes_total",
+            "td_queries_total",
+            "td_query_latency_seconds",
+            "td_ladder_outcomes_total",
+            "td_live_epoch",
+            "td_live_updates_total",
+            "td_live_rollbacks_total",
+            "td_live_update_seconds",
+            "td_snapshot_save_seconds",
+            "td_snapshot_load_seconds",
+            "td_snapshot_fallback_total",
+            "td_phase_seconds",
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {name} ")),
+                "family {name} missing from scrape"
+            );
+        }
+    }
+
+    #[test]
+    fn phase_span_attaches_a_labeled_child() {
+        {
+            let _t = phase("unit_test_phase");
+        }
+        let text = metrics().registry.render_prometheus();
+        assert!(text.contains("td_phase_seconds_count{phase=\"unit_test_phase\"} "));
+    }
+
+    #[test]
+    fn record_query_feeds_counters_and_latency() {
+        let m = metrics();
+        let before = m.queries_total.get();
+        let trace = QueryTrace {
+            stats: SearchStats {
+                settled: 5,
+                ..SearchStats::default()
+            },
+            nanos: 1_000,
+        };
+        m.record_query(7, &trace);
+        assert_eq!(m.queries_total.get(), before + 1);
+        assert!(m.search_settled.get() >= 5);
+        assert!(m.query_latency_seconds.snapshot().count() >= 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! # td-obs — zero-overhead query/serving telemetry
+//!
+//! Bottom-of-stack observability for the time-dependent routing workspace:
+//! sharded [`Counter`]s and [`Gauge`]s on relaxed atomics, a log-bucketed
+//! latency [`Histogram`] with p50/p95/p99/max readout, RAII [`PhaseTimer`]
+//! spans, a scratch-resident [`SearchStats`] recorder for the `td-lint:
+//! hot` search loops, and a [`Registry`] with a deterministic
+//! Prometheus-text exposition ([`Registry::render_prometheus`]).
+//!
+//! Design rules (see `crates/obs/README.md` for the full story):
+//!
+//! * **No contention on the hot path.** Counters and histograms hold
+//!   [`SHARDS`] cache-line-padded cells; workers write their own shard with
+//!   `Relaxed` atomics and shards are merged only at scrape time.
+//! * **No allocation after registration.** Handles are `Arc`s captured at
+//!   startup; the write side is pure atomic arithmetic.
+//! * **Nothing shared inside the tagged loops.** The frozen search loops
+//!   record into plain-`u64` [`SearchStats`] fields resident in the query
+//!   scratch; totals are exported to the shards once per query, outside the
+//!   loop.
+//! * **Compile-out.** With the `disabled` cargo feature, every
+//!   [`SearchStats`] recorder method is an empty `#[inline(always)]` body
+//!   and [`ENABLED`] is `false` so callers can gate their clock reads and
+//!   shard exports out entirely.
+
+#![forbid(unsafe_code)]
+
+mod catalog;
+mod metric;
+mod registry;
+mod span;
+mod stats;
+
+pub use catalog::{metrics, phase, Metrics};
+pub use metric::{
+    bucket_bound, bucket_of, Counter, Gauge, HistSnapshot, Histogram, BUCKETS, SHARDS,
+};
+pub use registry::Registry;
+pub use span::PhaseTimer;
+pub use stats::{QueryTrace, SearchStats};
+
+/// `false` when the crate is built with the `disabled` feature: recorder
+/// methods are no-ops and callers should skip clock reads / shard exports
+/// (`if td_obs::ENABLED { ... }` compiles the block out).
+pub const ENABLED: bool = cfg!(not(feature = "disabled"));

@@ -1,0 +1,90 @@
+//! RAII phase spans for the cold paths (build, customization, snapshot
+//! I/O): start a [`PhaseTimer`], drop it (or [`PhaseTimer::stop`] it) when
+//! the phase ends.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::metric::Histogram;
+
+/// A wall-clock span. Two modes:
+///
+/// * [`PhaseTimer::observing`] — on drop, records the elapsed nanoseconds
+///   into a histogram (the RAII phase-span pattern).
+/// * [`PhaseTimer::start`] — a plain stopwatch; read it with
+///   [`PhaseTimer::elapsed`] or [`PhaseTimer::stop`].
+#[must_use = "a PhaseTimer measures the span it is alive for"]
+pub struct PhaseTimer {
+    start: Instant,
+    sink: Option<Arc<Histogram>>,
+}
+
+impl PhaseTimer {
+    /// A stopwatch with no metric sink.
+    pub fn start() -> PhaseTimer {
+        PhaseTimer {
+            start: Instant::now(),
+            sink: None,
+        }
+    }
+
+    /// A span that observes its elapsed nanoseconds into `sink` on drop.
+    pub fn observing(sink: Arc<Histogram>) -> PhaseTimer {
+        PhaseTimer {
+            start: Instant::now(),
+            sink: Some(sink),
+        }
+    }
+
+    /// Elapsed time so far.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Ends the span now, recording into the sink (if any), and returns the
+    /// elapsed time.
+    pub fn stop(mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        if let Some(sink) = self.sink.take() {
+            sink.observe(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+        }
+        elapsed
+    }
+}
+
+impl Drop for PhaseTimer {
+    fn drop(&mut self) {
+        if let Some(sink) = self.sink.take() {
+            sink.observe(self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observing_records_on_drop() {
+        let h = Arc::new(Histogram::new());
+        {
+            let _t = PhaseTimer::observing(Arc::clone(&h));
+        }
+        assert_eq!(h.snapshot().count(), 1);
+    }
+
+    #[test]
+    fn stop_records_once() {
+        let h = Arc::new(Histogram::new());
+        let t = PhaseTimer::observing(Arc::clone(&h));
+        let _elapsed = t.stop(); // drop after stop must not double-record
+        assert_eq!(h.snapshot().count(), 1);
+    }
+
+    #[test]
+    fn stopwatch_has_no_sink() {
+        let t = PhaseTimer::start();
+        let _ = t.elapsed();
+        let _ = t.stop(); // no panic, nothing recorded anywhere
+    }
+}

@@ -1,0 +1,141 @@
+//! Scratch-resident search statistics.
+//!
+//! The frozen search loops are tagged `// td-lint: hot`: no allocation, no
+//! locks, no shared atomics. [`SearchStats`] therefore lives *inside* the
+//! per-query scratch as plain `u64` fields; the loops bump them through
+//! `#[inline(always)]` recorder methods, and the caller exports the totals
+//! to the sharded registry counters once per query. Under the `disabled`
+//! feature every recorder body compiles to nothing, so the loops are
+//! bit-identical to the uninstrumented build.
+
+/// Per-query search counters, filled by the scalar / A* / bidirectional /
+/// profile loops and exported once per query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Vertices settled (popped with a final label).
+    pub settled: u64,
+    /// Edge relaxations attempted (out-arcs scanned at settled vertices;
+    /// pruned arcs count here and under `minbound_prunes`).
+    pub relaxed: u64,
+    /// PLF evaluations done one breakpoint scan at a time.
+    pub plf_evals_scalar: u64,
+    /// PLF evaluations done through the batched `eval_ids_at` kernel.
+    pub plf_evals_batched: u64,
+    /// Arcs skipped by the `min_cost` / potential lower-bound prune.
+    pub minbound_prunes: u64,
+    /// Profile-search label extractions skipped by the corridor filter.
+    pub corridor_kills: u64,
+    /// Heap pushes (successful label improvements).
+    pub heap_pushes: u64,
+}
+
+macro_rules! recorder {
+    ($(#[$doc:meta])* $name:ident, $field:ident) => {
+        $(#[$doc])*
+        #[inline(always)]
+        pub fn $name(&mut self, n: u64) {
+            #[cfg(not(feature = "disabled"))]
+            {
+                self.$field += n;
+            }
+            #[cfg(feature = "disabled")]
+            let _ = n;
+        }
+    };
+}
+
+impl SearchStats {
+    recorder!(
+        /// Records `n` settled vertices.
+        settle, settled);
+    recorder!(
+        /// Records `n` attempted relaxations.
+        relax, relaxed);
+    recorder!(
+        /// Records `n` scalar PLF evaluations.
+        eval_scalar, plf_evals_scalar);
+    recorder!(
+        /// Records `n` batched PLF evaluations.
+        eval_batched, plf_evals_batched);
+    recorder!(
+        /// Records `n` lower-bound prunes.
+        prune, minbound_prunes);
+    recorder!(
+        /// Records `n` corridor kills.
+        corridor_kill, corridor_kills);
+    recorder!(
+        /// Records `n` heap pushes.
+        heap_push, heap_pushes);
+
+    /// Resets every field (start of a query).
+    #[inline(always)]
+    pub fn reset(&mut self) {
+        *self = SearchStats::default();
+    }
+
+    /// Returns the current totals and resets (end of a query).
+    #[inline(always)]
+    pub fn take(&mut self) -> SearchStats {
+        std::mem::take(self)
+    }
+
+    /// Adds another query's totals into this accumulator.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.settled += other.settled;
+        self.relaxed += other.relaxed;
+        self.plf_evals_scalar += other.plf_evals_scalar;
+        self.plf_evals_batched += other.plf_evals_batched;
+        self.minbound_prunes += other.minbound_prunes;
+        self.corridor_kills += other.corridor_kills;
+        self.heap_pushes += other.heap_pushes;
+    }
+}
+
+/// A single query's trace: its search counters plus wall time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryTrace {
+    pub stats: SearchStats,
+    /// Wall time of the query in nanoseconds.
+    pub nanos: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorders_accumulate_and_take_resets() {
+        let mut st = SearchStats::default();
+        st.settle(2);
+        st.relax(10);
+        st.heap_push(3);
+        if crate::ENABLED {
+            assert_eq!(st.settled, 2);
+            assert_eq!(st.relaxed, 10);
+            assert_eq!(st.heap_pushes, 3);
+        } else {
+            assert_eq!(st, SearchStats::default());
+        }
+        let taken = st.take();
+        assert_eq!(st, SearchStats::default());
+        assert_eq!(taken.settled, if crate::ENABLED { 2 } else { 0 });
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = SearchStats {
+            settled: 1,
+            relaxed: 2,
+            plf_evals_scalar: 3,
+            plf_evals_batched: 4,
+            minbound_prunes: 5,
+            corridor_kills: 6,
+            heap_pushes: 7,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.settled, 2);
+        assert_eq!(a.corridor_kills, 12);
+        assert_eq!(a.heap_pushes, 14);
+    }
+}

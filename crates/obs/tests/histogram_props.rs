@@ -1,0 +1,112 @@
+//! Histogram edge cases and shard-merge properties (ISSUE 9 satellite).
+
+use proptest::prelude::*;
+use td_obs::{bucket_bound, bucket_of, HistSnapshot, Histogram, BUCKETS, SHARDS};
+
+#[test]
+fn zero_observations() {
+    let h = Histogram::new();
+    let s = h.snapshot();
+    assert_eq!(s.count(), 0);
+    assert_eq!(s.sum, 0);
+    assert_eq!(s.max, 0);
+    assert_eq!(s.quantile(0.5), 0);
+    assert_eq!(s.percentiles(), [0, 0, 0, 0]);
+}
+
+#[test]
+fn single_observation_every_quantile_is_it() {
+    for v in [0u64, 1, 2, 1023, 1024, u64::MAX] {
+        let h = Histogram::new();
+        h.observe(v);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.max, v);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let est = s.quantile(q);
+            // The estimate is the bucket bound clamped by the exact max,
+            // so with one observation it is exact.
+            assert_eq!(est, v, "q={q} v={v}");
+        }
+    }
+}
+
+#[test]
+fn extreme_values_stay_in_range() {
+    // Below the first bound (0 and 1 share bucket 0) and at the top of the
+    // u64 range: nothing falls outside the fixed bucket array.
+    let h = Histogram::new();
+    h.observe(0);
+    h.observe(1);
+    h.observe(u64::MAX);
+    h.observe(u64::MAX - 1);
+    let s = h.snapshot();
+    assert_eq!(s.count(), 4);
+    assert_eq!(s.buckets[0], 2);
+    assert_eq!(s.buckets[BUCKETS - 1], 2);
+    assert_eq!(s.max, u64::MAX);
+    assert_eq!(bucket_of(0), 0);
+    assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    assert_eq!(bucket_bound(BUCKETS - 1), u64::MAX);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Spreading observations round-robin over shards yields the same
+    /// merged snapshot as putting them all on shard 0.
+    #[test]
+    fn interleaved_shards_equal_single_shard(values in proptest::collection::vec(0u64..u64::MAX, 0..200)) {
+        let spread = Histogram::new();
+        let single = Histogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            spread.observe_shard(i, v);
+            single.observe(v);
+        }
+        prop_assert_eq!(spread.snapshot(), single.snapshot());
+    }
+
+    /// Merging disjoint per-shard snapshots equals the snapshot of the
+    /// interleaved whole: merge is bucket-wise addition, order-free.
+    #[test]
+    fn disjoint_merge_equals_interleaved(values in proptest::collection::vec(0u64..u64::MAX, 0..200)) {
+        // Interleaved: one histogram receiving everything.
+        let whole = Histogram::new();
+        // Disjoint: one histogram per shard slot, merged by hand.
+        let mut parts: Vec<Histogram> = (0..SHARDS).map(|_| Histogram::new()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            whole.observe_shard(i, v);
+            parts[i % SHARDS].observe(v);
+        }
+        let mut merged = HistSnapshot::default();
+        for p in &mut parts {
+            merged.merge(&p.snapshot());
+        }
+        prop_assert_eq!(merged, whole.snapshot());
+    }
+
+    /// Count/sum/max bookkeeping matches a direct fold, and every quantile
+    /// estimate is bounded by the exact max.
+    #[test]
+    fn snapshot_invariants(values in proptest::collection::vec(0u64..(1u64 << 40), 1..100)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count(), values.len() as u64);
+        prop_assert_eq!(s.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(s.max, *values.iter().max().unwrap());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let est = s.quantile(q);
+            prop_assert!(est <= s.max);
+            // The estimate never undershoots the true quantile's bucket
+            // lower bound: it is an upper bound of the right bucket.
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            prop_assert!(est >= truth || est == s.max, "q={} est={} truth={}", q, est, truth);
+        }
+    }
+}

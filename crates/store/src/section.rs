@@ -350,6 +350,9 @@ pub struct SectionInfo {
     pub bytes: u64,
     /// The stored CRC32.
     pub crc: u32,
+    /// Wall time spent reading and checksumming this section, in seconds
+    /// (the read-side cost `tdx inspect` reports per section).
+    pub load_secs: f64,
 }
 
 /// Walks a body's sections without interpreting them, verifying each CRC,
@@ -358,6 +361,7 @@ pub struct SectionInfo {
 pub fn walk_sections<R: Read>(r: &mut R) -> Result<Vec<SectionInfo>, StoreError> {
     let mut out = Vec::new();
     loop {
+        let timer = td_obs::PhaseTimer::start();
         let h = read_section_header(r)?;
         // Section headers sit outside the payload checksums, so a damaged
         // type code must be rejected here — `elem_size` of an unknown code
@@ -407,6 +411,7 @@ pub fn walk_sections<R: Read>(r: &mut R) -> Result<Vec<SectionInfo>, StoreError>
             count: h.count,
             bytes: len,
             crc: stored,
+            load_secs: timer.stop().as_secs_f64(),
         });
     }
 }
