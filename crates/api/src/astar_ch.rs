@@ -37,6 +37,18 @@ pub struct AStarChScratch {
     pub(crate) search: AStarScratch,
 }
 
+impl AStarChScratch {
+    /// Restores a logically fresh state after a contained panic while
+    /// keeping every warmed allocation (see [`AStarScratch::sanitize`] and
+    /// [`ChPotentialScratch::sanitize`]): generation stamps make all torn
+    /// values unreachable, and capacity — the workload's high-water mark —
+    /// survives, so post-panic batches allocate nothing extra.
+    pub fn sanitize(&mut self) {
+        self.potential.sanitize();
+        self.search.sanitize();
+    }
+}
+
 /// TD-A\* over the frozen CSR/arena layout with lazy CH potentials.
 #[derive(Clone)]
 pub struct AStarChIndex {

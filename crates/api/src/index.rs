@@ -187,6 +187,101 @@ pub trait RoutingIndex: Send + Sync {
     }
 }
 
+// A boxed index (what `load_index` returns) is itself a `RoutingIndex`, so
+// generic consumers with `I: RoutingIndex + Sized` bounds — `LiveIndex<I>`,
+// `TdServer<I>` — can serve a `Box<dyn RoutingIndex>` without re-dispatching
+// on the backend. Every method forwards to the inner implementation,
+// defaults included, so overrides are never shadowed by the trait defaults.
+impl<T: RoutingIndex + ?Sized> RoutingIndex for Box<T> {
+    fn backend_name(&self) -> &'static str {
+        (**self).backend_name()
+    }
+    fn graph(&self) -> &TdGraph {
+        (**self).graph()
+    }
+    fn query_cost(&self, s: VertexId, d: VertexId, t: f64) -> Option<f64> {
+        (**self).query_cost(s, d, t)
+    }
+    fn query_profile(&self, s: VertexId, d: VertexId) -> Option<Plf> {
+        (**self).query_profile(s, d)
+    }
+    fn query_path(&self, s: VertexId, d: VertexId, t: f64) -> Option<(f64, Path)> {
+        (**self).query_path(s, d, t)
+    }
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+    fn build_stats(&self) -> IndexStats {
+        (**self).build_stats()
+    }
+    fn new_scratch(&self) -> SessionScratch {
+        (**self).new_scratch()
+    }
+    fn query_cost_in(
+        &self,
+        scratch: &mut SessionScratch,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+    ) -> Option<f64> {
+        (**self).query_cost_in(scratch, s, d, t)
+    }
+    fn query_profile_in(
+        &self,
+        scratch: &mut SessionScratch,
+        s: VertexId,
+        d: VertexId,
+    ) -> Option<Plf> {
+        (**self).query_profile_in(scratch, s, d)
+    }
+    fn query_path_in(
+        &self,
+        scratch: &mut SessionScratch,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+    ) -> Option<(f64, Path)> {
+        (**self).query_path_in(scratch, s, d, t)
+    }
+    fn query_cost_bounded(
+        &self,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+        budget: &QueryBudget,
+    ) -> Result<BoundedAnswer, QueryError> {
+        (**self).query_cost_bounded(s, d, t, budget)
+    }
+    fn query_cost_bounded_in(
+        &self,
+        scratch: &mut SessionScratch,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+        budget: &QueryBudget,
+    ) -> Result<BoundedAnswer, QueryError> {
+        (**self).query_cost_bounded_in(scratch, s, d, t, budget)
+    }
+    fn take_search_stats(&self, scratch: &mut SessionScratch) -> Option<SearchStats> {
+        (**self).take_search_stats(scratch)
+    }
+    fn query_cost_traced(&self, s: VertexId, d: VertexId, t: f64) -> (Option<f64>, QueryTrace) {
+        (**self).query_cost_traced(s, d, t)
+    }
+    fn query_cost_traced_in(
+        &self,
+        scratch: &mut SessionScratch,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+    ) -> (Option<f64>, QueryTrace) {
+        (**self).query_cost_traced_in(scratch, s, d, t)
+    }
+    fn write_snapshot(&self, w: &mut dyn std::io::Write) -> Result<(), td_store::StoreError> {
+        (**self).write_snapshot(w)
+    }
+}
+
 /// Extension methods that need `Self: Sized` (use [`QuerySession::new`]
 /// directly on `dyn RoutingIndex`).
 pub trait RoutingIndexExt: RoutingIndex + Sized {

@@ -45,6 +45,29 @@ pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Builds the replacement for a scratch torn by a panic: a fresh scratch,
+/// pre-warmed by one contained probe query so its arrays are already sized
+/// to the graph. Without the probe the worker's first post-panic query pays
+/// the cold-start allocations a warmed pool exists to avoid (the
+/// `budget_overhead` bench gates this path). If the probe itself panics
+/// (a hostile index may fail deterministically on it), fall back to the
+/// cold scratch — correctness first, warmth best-effort.
+fn replacement_scratch<I: RoutingIndex + ?Sized>(index: &I) -> SessionScratch {
+    let mut scratch = index.new_scratch();
+    let n = index.graph().num_vertices();
+    if n > 0 {
+        let d = (n - 1) as VertexId;
+        let probe = catch_unwind(AssertUnwindSafe(|| {
+            index.query_cost_in(&mut scratch, 0, d, 0.0);
+            index.take_search_stats(&mut scratch);
+        }));
+        if probe.is_err() {
+            return index.new_scratch();
+        }
+    }
+    scratch
+}
+
 /// Shared write access to disjoint result slots. The atomic cursor in
 /// [`ParallelExecutor::run`] hands each index to exactly one worker, so
 /// writes never alias; the wrapper only exists to move the raw pointer
@@ -200,8 +223,11 @@ impl<'a, I: RoutingIndex + ?Sized> ParallelExecutor<'a, I> {
     /// poisoned query (a backend bug, a corrupt weight) surfaces as a typed
     /// [`QueryError::Panicked`] in its own slot while the other results of
     /// the batch arrive untouched and bit-identical to a clean run. A
-    /// worker whose scratch was mid-mutation when the panic unwound gets a
-    /// fresh scratch, so later queries never see torn state.
+    /// worker whose scratch was mid-mutation when the panic unwound has it
+    /// sanitized in place (generation stamps make torn state unreachable
+    /// while the warmed capacity survives) or replaced with a probe-warmed
+    /// fresh one, so later queries never see torn state and post-panic
+    /// batches don't re-pay the warm-up allocations.
     pub fn try_query_batch(
         &mut self,
         queries: &[CostQuery],
@@ -228,9 +254,13 @@ impl<'a, I: RoutingIndex + ?Sized> ParallelExecutor<'a, I> {
             })) {
                 Ok(cost) => Ok(cost),
                 Err(payload) => {
-                    // The scratch may hold half-written search state;
-                    // replace it rather than reuse it.
-                    *scratch = index.new_scratch();
+                    // The scratch may hold half-written search state:
+                    // sanitize it in place (keeps the warmed capacity) or,
+                    // for backends without wholesale invalidation, replace
+                    // it with a probe-warmed fresh one.
+                    if !scratch.try_sanitize() {
+                        *scratch = replacement_scratch(index);
+                    }
                     if td_obs::ENABLED {
                         td_obs::metrics().ladder_panicked.add_shard(w, 1);
                     }
@@ -251,17 +281,48 @@ impl<'a, I: RoutingIndex + ?Sized> ParallelExecutor<'a, I> {
         queries: &[CostQuery],
         budget: &QueryBudget,
     ) -> Vec<Result<BoundedAnswer, QueryError>> {
+        self.bounded_batch(queries, |_| *budget)
+    }
+
+    /// [`ParallelExecutor::query_batch_bounded`] with a budget *per slot*:
+    /// `budgets[i]` bounds `queries[i]`. This is how a serving layer
+    /// propagates each request's own client deadline into the search (see
+    /// [`QueryBudget::tightened_to`]) while batching requests with
+    /// different deadlines together.
+    ///
+    /// The two slices must have equal length (debug-asserted; in release the
+    /// shorter prefix is served and the remainder answered exhausted —
+    /// never out-of-bounds, never panicking the batch).
+    pub fn query_batch_bounded_each(
+        &mut self,
+        queries: &[CostQuery],
+        budgets: &[QueryBudget],
+    ) -> Vec<Result<BoundedAnswer, QueryError>> {
+        debug_assert_eq!(queries.len(), budgets.len());
+        self.bounded_batch(queries, |i| {
+            budgets.get(i).copied().unwrap_or(QueryBudget::settles(0))
+        })
+    }
+
+    fn bounded_batch(
+        &mut self,
+        queries: &[CostQuery],
+        budget_for: impl Fn(usize) -> QueryBudget + Sync,
+    ) -> Vec<Result<BoundedAnswer, QueryError>> {
         let mut out = vec![Ok(BoundedAnswer::Exact(None)); queries.len()];
         let index = self.index;
         self.run(queries.len(), &mut out, |scratch, w, i| {
             let (s, d, t) = queries[i];
+            let budget = budget_for(i);
             let start = td_obs::ENABLED.then(std::time::Instant::now);
             let answer = match catch_unwind(AssertUnwindSafe(|| {
-                index.query_cost_bounded_in(scratch, s, d, t, budget)
+                index.query_cost_bounded_in(scratch, s, d, t, &budget)
             })) {
                 Ok(answer) => answer,
                 Err(payload) => {
-                    *scratch = index.new_scratch();
+                    if !scratch.try_sanitize() {
+                        *scratch = replacement_scratch(index);
+                    }
                     Err(QueryError::Panicked(panic_message(payload)))
                 }
             };
@@ -639,6 +700,46 @@ mod tests {
                 r.as_ref().unwrap().is_consistent_with(exact, 1e-9),
                 "slot {i}: {r:?} vs exact {exact:?}"
             );
+        }
+    }
+
+    #[test]
+    fn per_slot_budgets_bound_each_query_independently() {
+        let index = build_index(tiny_graph(), Backend::AStarCh, &IndexConfig::default());
+        let queries: Vec<CostQuery> = vec![(0, 2, 0.0), (3, 1, 50.0), (1, 3, 100.0)];
+        let budgets = [
+            QueryBudget::UNLIMITED,
+            QueryBudget::settles(0),
+            QueryBudget::UNLIMITED,
+        ];
+        for threads in [1, 2] {
+            let mut exec = ParallelExecutor::new(index.as_ref(), threads);
+            let got = exec.query_batch_bounded_each(&queries, &budgets);
+            // Unlimited slots are exact and bit-identical to the scalar API.
+            assert_eq!(
+                got[0],
+                Ok(BoundedAnswer::Exact(index.query_cost(0, 2, 0.0)))
+            );
+            assert_eq!(
+                got[2],
+                Ok(BoundedAnswer::Exact(index.query_cost(1, 3, 100.0)))
+            );
+            // The starved middle slot degrades but still brackets the truth.
+            let exact = index.query_cost(3, 1, 50.0);
+            assert!(got[1].as_ref().unwrap().is_consistent_with(exact, 1e-9));
+            // An already-expired per-slot deadline exhausts that slot alone.
+            let expired = QueryBudget::UNLIMITED.tightened_to(Some(
+                std::time::Instant::now() - std::time::Duration::from_secs(1),
+            ));
+            let got = exec.query_batch_bounded_each(
+                &queries,
+                &[QueryBudget::UNLIMITED, expired, QueryBudget::UNLIMITED],
+            );
+            assert!(got[0].as_ref().is_ok_and(|a| a.is_exact()));
+            // Expired slots degrade (interval or typed exhaustion) — they
+            // are never reported exact and never poison their neighbours.
+            assert!(!matches!(&got[1], Ok(a) if a.is_exact()), "{:?}", got[1]);
+            assert!(got[2].as_ref().is_ok_and(|a| a.is_exact()));
         }
     }
 

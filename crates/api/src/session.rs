@@ -31,6 +31,25 @@ impl SessionScratch {
         SessionScratch(Some(Box::new(value)))
     }
 
+    /// Restores a logically fresh state after a contained panic, keeping
+    /// the warmed capacity, for backends whose scratch supports wholesale
+    /// invalidation (currently [`AStarChScratch`](crate::AStarChScratch)).
+    /// Returns `false` when it cannot — the caller must then replace the
+    /// scratch outright. An empty scratch has no state to tear and
+    /// trivially sanitizes.
+    pub(crate) fn try_sanitize(&mut self) -> bool {
+        match &mut self.0 {
+            None => true,
+            Some(b) => match b.downcast_mut::<crate::AStarChScratch>() {
+                Some(s) => {
+                    s.sanitize();
+                    true
+                }
+                None => false,
+            },
+        }
+    }
+
     /// The contained `T`, initialising a default if absent or of another
     /// backend's type.
     pub fn get_or_default<T: Any + Send + Default>(&mut self) -> &mut T {

@@ -209,7 +209,9 @@ fn load_with_fallback<T>(
     match fallback {
         Ok(value) => {
             if td_obs::ENABLED {
-                td_obs::metrics().snapshot_fallback_total.inc();
+                td_obs::metrics()
+                    .snapshot_fallback(err.variant_name())
+                    .inc();
             }
             eprintln!(
                 "td-api: snapshot {} unreadable ({err}); \

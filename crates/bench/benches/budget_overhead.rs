@@ -20,10 +20,11 @@ use rand::rngs::StdRng;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
-use td_api::{AStarChIndex, AStarChScratch};
+use td_api::{AStarChIndex, AStarChScratch, ParallelExecutor};
 use td_dijkstra::{BoundedCost, QueryBudget};
 use td_gen::Dataset;
 use td_plf::DAY;
+use td_server::{FaultPlan, HostileIndex};
 
 struct CountingAlloc;
 
@@ -125,6 +126,59 @@ fn bench_budget_overhead(criterion: &mut Criterion) {
         per_query, 0.0,
         "budget checkpoints must not add allocations to the query path"
     );
+
+    // Post-panic allocation gate: a panicked slot's scratch is sanitized
+    // in place during containment itself (generation stamps make the torn
+    // state unreachable; the warmed capacity survives), so the first clean
+    // batch *after* a panic storm allocates exactly what a clean batch
+    // always allocates — recovery is not a slow path.
+    {
+        let _quiet = td_server::silence_contained_panics();
+        let plan = FaultPlan {
+            seed: 0xa110c,
+            panic_per_million: 500_000,
+            transient_panics: false,
+            ..FaultPlan::none()
+        };
+        let g = Dataset::Cal.spec().build_scaled(1, 1.0, 43);
+        let pn = g.num_vertices();
+        let hostile = HostileIndex::new(AStarChIndex::new(g), &plan);
+        let mut clean_qs: Vec<(u32, u32, f64)> = Vec::new();
+        let mut hot_qs: Vec<(u32, u32, f64)> = Vec::new();
+        for _ in 0..512 {
+            let q = (
+                rng.gen_range(0..pn) as u32,
+                rng.gen_range(0..pn) as u32,
+                rng.gen_range(0.0..DAY),
+            );
+            if hostile.would_fault(q.0, q.1, q.2) {
+                if hot_qs.len() < 8 {
+                    hot_qs.push(q);
+                }
+            } else if clean_qs.len() < 32 {
+                clean_qs.push(q);
+            }
+        }
+        assert!(!hot_qs.is_empty() && clean_qs.len() == 32);
+        let mut exec = ParallelExecutor::new(&hostile, 1);
+        // Warm the executor's scratch pool, then take the clean baseline.
+        black_box(exec.query_batch_bounded(&clean_qs, &budget));
+        black_box(exec.query_batch_bounded(&clean_qs, &budget));
+        let baseline = allocs(|| {
+            black_box(exec.query_batch_bounded(&clean_qs, &budget));
+        });
+        // The storm: every one of these slots panics (persistent faults)
+        // and the worker's scratch is replaced + pre-warmed in place.
+        black_box(exec.query_batch_bounded(&hot_qs, &budget));
+        let post = allocs(|| {
+            black_box(exec.query_batch_bounded(&clean_qs, &budget));
+        });
+        println!("allocations/clean-batch: baseline {baseline}, post-panic {post}");
+        assert_eq!(
+            post, baseline,
+            "post-panic batches must not allocate beyond the clean baseline"
+        );
+    }
 
     // Interleaved overhead measurement over the whole workload.
     let (ta, tb) = compare2(

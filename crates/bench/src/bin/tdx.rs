@@ -31,7 +31,7 @@ use td_store::section::{elem, walk_sections};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  tdx build --dataset <CAL|SF|COL|FLA|W-USA> --backend <name> --out <path> \\\n            [--scale X] [--seed N] [--c N] [--threads N] [--budget N] [--max-leaf N] [--track-supports]\n  tdx inspect <path.tdx>\n  tdx verify <path.tdx> [--queries N] [--seed N]\n  tdx stats <path.tdx> [--queries N] [--seed N] [--threads N]"
+        "usage:\n  tdx build --dataset <CAL|SF|COL|FLA|W-USA> --backend <name> --out <path> \\\n            [--scale X] [--seed N] [--c N] [--threads N] [--budget N] [--max-leaf N] [--track-supports]\n  tdx inspect <path.tdx>\n  tdx verify <path.tdx> [--queries N] [--seed N]\n  tdx stats <path.tdx> [--queries N] [--seed N] [--threads N]\n  tdx serve <path.tdx> [--duration-ms N] [--clients N] [--burst N] [--deadline-ms N] [--chaos] [--seed N]"
     );
     std::process::exit(2);
 }
@@ -48,6 +48,7 @@ fn main() {
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => usage(),
     }
 }
@@ -190,6 +191,72 @@ fn cmd_inspect(args: &[String]) {
         td_bench::fmt_bytes(total as usize),
         total_secs * 1e3
     );
+
+    // The crash-consistency generation pair: which generations exist, how
+    // old each is, and which one a load would actually serve (`load_index`
+    // tries primary first, `.prev` on any error).
+    println!();
+    println!("{:<10} {:>14} {:>10}  status", "generation", "bytes", "age");
+    td_bench::rule(65);
+    let prev = format!("{path}.prev");
+    let primary_ok = print_generation("primary", path);
+    let prev_ok = print_generation("prev", &prev);
+    td_bench::rule(65);
+    println!(
+        "a load would serve: {}",
+        match (primary_ok, prev_ok) {
+            (true, _) => "primary",
+            (false, true) => "prev (fallback)",
+            (false, false) => "nothing — both generations unloadable",
+        }
+    );
+}
+
+/// One row of the generation table; true when the file walks clean.
+fn print_generation(label: &str, path: &str) -> bool {
+    let Ok(meta) = std::fs::metadata(path) else {
+        println!("{label:<10} {:>14} {:>10}  absent", "-", "-");
+        return false;
+    };
+    let age = meta
+        .modified()
+        .ok()
+        .and_then(|m| m.elapsed().ok())
+        .map_or_else(|| "?".to_string(), fmt_age);
+    let status = check_generation(path);
+    println!(
+        "{label:<10} {:>14} {age:>10}  {status}",
+        td_bench::fmt_bytes(meta.len() as usize),
+    );
+    status.starts_with("OK")
+}
+
+/// Walks a generation's header + every section checksum (without loading
+/// the index) and renders the outcome.
+fn check_generation(path: &str) -> String {
+    let open = std::fs::File::open(path).map_err(td_store::StoreError::from);
+    let walked = open.and_then(|f| {
+        let mut r = std::io::BufReader::new(f);
+        td_store::format::read_header(&mut r)?;
+        walk_sections(&mut r)
+    });
+    match walked {
+        Ok(infos) => format!("OK ({} sections)", infos.len()),
+        Err(e) => format!("unloadable: {e}"),
+    }
+}
+
+fn fmt_age(age: std::time::Duration) -> String {
+    let s = age.as_secs();
+    if s < 60 {
+        format!("{s}s")
+    } else if s < 3600 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else if s < 86_400 {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    } else {
+        format!("{}d{:02}h", s / 86_400, (s % 86_400) / 3600)
+    }
 }
 
 fn cmd_verify(args: &[String]) {
@@ -316,4 +383,94 @@ fn cmd_stats(args: &[String]) {
         eprintln!("{path}: empty graph or --queries 0; scrape reflects the load only");
     }
     print!("{}", td_obs::metrics().registry.render_prometheus());
+}
+
+/// `tdx serve`: loads a snapshot, stands the overload-safe serving
+/// front-end up in front of it, and drives a seeded time-boxed workload
+/// (optionally under the full chaos plan). The run summary goes to stderr;
+/// the process-wide metric scrape — now including the `td_server_*`
+/// families — goes to stdout, so it pipes clean like `tdx stats`. Exits
+/// nonzero if the exactly-once serving invariant did not hold.
+fn cmd_serve(args: &[String]) {
+    let Some(path) = args.first() else { usage() };
+    let mut duration_ms = 1500u64;
+    let mut clients = 4usize;
+    let mut burst = 16usize;
+    let mut deadline_ms = 250u64;
+    let mut chaos = false;
+    let mut seed = 42u64;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| fail(format!("{arg} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--duration-ms" => {
+                duration_ms = val().parse().unwrap_or_else(|_| fail("bad --duration-ms"));
+            }
+            "--clients" => clients = val().parse().unwrap_or_else(|_| fail("bad --clients")),
+            "--burst" => burst = val().parse().unwrap_or_else(|_| fail("bad --burst")),
+            "--deadline-ms" => {
+                deadline_ms = val().parse().unwrap_or_else(|_| fail("bad --deadline-ms"));
+            }
+            "--chaos" => chaos = true,
+            "--seed" => seed = val().parse().unwrap_or_else(|_| fail("bad --seed")),
+            other => fail(format!("unknown flag `{other}`")),
+        }
+    }
+
+    let index = load_index(path).unwrap_or_else(|e| fail(e));
+    eprintln!(
+        "{path}: serving {} over |V|={} |E|={} ({})",
+        index.backend_name(),
+        index.graph().num_vertices(),
+        index.graph().num_edges(),
+        if chaos {
+            "full fault plan"
+        } else {
+            "fault-free"
+        },
+    );
+    let soak = td_server::SoakConfig {
+        duration: std::time::Duration::from_millis(duration_ms),
+        clients,
+        burst,
+        client_deadline: std::time::Duration::from_millis(deadline_ms),
+        plan: if chaos {
+            td_server::FaultPlan::full(seed)
+        } else {
+            td_server::FaultPlan::none()
+        },
+        seed,
+    };
+    // `Box<dyn RoutingIndex>` serves through the fixed-source front-end;
+    // live-update storms are a td-server soak concern, not a snapshot one.
+    let report = td_server::run_soak_fixed(index, td_server::ServerConfig::default(), &soak);
+    let s = &report.stats;
+    eprintln!(
+        "admitted {} ({} exact, {} approximate, {} failed), rejected {} typed, \
+         shed {} expired, {} retries over {} batches",
+        s.admitted,
+        s.exact,
+        s.approximate,
+        s.failed,
+        s.rejected,
+        s.shed_expired,
+        s.retries,
+        s.batches,
+    );
+    eprintln!(
+        "accepted-request p99 {:.3} ms, rejected-submit p99 {:.3} ms, duplicates {}, hung {}",
+        report.p99_nanos as f64 / 1e6,
+        report.reject_p99_nanos as f64 / 1e6,
+        s.duplicates,
+        report.hung,
+    );
+    print!("{}", td_obs::metrics().registry.render_prometheus());
+    if !report.exactly_once() {
+        fail("serving invariant violated: not exactly-once (or the run hung)");
+    }
+    eprintln!("serve: OK (exactly-once held)");
 }

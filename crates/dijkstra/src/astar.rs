@@ -210,6 +210,20 @@ pub struct AStarScratch {
 }
 
 impl AStarScratch {
+    /// Restores a logically fresh state after a contained panic while
+    /// keeping every warmed allocation. The arrays may hold torn values
+    /// from the unwound query, but all reads are gated by the stamp array:
+    /// zeroing the stamps and restarting the generation makes every stale
+    /// entry unreachable, exactly as the wrap-around path of `reset` does.
+    /// Capacity — the workload's true high-water mark — survives, so the
+    /// first batch after a panic allocates nothing extra.
+    pub fn sanitize(&mut self) {
+        self.heap.clear();
+        self.stamp.fill(0);
+        self.gen = 0;
+        self.stats.reset();
+    }
+
     // td-lint: hot
     pub(crate) fn reset(&mut self, n: usize) -> u32 {
         debug_assert!(n < u32::MAX as usize, "vertex ids must fit in u32");

@@ -72,6 +72,19 @@ impl QueryBudget {
         QueryBudget::UNLIMITED.with_timeout(timeout)
     }
 
+    /// Tightens the budget with an optional second deadline, keeping the
+    /// *earlier* of the two (and the settle cap). This is the deadline
+    /// propagation primitive: a serving layer merges each request's client
+    /// deadline into the batch's policy budget without ever loosening it.
+    #[must_use]
+    pub fn tightened_to(mut self, deadline: Option<Instant>) -> QueryBudget {
+        self.deadline = match (self.deadline, deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self
+    }
+
     /// The settle cap (`u64::MAX` = uncapped).
     pub fn max_settles(&self) -> u64 {
         self.max_settles
@@ -220,6 +233,26 @@ mod tests {
         assert!(!b.exhausted(0));
         assert!(!b.exhausted(DEADLINE_STRIDE));
         assert!(!b.is_unlimited());
+    }
+
+    #[test]
+    fn tightened_to_keeps_the_earlier_deadline() {
+        let near = Instant::now() + Duration::from_millis(10);
+        let far = near + Duration::from_secs(10);
+        let b = QueryBudget::settles(100).with_deadline(far);
+        assert_eq!(b.tightened_to(Some(near)).deadline(), Some(near));
+        // Tightening never loosens: an earlier armed deadline survives.
+        let b = QueryBudget::settles(100).with_deadline(near);
+        assert_eq!(b.tightened_to(Some(far)).deadline(), Some(near));
+        // None leaves the budget untouched; a deadline lands on a bare cap.
+        assert_eq!(b.tightened_to(None), b);
+        assert_eq!(
+            QueryBudget::settles(100)
+                .tightened_to(Some(near))
+                .deadline(),
+            Some(near)
+        );
+        assert_eq!(b.tightened_to(Some(far)).max_settles(), 100);
     }
 
     #[test]

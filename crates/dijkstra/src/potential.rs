@@ -187,6 +187,20 @@ impl ChPotentialScratch {
         self.init_settled
     }
 
+    /// Restores a logically fresh state after a contained panic while
+    /// keeping every warmed allocation: both generation-stamp arrays are
+    /// zeroed and the generation restarts, so any torn values in `b` /
+    /// `memo` become unreachable — the same wholesale invalidation the
+    /// wrap-around path of `reset` performs. Capacity survives.
+    pub fn sanitize(&mut self) {
+        self.heap.clear();
+        self.stack.clear();
+        self.b_gen.fill(0);
+        self.memo_gen.fill(0);
+        self.gen = 0;
+        self.init_settled = 0;
+    }
+
     // td-lint: hot
     fn reset(&mut self, n: usize) -> u32 {
         if self.memo.len() != n {

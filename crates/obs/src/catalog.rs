@@ -47,13 +47,31 @@ pub struct Metrics {
     // -- snapshots --
     pub snapshot_save_seconds: Arc<Histogram>,
     pub snapshot_load_seconds: Arc<Histogram>,
-    pub snapshot_fallback_total: Arc<Counter>,
+
+    // -- serving front-end (td-server) --
+    pub server_admitted_total: Arc<Counter>,
+    pub server_shed_expired_total: Arc<Counter>,
+    pub server_batches_total: Arc<Counter>,
+    pub server_batch_size: Arc<Histogram>,
+    pub server_request_seconds: Arc<Histogram>,
+    pub server_queue_depth: Arc<Gauge>,
+    pub server_overload_state: Arc<Gauge>,
+    pub server_retries_total: Arc<Counter>,
+    pub server_lock_recoveries_total: Arc<Counter>,
+    pub server_update_applied_total: Arc<Counter>,
+    pub server_update_retries_total: Arc<Counter>,
+    pub server_update_shed_total: Arc<Counter>,
 }
 
 const LADDER: &str = "td_ladder_outcomes_total";
 const LADDER_HELP: &str = "Degradation-ladder outcomes of bounded queries";
 const PHASE: &str = "td_phase_seconds";
 const PHASE_HELP: &str = "Wall time of coarse build/customization/load phases";
+const FALLBACK: &str = "td_snapshot_fallback_total";
+const FALLBACK_HELP: &str =
+    "Snapshot loads served from the .tdx.prev generation, by primary-load error";
+const REJECTED: &str = "td_server_rejected_total";
+const REJECTED_HELP: &str = "Requests refused at admission, by typed reason";
 
 impl Metrics {
     fn new() -> Metrics {
@@ -124,16 +142,77 @@ impl Metrics {
                 "td_snapshot_load_seconds",
                 "Wall time of snapshot loads (including fallback probing)",
             ),
-            snapshot_fallback_total: r.counter(
-                "td_snapshot_fallback_total",
-                "Snapshot loads served from the .tdx.prev generation",
+            server_admitted_total: r.counter(
+                "td_server_admitted_total",
+                "Requests accepted into the admission queue",
+            ),
+            server_shed_expired_total: r.counter(
+                "td_server_shed_expired_total",
+                "Admitted requests shed before dispatch because their deadline expired",
+            ),
+            server_batches_total: r.counter(
+                "td_server_batches_total",
+                "Coalesced batches dispatched to the executor",
+            ),
+            server_batch_size: r.histogram(
+                "td_server_batch_size",
+                "Requests per coalesced batch (raw counts)",
+            ),
+            server_request_seconds: r.histogram_seconds(
+                "td_server_request_seconds",
+                "Admission-to-terminal-reply wall time of accepted requests",
+            ),
+            server_queue_depth: r.gauge(
+                "td_server_queue_depth",
+                "Current depth of the admission queue",
+            ),
+            server_overload_state: r.gauge(
+                "td_server_overload_state",
+                "Overload controller state (0 normal, 1 degraded, 2 shedding)",
+            ),
+            server_retries_total: r.counter(
+                "td_server_retries_total",
+                "Panicked slots re-enqueued for their single bounded retry",
+            ),
+            server_lock_recoveries_total: r.counter(
+                "td_server_lock_recoveries_total",
+                "Serving-path mutexes recovered from poisoning",
+            ),
+            server_update_applied_total: r.counter(
+                "td_server_update_applied_total",
+                "Live-update batches applied by the supervised update lane",
+            ),
+            server_update_retries_total: r.counter(
+                "td_server_update_retries_total",
+                "Live-update batches retried after rollback",
+            ),
+            server_update_shed_total: r.counter(
+                "td_server_update_shed_total",
+                "Live-update batches shed (queue full, stuck lane, or terminal failure)",
             ),
             registry: Registry::new(), // placeholder, replaced below
         };
-        // Phase spans attach labeled children lazily; declare the family so
-        // the scrape's name set does not depend on which phases ran.
+        // Labeled families whose children attach lazily: declare them so the
+        // scrape's name set does not depend on which paths (or errors) ran.
         r.declare(PHASE, PHASE_HELP, true, "phase");
+        r.declare(FALLBACK, FALLBACK_HELP, false, "error");
+        r.declare(REJECTED, REJECTED_HELP, false, "reason");
         Metrics { registry: r, ..m }
+    }
+
+    /// The `.tdx.prev` fallback counter child for one `StoreError` variant
+    /// (the error that made the primary generation unloadable). Cold path:
+    /// takes the registry lock on first use per label.
+    pub fn snapshot_fallback(&self, error: &str) -> Arc<Counter> {
+        self.registry
+            .counter_with(FALLBACK, FALLBACK_HELP, "error", error)
+    }
+
+    /// The admission-rejection counter child for one typed reason. Cold on
+    /// first use per label; servers cache the handles they need.
+    pub fn server_rejected(&self, reason: &str) -> Arc<Counter> {
+        self.registry
+            .counter_with(REJECTED, REJECTED_HELP, "reason", reason)
     }
 
     /// Exports one query's search counters onto the worker's shard.
@@ -208,6 +287,19 @@ mod tests {
             "td_snapshot_load_seconds",
             "td_snapshot_fallback_total",
             "td_phase_seconds",
+            "td_server_admitted_total",
+            "td_server_rejected_total",
+            "td_server_shed_expired_total",
+            "td_server_batches_total",
+            "td_server_batch_size",
+            "td_server_request_seconds",
+            "td_server_queue_depth",
+            "td_server_overload_state",
+            "td_server_retries_total",
+            "td_server_lock_recoveries_total",
+            "td_server_update_applied_total",
+            "td_server_update_retries_total",
+            "td_server_update_shed_total",
         ] {
             assert!(
                 text.contains(&format!("# TYPE {name} ")),

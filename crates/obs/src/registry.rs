@@ -131,6 +131,16 @@ impl Registry {
         }
     }
 
+    /// Registers (or fetches) an unlabeled histogram family over raw
+    /// (unscaled) ticks — e.g. batch sizes or queue depths rather than
+    /// durations.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Arc<Histogram> {
+        match self.get_or_register(name, help, Kind::Histogram, None, "", 1.0) {
+            Metric::Histogram(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
     /// Registers (or fetches) an unlabeled histogram family recording
     /// nanosecond ticks, rendered in seconds.
     pub fn histogram_seconds(&self, name: &'static str, help: &'static str) -> Arc<Histogram> {

@@ -1,0 +1,57 @@
+//! td-server: the overload-safe serving front-end.
+//!
+//! Everything upstream of this crate computes answers; this crate decides
+//! *which* requests get to compute and *how much* they may spend, so that
+//! overload degrades service along a typed, observable ladder instead of
+//! collapsing it:
+//!
+//! ```text
+//! submit(s, d, t, deadline)
+//!    │  admission (O(µs)): shutdown / expired deadline / shedding mode
+//!    ▼
+//! bounded queue ──▶ coalescer ──▶ per-slot budgets ──▶ ParallelExecutor
+//!    │ full ⇒ Rejected::QueueFull       │ deadline rides into the search
+//!    ▼                                  ▼
+//! typed refusal                 exactly-one terminal reply per admission
+//! ```
+//!
+//! The pieces, each its own module:
+//!
+//! * [`request`](Rejected) — the request lifecycle: typed rejections,
+//!   [`ServeError`], the write-once reply slot behind [`RequestHandle`].
+//! * [`queue`](TdServer) — the bounded MPMC admission queue (producers
+//!   never block; depth is capped by construction).
+//! * [`control`](OverloadMode) — the pure overload control plane: the
+//!   Normal → Degraded → Shedding state machine with hysteresis.
+//! * [`server`](TdServer) — the dispatcher, the batching coalescer, the
+//!   single bounded panic retry, and the supervised live-update lane.
+//! * [`fault`](FaultPlan) / [`soak`](run_soak) — deterministic fault
+//!   injection and the time-boxed chaos harness that proves the invariants
+//!   under the full storm.
+//!
+//! Locks on the serving path recover from poisoning (see `sync`); every
+//! recovery is counted in `td_server_lock_recoveries_total`.
+
+#![forbid(unsafe_code)]
+
+mod config;
+mod control;
+mod fault;
+mod queue;
+mod request;
+mod server;
+mod soak;
+mod sync;
+mod update;
+
+pub use config::ServerConfig;
+pub use control::{
+    admission_decision, next_mode, settle_cap, slot_budget, OverloadMode, OverloadPolicy, Window,
+};
+pub use fault::{
+    silence_contained_panics, splitmix64, FaultPlan, HostileIndex, PanicSilence, INJECTED_PANIC,
+};
+pub use request::{Rejected, RequestHandle, ServeError, ServeResult};
+pub use server::{ServerStats, TdServer};
+pub use soak::{run_soak, run_soak_fixed, SoakConfig, SoakReport};
+pub use update::UpdateRejected;

@@ -1,0 +1,227 @@
+//! The bounded MPMC admission queue.
+//!
+//! Producers (client threads calling `submit`) push without ever blocking:
+//! a full queue hands the request straight back so admission can refuse it
+//! with a typed [`crate::Rejected::QueueFull`] — depth is capped by
+//! construction, so overload can never become unbounded memory growth or
+//! silent latency collapse. The consumer (the dispatcher) blocks on a
+//! condvar and drains in coalesced batches.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use crate::request::Pending;
+use crate::sync::{lock_recover, wait_recover, wait_timeout_recover};
+
+struct State {
+    items: VecDeque<Pending>,
+    closed: bool,
+}
+
+pub(crate) struct AdmissionQueue {
+    state: Mutex<State>,
+    not_empty: Condvar,
+    capacity: usize,
+    /// Lock-free mirror of the queue depth for the controller, the gauge,
+    /// and `QueueFull` payloads. Advisory (updated after the fact); the
+    /// capacity check itself runs under the lock and is exact.
+    depth: AtomicUsize,
+}
+
+/// Outcome of the consumer's blocking pop.
+pub(crate) enum Popped {
+    Item(Pending),
+    /// Closed *and* drained: the dispatcher can retire.
+    Closed,
+}
+
+impl AdmissionQueue {
+    pub(crate) fn new(capacity: usize) -> AdmissionQueue {
+        AdmissionQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity.min(4096)),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+            depth: AtomicUsize::new(0),
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Advisory current depth (exact between mutations).
+    pub(crate) fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Admits `p` at the tail. On a full (or closed) queue the request is
+    /// handed back untouched so the caller can produce a typed rejection —
+    /// producers never block and never grow the queue past its cap.
+    pub(crate) fn push_back(&self, p: Pending) -> Result<(), Pending> {
+        let mut state = lock_recover(&self.state);
+        if state.closed || state.items.len() >= self.capacity {
+            return Err(p);
+        }
+        state.items.push_back(p);
+        self.depth.store(state.items.len(), Ordering::Relaxed);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Re-enqueues an already-admitted request at the *head* (the panic
+    /// retry path). Deliberately ignores the capacity cap: the request
+    /// holds an admission slot already, and dropping it would break the
+    /// exactly-once reply invariant. No-op capacity excursions are bounded
+    /// by the batch size.
+    pub(crate) fn push_front(&self, p: Pending) {
+        let mut state = lock_recover(&self.state);
+        state.items.push_front(p);
+        self.depth.store(state.items.len(), Ordering::Relaxed);
+        drop(state);
+        self.not_empty.notify_one();
+    }
+
+    /// Blocks until an item is available (or the queue is closed *and*
+    /// empty). First call of a coalesced batch.
+    pub(crate) fn pop_wait(&self) -> Popped {
+        let mut state = lock_recover(&self.state);
+        loop {
+            if let Some(p) = state.items.pop_front() {
+                self.depth.store(state.items.len(), Ordering::Relaxed);
+                return Popped::Item(p);
+            }
+            if state.closed {
+                return Popped::Closed;
+            }
+            state = wait_recover(&self.not_empty, state);
+        }
+    }
+
+    /// Pops, waiting at most until `deadline` — the coalescing fill: after
+    /// the batch's first request, the dispatcher tops the batch up until
+    /// either it is full or the coalesce window closes. `None` on window
+    /// close *or* queue closure (the items already popped still get served).
+    pub(crate) fn pop_until(&self, deadline: Instant) -> Option<Pending> {
+        let mut state = lock_recover(&self.state);
+        loop {
+            if let Some(p) = state.items.pop_front() {
+                self.depth.store(state.items.len(), Ordering::Relaxed);
+                return Some(p);
+            }
+            if state.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            state = wait_timeout_recover(&self.not_empty, state, deadline - now);
+        }
+    }
+
+    /// Closes admission and wakes the consumer. Items already queued are
+    /// still drained by `pop_wait` before it reports `Closed`.
+    pub(crate) fn close(&self) {
+        let mut state = lock_recover(&self.state);
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+    }
+
+    /// Chaos hook: poisons the queue mutex by panicking (contained) while
+    /// holding the guard. The queue state is untouched — the next operation
+    /// must recover and keep serving.
+    pub(crate) fn poison(&self) {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = self.state.lock();
+            panic!("injected lock poison");
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ReplySlot;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn pending(i: u32) -> Pending {
+        Pending {
+            query: (i, i, 0.0),
+            deadline: None,
+            submitted: Instant::now(),
+            attempts: 0,
+            slot: Arc::new(ReplySlot::new()),
+        }
+    }
+
+    #[test]
+    fn capacity_is_a_hard_cap_and_fifo_holds() {
+        let q = AdmissionQueue::new(2);
+        assert!(q.push_back(pending(0)).is_ok());
+        assert!(q.push_back(pending(1)).is_ok());
+        assert_eq!(q.depth(), 2);
+        // The third admission bounces with the request handed back.
+        let bounced = q.push_back(pending(2)).unwrap_err();
+        assert_eq!(bounced.query.0, 2);
+        // Retry push_front bypasses the cap (admitted work is never dropped)
+        // and lands at the head.
+        q.push_front(pending(9));
+        assert_eq!(q.depth(), 3);
+        match q.pop_wait() {
+            Popped::Item(p) => assert_eq!(p.query.0, 9),
+            Popped::Closed => panic!("queue is open"),
+        }
+        match q.pop_wait() {
+            Popped::Item(p) => assert_eq!(p.query.0, 0),
+            Popped::Closed => panic!("queue is open"),
+        }
+    }
+
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let q = AdmissionQueue::new(4);
+        assert!(q.push_back(pending(0)).is_ok());
+        q.close();
+        // Closed queues refuse new work...
+        assert!(q.push_back(pending(1)).is_err());
+        // ...but still hand out what was admitted.
+        assert!(matches!(q.pop_wait(), Popped::Item(_)));
+        assert!(matches!(q.pop_wait(), Popped::Closed));
+        assert!(q
+            .pop_until(Instant::now() + Duration::from_millis(1))
+            .is_none());
+    }
+
+    #[test]
+    fn pop_until_times_out_empty() {
+        let q = AdmissionQueue::new(4);
+        let start = Instant::now();
+        assert!(q.pop_until(start + Duration::from_millis(10)).is_none());
+        assert!(start.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn poisoned_queue_keeps_serving() {
+        let q = AdmissionQueue::new(4);
+        assert!(q.push_back(pending(7)).is_ok());
+        q.poison();
+        assert!(q.state.is_poisoned());
+        // Every operation recovers: push, pop, close.
+        assert!(q.push_back(pending(8)).is_ok());
+        match q.pop_wait() {
+            Popped::Item(p) => assert_eq!(p.query.0, 7),
+            Popped::Closed => panic!("queue is open"),
+        }
+        q.close();
+        assert!(matches!(q.pop_wait(), Popped::Item(_)));
+        assert!(matches!(q.pop_wait(), Popped::Closed));
+    }
+}

@@ -1,0 +1,267 @@
+//! The request lifecycle: typed admission rejections, terminal replies, and
+//! the exactly-once reply slot a client waits on.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use td_api::{BoundedAnswer, CostQuery, QueryError};
+
+use crate::sync::{lock_recover, wait_recover, wait_timeout_recover};
+
+/// Why a request was refused at admission. Every variant is produced in
+/// O(µs) — a rejected client learns its fate before the request touches a
+/// queue slot, a worker, or the index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Rejected {
+    /// The bounded admission queue is at capacity. Depth never grows past
+    /// the cap — overload becomes this typed refusal, not latency collapse.
+    QueueFull {
+        /// Queue depth observed at the refusal.
+        depth: usize,
+        /// The configured capacity.
+        capacity: usize,
+    },
+    /// The overload controller is in shedding mode: the server is refusing
+    /// new work so already-admitted requests keep their latency.
+    Overloaded,
+    /// The client's deadline had already passed at submission (or before
+    /// dispatch, for the post-admission shed path).
+    DeadlineExpired,
+    /// The server is shutting down and no longer admits work.
+    ShuttingDown,
+}
+
+impl Rejected {
+    /// Stable label for the `td_server_rejected_total{reason=…}` family.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            Rejected::QueueFull { .. } => "queue_full",
+            Rejected::Overloaded => "overloaded",
+            Rejected::DeadlineExpired => "deadline_expired",
+            Rejected::ShuttingDown => "shutdown",
+        }
+    }
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::QueueFull { depth, capacity } => {
+                write!(f, "admission queue full ({depth}/{capacity})")
+            }
+            Rejected::Overloaded => write!(f, "server is shedding load"),
+            Rejected::DeadlineExpired => write!(f, "request deadline already expired"),
+            Rejected::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// Why an *admitted* request did not produce an answer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// Shed after admission: the deadline expired while queued, or the
+    /// server shut down with the request still in flight.
+    Shed(Rejected),
+    /// The query itself failed with a typed error — invalid inputs, budget
+    /// exhausted on a backend with nothing to degrade to, or a panic that
+    /// survived its single bounded retry.
+    Query(QueryError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Shed(r) => write!(f, "request shed: {r}"),
+            ServeError::Query(e) => write!(f, "query failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The terminal reply of an admitted request: an answer from the
+/// degradation ladder, or a typed error. Exactly one is delivered per
+/// admitted request.
+pub type ServeResult = Result<BoundedAnswer, ServeError>;
+
+/// The write-once slot a reply lands in. `fulfill` keeps the *first*
+/// terminal reply and reports duplicates instead of overwriting — the
+/// exactly-once invariant is enforced structurally, not by convention.
+pub(crate) struct ReplySlot {
+    state: Mutex<Option<ServeResult>>,
+    ready: Condvar,
+}
+
+impl ReplySlot {
+    pub(crate) fn new() -> ReplySlot {
+        ReplySlot {
+            state: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Installs the terminal reply. Returns `true` for the first (and only
+    /// effective) fulfillment, `false` for a duplicate (the first reply is
+    /// kept; the caller counts the violation).
+    pub(crate) fn fulfill(&self, reply: ServeResult) -> bool {
+        let mut state = lock_recover(&self.state);
+        if state.is_some() {
+            return false;
+        }
+        *state = Some(reply);
+        drop(state);
+        self.ready.notify_all();
+        true
+    }
+
+    fn get(&self) -> Option<ServeResult> {
+        lock_recover(&self.state).clone()
+    }
+
+    fn wait(&self) -> ServeResult {
+        let mut state = lock_recover(&self.state);
+        loop {
+            if let Some(reply) = state.clone() {
+                return reply;
+            }
+            state = wait_recover(&self.ready, state);
+        }
+    }
+
+    fn wait_deadline(&self, deadline: Instant) -> Option<ServeResult> {
+        let mut state = lock_recover(&self.state);
+        loop {
+            if let Some(reply) = state.clone() {
+                return Some(reply);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            state = wait_timeout_recover(&self.ready, state, deadline - now);
+        }
+    }
+}
+
+/// The client's side of an admitted request: a handle on the reply slot.
+///
+/// Dropping the handle is safe — the server still fulfills the slot (the
+/// reply is simply never read), so a slow or crashed consumer can never
+/// stall the dispatcher or leak the exactly-once accounting.
+pub struct RequestHandle {
+    pub(crate) slot: Arc<ReplySlot>,
+    pub(crate) submitted: Instant,
+}
+
+impl std::fmt::Debug for RequestHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RequestHandle")
+            .field("replied", &self.slot.get().is_some())
+            .field("elapsed", &self.submitted.elapsed())
+            .finish()
+    }
+}
+
+impl RequestHandle {
+    /// The terminal reply if it has already arrived (non-blocking).
+    pub fn try_reply(&self) -> Option<ServeResult> {
+        self.slot.get()
+    }
+
+    /// Blocks until the terminal reply arrives. Every admitted request gets
+    /// exactly one, so this never blocks past the server's shutdown drain.
+    pub fn wait(&self) -> ServeResult {
+        self.slot.wait()
+    }
+
+    /// Blocks up to `timeout`; `None` means the reply has not arrived yet
+    /// (the handle stays valid and can be waited on again).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<ServeResult> {
+        self.slot.wait_deadline(Instant::now() + timeout)
+    }
+
+    /// Time since the request was admitted.
+    pub fn elapsed(&self) -> Duration {
+        self.submitted.elapsed()
+    }
+}
+
+/// An admitted request travelling through queue → coalescer → executor.
+pub(crate) struct Pending {
+    pub query: CostQuery,
+    pub deadline: Option<Instant>,
+    pub submitted: Instant,
+    /// Panic-retry attempts already spent (0 on first dispatch).
+    pub attempts: u32,
+    pub slot: Arc<ReplySlot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fulfill_is_exactly_once() {
+        let slot = Arc::new(ReplySlot::new());
+        let handle = RequestHandle {
+            slot: Arc::clone(&slot),
+            submitted: Instant::now(),
+        };
+        assert!(handle.try_reply().is_none());
+        assert!(slot.fulfill(Ok(BoundedAnswer::Exact(Some(1.0)))));
+        // The duplicate is reported and the first reply kept.
+        assert!(!slot.fulfill(Ok(BoundedAnswer::Exact(Some(2.0)))));
+        assert_eq!(handle.wait(), Ok(BoundedAnswer::Exact(Some(1.0))));
+        assert_eq!(
+            handle.wait_timeout(Duration::from_millis(1)),
+            Some(Ok(BoundedAnswer::Exact(Some(1.0))))
+        );
+    }
+
+    #[test]
+    fn wait_timeout_expires_without_a_reply() {
+        let slot = Arc::new(ReplySlot::new());
+        let handle = RequestHandle {
+            slot,
+            submitted: Instant::now(),
+        };
+        assert_eq!(handle.wait_timeout(Duration::from_millis(5)), None);
+    }
+
+    #[test]
+    fn wait_crosses_threads() {
+        let slot = Arc::new(ReplySlot::new());
+        let handle = RequestHandle {
+            slot: Arc::clone(&slot),
+            submitted: Instant::now(),
+        };
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            slot.fulfill(Err(ServeError::Shed(Rejected::ShuttingDown)))
+        });
+        assert_eq!(handle.wait(), Err(ServeError::Shed(Rejected::ShuttingDown)));
+        assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn rejection_taxonomy_renders_and_labels() {
+        let cases: [(Rejected, &str); 4] = [
+            (
+                Rejected::QueueFull {
+                    depth: 8,
+                    capacity: 8,
+                },
+                "queue_full",
+            ),
+            (Rejected::Overloaded, "overloaded"),
+            (Rejected::DeadlineExpired, "deadline_expired"),
+            (Rejected::ShuttingDown, "shutdown"),
+        ];
+        for (r, label) in cases {
+            assert_eq!(r.reason(), label);
+            assert!(!r.to_string().is_empty());
+        }
+    }
+}

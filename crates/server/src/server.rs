@@ -1,0 +1,648 @@
+//! [`TdServer`]: the threaded serving core.
+//!
+//! ```text
+//!  clients ──submit()──▶ admission ──▶ bounded queue ──▶ coalescer ──▶
+//!    ParallelExecutor::query_batch_bounded_each ──▶ reply slots
+//!                         │                             ▲
+//!                         └── typed Rejected (O(µs))    └── 1 panic retry
+//! ```
+//!
+//! One dispatcher thread drains the admission queue into coalesced batches
+//! (size- or window-triggered), builds per-slot budgets from the overload
+//! mode and each request's own deadline, and runs them on a pooled
+//! [`ParallelExecutor`]. After every batch the overload controller re-reads
+//! queue depth and the recent latency window and walks the
+//! Normal → Degraded → Shedding state machine. An optional updater thread
+//! applies live traffic refreshes through [`LiveIndex::try_apply`] with
+//! rollback-and-retry under a watchdog — an update storm sheds *updates*,
+//! never queries.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use td_api::{
+    BoundedAnswer, CostQuery, IncrementalIndex, LiveIndex, ParallelExecutor, QueryError,
+    RoutingIndex,
+};
+use td_dijkstra::QueryBudget;
+use td_graph::VertexId;
+use td_obs::HistSnapshot;
+use td_plf::Plf;
+
+use crate::config::ServerConfig;
+use crate::control::{self, OverloadMode, Window};
+use crate::queue::{AdmissionQueue, Popped};
+use crate::request::{Pending, Rejected, ReplySlot, RequestHandle, ServeError, ServeResult};
+use crate::update::{UpdateLane, UpdateRejected};
+
+/// Where the dispatcher gets its index snapshots.
+enum Source<I> {
+    /// A fixed immutable index: epoch is always 0.
+    Fixed(Arc<I>),
+    /// A live double-buffered index: snapshots follow the epoch.
+    Live(Arc<LiveIndex<I>>),
+}
+
+impl<I> Source<I> {
+    fn snapshot_with_epoch(&self) -> (u64, Arc<I>) {
+        match self {
+            Source::Fixed(index) => (0, Arc::clone(index)),
+            Source::Live(live) => live.snapshot_with_epoch(),
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        match self {
+            Source::Fixed(_) => 0,
+            Source::Live(live) => live.epoch(),
+        }
+    }
+}
+
+/// Monotonic serving counters, snapshot as [`ServerStats`].
+#[derive(Default)]
+struct Counters {
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    replied: AtomicU64,
+    duplicates: AtomicU64,
+    exact: AtomicU64,
+    approximate: AtomicU64,
+    failed: AtomicU64,
+    shed_expired: AtomicU64,
+    retries: AtomicU64,
+    batches: AtomicU64,
+}
+
+/// A point-in-time snapshot of a server's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests accepted into the queue.
+    pub admitted: u64,
+    /// Requests refused at admission with a typed [`Rejected`].
+    pub rejected: u64,
+    /// Terminal replies delivered (first fulfillment per request).
+    pub replied: u64,
+    /// Attempted second replies to one request — always 0 unless the
+    /// exactly-once invariant broke.
+    pub duplicates: u64,
+    /// Replies that were [`BoundedAnswer::Exact`].
+    pub exact: u64,
+    /// Replies that were flagged [`BoundedAnswer::Approximate`] intervals.
+    pub approximate: u64,
+    /// Replies that were typed errors ([`ServeError`]).
+    pub failed: u64,
+    /// Admitted requests shed before dispatch on an expired deadline
+    /// (their typed reply is included in `failed`).
+    pub shed_expired: u64,
+    /// Panicked slots granted their single bounded retry.
+    pub retries: u64,
+    /// Executor batches dispatched.
+    pub batches: u64,
+    /// Live-update batches applied.
+    pub updates_applied: u64,
+    /// Live-update batches retried after a rollback.
+    pub update_retries: u64,
+    /// Live-update batches shed (full lane, stuck lane, terminal failure).
+    pub updates_shed: u64,
+}
+
+/// Pre-resolved rejection counter handles, so admission's metric export is
+/// one sharded atomic add — never a registry lock.
+struct RejectCounters {
+    queue_full: Arc<td_obs::Counter>,
+    overloaded: Arc<td_obs::Counter>,
+    deadline: Arc<td_obs::Counter>,
+    shutdown: Arc<td_obs::Counter>,
+}
+
+impl RejectCounters {
+    fn new() -> RejectCounters {
+        let m = td_obs::metrics();
+        RejectCounters {
+            queue_full: m.server_rejected("queue_full"),
+            overloaded: m.server_rejected("overloaded"),
+            deadline: m.server_rejected("deadline_expired"),
+            shutdown: m.server_rejected("shutdown"),
+        }
+    }
+
+    fn of(&self, r: &Rejected) -> &td_obs::Counter {
+        match r {
+            Rejected::QueueFull { .. } => &self.queue_full,
+            Rejected::Overloaded => &self.overloaded,
+            Rejected::DeadlineExpired => &self.deadline,
+            Rejected::ShuttingDown => &self.shutdown,
+        }
+    }
+}
+
+/// State shared by clients, the dispatcher, and the updater.
+struct Shared<I> {
+    cfg: ServerConfig,
+    source: Source<I>,
+    queue: AdmissionQueue,
+    update: UpdateLane,
+    has_update_lane: bool,
+    shutdown: AtomicBool,
+    /// Current [`OverloadMode`] (its `as_u8`), read lock-free at admission.
+    mode: AtomicU8,
+    started: Instant,
+    /// Private admission→reply latency histogram: powers the overload
+    /// controller's recent-p99 window and per-server soak reports without
+    /// mixing servers through the global catalog.
+    latency: td_obs::Histogram,
+    counters: Counters,
+    rejects: RejectCounters,
+}
+
+impl<I: RoutingIndex> Shared<I> {
+    /// Delivers `result` as the request's terminal reply, keeping the
+    /// exactly-once accounting and latency export.
+    fn fulfill(&self, p: Pending, result: ServeResult) {
+        let kind = match &result {
+            Ok(BoundedAnswer::Exact(_)) => &self.counters.exact,
+            Ok(BoundedAnswer::Approximate { .. }) => &self.counters.approximate,
+            Err(_) => &self.counters.failed,
+        };
+        if p.slot.fulfill(result) {
+            self.counters.replied.fetch_add(1, Ordering::Relaxed);
+            kind.fetch_add(1, Ordering::Relaxed);
+            let nanos = p.submitted.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            self.latency.observe(nanos);
+            if td_obs::ENABLED {
+                td_obs::metrics().server_request_seconds.observe(nanos);
+            }
+        } else {
+            self.counters.duplicates.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn record_reject(&self, r: &Rejected) {
+        self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        if td_obs::ENABLED {
+            self.rejects.of(r).inc();
+        }
+    }
+}
+
+/// The overload-safe serving front-end over any [`RoutingIndex`].
+///
+/// See the crate docs for the pipeline. Construction spawns the dispatcher
+/// (and, for [`TdServer::serve_live`], the updater); [`TdServer::shutdown`]
+/// — or dropping the server — closes admission, drains the queue (every
+/// admitted request still gets its exactly-one reply), and joins the
+/// threads.
+pub struct TdServer<I: RoutingIndex + 'static> {
+    shared: Arc<Shared<I>>,
+    dispatcher: Option<JoinHandle<()>>,
+    updater: Option<JoinHandle<()>>,
+}
+
+impl<I: RoutingIndex + 'static> TdServer<I> {
+    /// Serves a fixed immutable index.
+    pub fn serve(index: Arc<I>, cfg: ServerConfig) -> TdServer<I> {
+        TdServer::start(Source::Fixed(index), cfg, false)
+    }
+
+    fn start(source: Source<I>, cfg: ServerConfig, live: bool) -> TdServer<I> {
+        let shared = Arc::new(Shared {
+            queue: AdmissionQueue::new(cfg.queue_capacity),
+            update: UpdateLane::new(cfg.update_queue_capacity),
+            has_update_lane: live,
+            shutdown: AtomicBool::new(false),
+            mode: AtomicU8::new(OverloadMode::Normal.as_u8()),
+            started: Instant::now(),
+            latency: td_obs::Histogram::new(),
+            counters: Counters::default(),
+            rejects: RejectCounters::new(),
+            cfg,
+            source,
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("td-server-dispatch".into())
+                .spawn(move || dispatcher_loop(&shared))
+                .expect("spawn dispatcher")
+        };
+        TdServer {
+            shared,
+            dispatcher: Some(dispatcher),
+            updater: None,
+        }
+    }
+
+    /// Submits one travel-cost query with an optional client deadline.
+    ///
+    /// Admission is O(µs): a typed [`Rejected`] (shutdown, expired
+    /// deadline, shedding mode, full queue) comes back before the request
+    /// touches a queue slot or a worker. An accepted request is guaranteed
+    /// exactly one terminal reply on the returned handle.
+    pub fn submit(
+        &self,
+        s: VertexId,
+        d: VertexId,
+        t: f64,
+        deadline: Option<Instant>,
+    ) -> Result<RequestHandle, Rejected> {
+        self.submit_query((s, d, t), deadline)
+    }
+
+    /// [`TdServer::submit`] taking the query as a [`CostQuery`] tuple.
+    pub fn submit_query(
+        &self,
+        query: CostQuery,
+        deadline: Option<Instant>,
+    ) -> Result<RequestHandle, Rejected> {
+        let shared = &self.shared;
+        let now = Instant::now();
+        let mode = OverloadMode::from_u8(shared.mode.load(Ordering::Relaxed));
+        if let Some(r) = control::admission_decision(
+            shared.shutdown.load(Ordering::Relaxed),
+            deadline,
+            now,
+            mode,
+        ) {
+            shared.record_reject(&r);
+            return Err(r);
+        }
+        let slot = Arc::new(ReplySlot::new());
+        let pending = Pending {
+            query,
+            deadline,
+            submitted: now,
+            attempts: 0,
+            slot: Arc::clone(&slot),
+        };
+        match shared.queue.push_back(pending) {
+            Ok(()) => {
+                shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
+                if td_obs::ENABLED {
+                    td_obs::metrics().server_admitted_total.inc();
+                }
+                Ok(RequestHandle {
+                    slot,
+                    submitted: now,
+                })
+            }
+            Err(_) => {
+                let r = if shared.shutdown.load(Ordering::Relaxed) {
+                    Rejected::ShuttingDown
+                } else {
+                    Rejected::QueueFull {
+                        depth: shared.queue.depth(),
+                        capacity: shared.queue.capacity(),
+                    }
+                };
+                shared.record_reject(&r);
+                Err(r)
+            }
+        }
+    }
+
+    /// Submits one batch of live edge-weight changes to the supervised
+    /// update lane. Sheds (typed) when the lane is missing (fixed-index
+    /// servers), stuck past the watchdog, full, or shutting down — queries
+    /// are never paused by update pressure, whatever the answer here.
+    pub fn submit_update(
+        &self,
+        changes: Vec<(VertexId, VertexId, Plf)>,
+    ) -> Result<(), UpdateRejected> {
+        if !self.shared.has_update_lane {
+            self.shared.update.count_shed();
+            return Err(UpdateRejected::LaneUnavailable);
+        }
+        self.shared.update.submit(changes)
+    }
+
+    /// The overload controller's current rung.
+    pub fn mode(&self) -> OverloadMode {
+        OverloadMode::from_u8(self.shared.mode.load(Ordering::Relaxed))
+    }
+
+    /// Current admission-queue depth (advisory).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// A snapshot of the serving counters.
+    pub fn stats(&self) -> ServerStats {
+        let c = &self.shared.counters;
+        let u = self.shared.update.stats();
+        ServerStats {
+            admitted: c.admitted.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            replied: c.replied.load(Ordering::Relaxed),
+            duplicates: c.duplicates.load(Ordering::Relaxed),
+            exact: c.exact.load(Ordering::Relaxed),
+            approximate: c.approximate.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            shed_expired: c.shed_expired.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            updates_applied: u.applied,
+            update_retries: u.retries,
+            updates_shed: u.shed,
+        }
+    }
+
+    /// The private admission→reply latency histogram (merged snapshot).
+    /// Quantiles here are *this* server's accepted-request latency, not the
+    /// process-wide catalog family.
+    pub fn latency_snapshot(&self) -> HistSnapshot {
+        self.shared.latency.snapshot()
+    }
+
+    /// Chaos hook: poisons the admission-queue and update-lane mutexes (a
+    /// contained panic while holding each guard). The serving path must
+    /// recover every one — `td_server_lock_recoveries_total` counts them.
+    pub fn inject_lock_poison(&self) {
+        self.shared.queue.poison();
+        self.shared.update.poison();
+    }
+
+    fn begin_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.queue.close();
+        self.shared.update.close();
+    }
+
+    /// Stops admission, drains the queue (every already-admitted request
+    /// still receives its exactly-one reply), joins the threads, and
+    /// returns the final counters.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.begin_shutdown();
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.updater.take() {
+            let _ = h.join();
+        }
+        self.stats()
+    }
+}
+
+impl<I: IncrementalIndex + Clone + 'static> TdServer<I> {
+    /// Serves a [`LiveIndex`]: queries run on epoch snapshots while the
+    /// supervised update lane applies [`TdServer::submit_update`] batches
+    /// through [`LiveIndex::try_apply`] with rollback-and-retry.
+    pub fn serve_live(live: Arc<LiveIndex<I>>, cfg: ServerConfig) -> TdServer<I> {
+        let mut server = TdServer::start(Source::Live(live), cfg, true);
+        let shared = Arc::clone(&server.shared);
+        let updater = std::thread::Builder::new()
+            .name("td-server-update".into())
+            .spawn(move || updater_loop(&shared))
+            .expect("spawn updater");
+        server.updater = Some(updater);
+        server
+    }
+}
+
+impl<I: RoutingIndex + 'static> Drop for TdServer<I> {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.updater.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Dispatcher-local controller state: the latency window delta base and the
+/// calibrated baseline.
+struct Controller {
+    prev: HistSnapshot,
+    window: Window,
+}
+
+impl Controller {
+    fn new() -> Controller {
+        Controller {
+            prev: HistSnapshot::default(),
+            window: Window::default(),
+        }
+    }
+
+    /// Re-evaluates the overload state machine after a batch.
+    fn tick<I: RoutingIndex>(&mut self, shared: &Shared<I>) {
+        let policy = &shared.cfg.overload;
+        let snap = shared.latency.snapshot();
+        let delta = snap.diff(&self.prev);
+        let mode = OverloadMode::from_u8(shared.mode.load(Ordering::Relaxed));
+        if delta.count() >= policy.min_window {
+            self.window.p99_nanos = delta.quantile(0.99);
+            self.prev = snap;
+            // The first full window observed in Normal mode calibrates the
+            // baseline (clamped up to the noise floor).
+            if self.window.baseline_nanos == 0 && mode == OverloadMode::Normal {
+                self.window.baseline_nanos = self.window.p99_nanos.max(policy.baseline_floor_nanos);
+            }
+        }
+        let depth = shared.queue.depth();
+        let next = control::next_mode(mode, depth, shared.queue.capacity(), self.window, policy);
+        if next != mode {
+            shared.mode.store(next.as_u8(), Ordering::Relaxed);
+        }
+        if td_obs::ENABLED {
+            let m = td_obs::metrics();
+            m.server_queue_depth
+                .set(depth.min(i64::MAX as usize) as i64);
+            m.server_overload_state.set(next.as_u8() as i64);
+        }
+    }
+}
+
+/// Drains the queue into one coalesced batch. `false` = closed and drained.
+fn next_batch(
+    queue: &AdmissionQueue,
+    max_batch: usize,
+    window: std::time::Duration,
+    buf: &mut Vec<Pending>,
+) -> bool {
+    buf.clear();
+    match queue.pop_wait() {
+        Popped::Closed => return false,
+        Popped::Item(p) => buf.push(p),
+    }
+    let batch_deadline = Instant::now() + window;
+    while buf.len() < max_batch {
+        match queue.pop_until(batch_deadline) {
+            Some(p) => buf.push(p),
+            None => break,
+        }
+    }
+    true
+}
+
+/// Serves one coalesced batch: shed expired, budget, execute, retry/reply.
+fn serve_batch<I: RoutingIndex>(
+    shared: &Shared<I>,
+    exec: &mut ParallelExecutor<'_, I>,
+    incoming: &mut Vec<Pending>,
+    batch: &mut Vec<Pending>,
+    queries: &mut Vec<CostQuery>,
+    budgets: &mut Vec<QueryBudget>,
+) {
+    let cfg = &shared.cfg;
+    let now = Instant::now();
+    let mode = OverloadMode::from_u8(shared.mode.load(Ordering::Relaxed));
+    batch.clear();
+    queries.clear();
+    budgets.clear();
+    for p in incoming.drain(..) {
+        // Deadline propagation, stage 2: requests that expired while queued
+        // are shed with a typed reply before touching a worker.
+        if p.deadline.is_some_and(|d| now >= d) {
+            shared.counters.shed_expired.fetch_add(1, Ordering::Relaxed);
+            if td_obs::ENABLED {
+                td_obs::metrics().server_shed_expired_total.inc();
+            }
+            shared.fulfill(p, Err(ServeError::Shed(Rejected::DeadlineExpired)));
+            continue;
+        }
+        queries.push(p.query);
+        // Stage 3: the client deadline rides into the search itself as the
+        // budget's wall-clock bound, under the mode's settle cap.
+        budgets.push(control::slot_budget(
+            mode,
+            cfg.normal_settles,
+            cfg.degraded_settles,
+            p.deadline,
+        ));
+        batch.push(p);
+    }
+    if batch.is_empty() {
+        return;
+    }
+    shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+    if td_obs::ENABLED {
+        let m = td_obs::metrics();
+        m.server_batches_total.inc();
+        m.server_batch_size.observe(batch.len() as u64);
+    }
+    let results = exec.query_batch_bounded_each(queries, budgets);
+    for (mut p, result) in batch.drain(..).zip(results) {
+        match result {
+            // One bounded retry for contained panics only: the request goes
+            // back to the queue *head* and rides the next batch (the
+            // coalesce window is the backoff). Deterministic failures —
+            // InvalidQuery, BudgetExhausted — are never retried.
+            Err(QueryError::Panicked(_)) if p.attempts < cfg.panic_retries => {
+                p.attempts += 1;
+                shared.counters.retries.fetch_add(1, Ordering::Relaxed);
+                if td_obs::ENABLED {
+                    td_obs::metrics().server_retries_total.inc();
+                }
+                shared.queue.push_front(p);
+            }
+            Ok(answer) => shared.fulfill(p, Ok(answer)),
+            Err(e) => shared.fulfill(p, Err(ServeError::Query(e))),
+        }
+    }
+}
+
+fn dispatcher_loop<I: RoutingIndex>(shared: &Shared<I>) {
+    let mut ctl = Controller::new();
+    let mut incoming: Vec<Pending> = Vec::new();
+    let mut batch: Vec<Pending> = Vec::new();
+    let mut queries: Vec<CostQuery> = Vec::new();
+    let mut budgets: Vec<QueryBudget> = Vec::new();
+    'epoch: loop {
+        // One executor per epoch: scratches stay warm across batches and
+        // the whole pool flips to the new snapshot when the epoch moves.
+        let (epoch, snap) = shared.source.snapshot_with_epoch();
+        let mut exec = ParallelExecutor::new(&*snap, shared.cfg.workers);
+        loop {
+            if !next_batch(
+                &shared.queue,
+                shared.cfg.max_batch,
+                shared.cfg.coalesce_window,
+                &mut incoming,
+            ) {
+                return; // closed and drained: every admitted request replied
+            }
+            // The dispatcher itself is contained: a bug here must not strand
+            // admitted requests without their reply.
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                serve_batch(
+                    shared,
+                    &mut exec,
+                    &mut incoming,
+                    &mut batch,
+                    &mut queries,
+                    &mut budgets,
+                )
+            }));
+            if r.is_err() {
+                for p in incoming.drain(..).chain(batch.drain(..)) {
+                    shared.fulfill(
+                        p,
+                        Err(ServeError::Query(QueryError::Panicked(
+                            "dispatcher fault".to_string(),
+                        ))),
+                    );
+                }
+            }
+            ctl.tick(shared);
+            shared
+                .update
+                .watchdog_check(shared.started, shared.cfg.update_watchdog);
+            if shared.source.epoch() != epoch {
+                continue 'epoch;
+            }
+        }
+    }
+}
+
+fn updater_loop<I: IncrementalIndex + Clone>(shared: &Shared<I>) {
+    let live = match &shared.source {
+        Source::Live(live) => Arc::clone(live),
+        Source::Fixed(_) => return,
+    };
+    while let Some(changes) = shared.update.pop_wait() {
+        shared.update.begin_apply(shared.started);
+        let mut applied = false;
+        for attempt in 0..2u32 {
+            // `try_apply` already contains panics and rolls the standby
+            // back; the outer catch_unwind is belt-and-braces so even an
+            // unexpected unwind cannot kill the lane.
+            let outcome = catch_unwind(AssertUnwindSafe(|| live.try_apply(&changes)));
+            match outcome {
+                Ok(Ok(_)) => {
+                    applied = true;
+                    break;
+                }
+                Ok(Err(_)) | Err(_) => {
+                    if attempt == 0 {
+                        shared.update.count_retry();
+                    }
+                }
+            }
+        }
+        shared.update.end_apply();
+        if applied {
+            shared.update.count_applied();
+        } else {
+            shared.update.count_shed();
+        }
+    }
+}
+
+// Compile-time pins: the server (and its shared core) crosses client,
+// dispatcher, and updater threads.
+const _: () = {
+    const fn shared_across_threads<T: Send + Sync>() {}
+    shared_across_threads::<TdServer<td_api::AStarChIndex>>();
+    shared_across_threads::<AdmissionQueue>();
+    shared_across_threads::<UpdateLane>();
+    shared_across_threads::<ReplySlot>();
+    shared_across_threads::<crate::fault::HostileIndex<td_api::AStarChIndex>>();
+    shared_across_threads::<crate::fault::FaultPlan>();
+    shared_across_threads::<ServerStats>();
+};

@@ -66,6 +66,27 @@ impl StoreError {
     pub fn invalid(msg: impl Into<String>) -> StoreError {
         StoreError::Invalid(msg.into())
     }
+
+    /// Stable snake_case name of this variant, used as a metric label (e.g.
+    /// on the `.tdx.prev` fallback counter) so operators can see *why* a
+    /// generation was skipped, not just that it was.
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            StoreError::Io(_) => "io",
+            StoreError::Truncated => "truncated",
+            StoreError::BadMagic => "bad_magic",
+            StoreError::BadEndianness => "bad_endianness",
+            StoreError::UnsupportedVersion(_) => "unsupported_version",
+            StoreError::UnknownBackend(_) => "unknown_backend",
+            StoreError::WrongBackend { .. } => "wrong_backend",
+            StoreError::UnexpectedSection { .. } => "unexpected_section",
+            StoreError::WrongSectionType { .. } => "wrong_section_type",
+            StoreError::ChecksumMismatch { .. } => "checksum_mismatch",
+            StoreError::TrailingData => "trailing_data",
+            StoreError::Invalid(_) => "invalid",
+            StoreError::Unsupported(_) => "unsupported",
+        }
+    }
 }
 
 /// Renders a section tag as its 4 ASCII characters (or hex when unprintable).
